@@ -1,0 +1,127 @@
+// Extension bench: dynamic checkpoint frequency (§V future work).
+//
+// Workload: the rlus radiation field with alternating quiet phases (one
+// weather step per checkpoint) and storms (ten weather steps per checkpoint). We compare fixed-interval checkpointing
+// against the drift-driven adaptive controller on two axes:
+//   * total bytes written (the I/O the paper wants to minimize), and
+//   * worst-case staleness (snapshots of work a failure would lose).
+// Expected: the adaptive controller matches the dense fixed schedule's
+// staleness during storms while writing quiet phases at the sparse
+// schedule's cost.
+#include <cstdio>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "numarck/adaptive/checkpointer.hpp"
+
+namespace {
+
+using namespace numarck;
+
+struct Outcome {
+  std::size_t bytes = 0;
+  std::size_t writes = 0;
+  std::size_t worst_staleness = 0;
+  double storm_staleness = 0.0;  ///< mean staleness during stormy phases
+};
+
+/// True when |iteration| falls in a "storm" (bursty) window.
+bool stormy(std::size_t it) { return (it / 15) % 2 == 1; }
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension — adaptive checkpoint frequency ===\n\n");
+
+  // Build a two-phase series: quiet phases advance the generator once per
+  // checkpoint, storms advance it four times (faster weather).
+  sim::climate::GeneratorConfig gcfg;
+  sim::climate::Generator gen(sim::climate::Variable::kRlus, gcfg);
+  std::vector<std::vector<double>> series;
+  series.push_back(gen.current());
+  for (std::size_t it = 1; it < 60; ++it) {
+    const int advances = stormy(it) ? 10 : 1;
+    for (int a = 0; a < advances; ++a) gen.advance();
+    series.push_back(gen.current());
+  }
+
+  auto run_fixed = [&](std::size_t interval) {
+    Outcome o;
+    core::Options copts;
+    copts.error_bound = 0.001;
+    copts.strategy = core::Strategy::kClustering;
+    core::VariableCompressor comp(copts);
+    std::size_t staleness = 0, storm_sum = 0, storm_n = 0;
+    for (std::size_t it = 0; it < series.size(); ++it) {
+      if (it % interval == 0) {
+        const auto step = comp.push(series[it]);
+        o.bytes += step.is_full
+                       ? step.full_fpc.size()
+                       : step.delta.serialize(core::Postpass::all()).size();
+        ++o.writes;
+        staleness = 0;
+      } else {
+        ++staleness;
+      }
+      o.worst_staleness = std::max(o.worst_staleness, staleness);
+      if (stormy(it)) {
+        storm_sum += staleness;
+        ++storm_n;
+      }
+    }
+    o.storm_staleness = storm_n ? static_cast<double>(storm_sum) / storm_n : 0;
+    return o;
+  };
+
+  auto run_adaptive = [&](double budget) {
+    Outcome o;
+    adaptive::AdaptiveOptions aopts;
+    aopts.codec.error_bound = 0.001;
+    aopts.codec.strategy = core::Strategy::kClustering;
+    aopts.drift_budget = budget;
+    aopts.max_interval = 8;
+    adaptive::AdaptiveCheckpointer cp(aopts);
+    std::size_t storm_sum = 0, storm_n = 0;
+    for (std::size_t it = 0; it < series.size(); ++it) {
+      const auto d = cp.push(series[it]);
+      o.bytes += d.bytes_written;
+      if (d.action != adaptive::Action::kSkip) ++o.writes;
+      o.worst_staleness = std::max(o.worst_staleness, cp.staleness());
+      if (stormy(it)) {
+        storm_sum += cp.staleness();
+        ++storm_n;
+      }
+    }
+    o.storm_staleness = storm_n ? static_cast<double>(storm_sum) / storm_n : 0;
+    return o;
+  };
+
+  std::printf("%-26s | %9s | %6s | %15s | %15s\n", "policy", "bytes",
+              "writes", "worst staleness", "storm staleness");
+  const auto f1 = run_fixed(1);
+  const auto f3 = run_fixed(3);
+  const auto f6 = run_fixed(6);
+  const auto a1 = run_adaptive(0.008);
+  const auto a2 = run_adaptive(0.02);
+  auto row = [](const char* name, const Outcome& o) {
+    std::printf("%-26s | %9zu | %6zu | %15zu | %15.2f\n", name, o.bytes,
+                o.writes, o.worst_staleness, o.storm_staleness);
+  };
+  row("fixed: every snapshot", f1);
+  row("fixed: every 3rd", f3);
+  row("fixed: every 6th", f6);
+  row("adaptive (budget 0.8%)", a1);
+  row("adaptive (budget 2%)", a2);
+
+  std::printf("\nshape check: the adaptive policies sit below the dense fixed\n"
+              "schedule in bytes while keeping storm-phase staleness near the\n"
+              "dense schedule's (fixed sparse schedules are cheap but stale\n"
+              "exactly when the state moves fastest).\n");
+  const bool cheaper = a1.bytes < f1.bytes;
+  const bool responsive = a1.storm_staleness <= f6.storm_staleness;
+  std::printf("adaptive cheaper than per-snapshot  : %s\n",
+              cheaper ? "yes" : "NO");
+  std::printf("adaptive fresher in storms than 1/6 : %s\n",
+              responsive ? "yes" : "NO");
+  return 0;
+}

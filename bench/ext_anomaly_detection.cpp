@@ -1,0 +1,61 @@
+// Extension bench: soft-error detectability as a function of the flipped
+// bit position (§V future work, quantified).
+//
+// For each bit position we inject single flips into FLASH pres snapshots and
+// measure the point-scanner detection rate plus the relative value change a
+// flip at that position causes. Expected physics: exponent and sign bits are
+// caught essentially always; high mantissa bits often; low mantissa bits are
+// numerically invisible (below the solver's own noise floor) and are — and
+// should be — undetectable.
+#include <cstdio>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "numarck/anomaly/detector.hpp"
+#include "numarck/util/rng.hpp"
+
+int main() {
+  using namespace numarck;
+  std::printf("=== Extension — soft-error detection rate by flipped bit ===\n\n");
+
+  auto cfg = bench::flash_restart_config();
+  sim::flash::Simulator sim(cfg);
+  sim.advance_checkpoint();
+  const auto prev = sim.snapshot("pres");
+  sim.advance_checkpoint();
+  const auto clean = sim.snapshot("pres");
+
+  util::Pcg32 rng(2026);
+  constexpr int kTrials = 40;
+
+  std::printf("%7s | %14s | %16s\n", "bit", "detect rate", "median |Δv|/|v|");
+  const unsigned bits[] = {0, 8, 16, 24, 32, 40, 44, 48, 50, 52, 56, 60, 62, 63};
+  for (unsigned bit : bits) {
+    int detected = 0;
+    std::vector<double> rel_changes;
+    for (int t = 0; t < kTrials; ++t) {
+      std::vector<double> curr = clean;
+      const std::size_t target = rng.bounded(static_cast<std::uint32_t>(curr.size()));
+      const double before = curr[target];
+      anomaly::inject_bit_flip(curr, target, bit);
+      rel_changes.push_back(
+          before != 0.0 ? std::abs((curr[target] - before) / before) : 0.0);
+      const auto hits = anomaly::scan_points(prev, curr);
+      for (const auto& h : hits) {
+        if (h.index == target) {
+          ++detected;
+          break;
+        }
+      }
+    }
+    std::printf("%7u | %12.1f%% | %16.3g\n", bit,
+                100.0 * detected / kTrials,
+                util::percentile(rel_changes, 50.0));
+  }
+
+  std::printf("\nexpected shape: ~0%% below the mantissa noise floor (the flip\n"
+              "is smaller than legitimate physics), rising to ~100%% through\n"
+              "the high mantissa and exponent bits. Bits that cannot be\n"
+              "detected are exactly the bits that cannot hurt the restart.\n");
+  return 0;
+}

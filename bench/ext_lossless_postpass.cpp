@@ -1,0 +1,66 @@
+// Extension bench (§III-B: "We can further use a lossless compression
+// technique like FPC on our compressed data to achieve higher compression
+// ratio" — the paper left this unevaluated; we evaluate it).
+//
+// For each dataset, compare three accountings of one NUMARCK iteration:
+//   * Eq. 3 (the paper's model: B bits/index, full table, no bitmap),
+//   * the true serialized size without post-pass,
+//   * the true serialized size with the lossless post-pass
+//     (Huffman-coded indices + RLE bitmap + FPC exact values).
+#include <cstdio>
+
+#include "harness_common.hpp"
+#include "numarck/lossless/huffman.hpp"
+#include "numarck/util/bitpack.hpp"
+
+int main() {
+  using namespace numarck;
+  std::printf("=== Extension — lossless post-pass over NUMARCK records "
+              "(E=0.1%%, B=8, clustering) ===\n\n");
+  std::printf("%-10s | %8s | %11s | %11s | %11s | %9s\n", "dataset", "Eq.3 %",
+              "plain %", "postpass %", "idx entropy", "gain pts");
+
+  auto report = [](const char* name,
+                   const std::vector<std::vector<double>>& snaps) {
+    core::Options opts;
+    opts.error_bound = 0.001;
+    opts.index_bits = 8;
+    opts.strategy = core::Strategy::kClustering;
+    util::RunningStats eq3, plain, packed, entropy;
+    for (std::size_t it = 1; it < snaps.size(); ++it) {
+      const auto enc = core::encode_iteration(snaps[it - 1], snaps[it], opts);
+      const double raw = static_cast<double>(enc.point_count) * 8.0;
+      eq3.add(enc.paper_compression_ratio());
+      plain.add(100.0 * (raw - static_cast<double>(enc.serialize().size())) / raw);
+      packed.add(100.0 *
+                 (raw - static_cast<double>(
+                            enc.serialize(core::Postpass::all()).size())) /
+                 raw);
+      if (enc.compressible_count() > 0) {
+        const auto symbols = util::unpack_indices(enc.indices, enc.index_bits,
+                                                  enc.compressible_count());
+        entropy.add(lossless::symbol_entropy_bits(symbols, 256));
+      }
+    }
+    std::printf("%-10s | %8.3f | %11.3f | %11.3f | %8.2f b  | %9.2f\n", name,
+                eq3.mean(), plain.mean(), packed.mean(), entropy.mean(),
+                packed.mean() - plain.mean());
+  };
+
+  report("rlus", bench::climate_series(sim::climate::Variable::kRlus, 12));
+  report("rlds", bench::climate_series(sim::climate::Variable::kRlds, 12));
+  report("mrro", bench::climate_series(sim::climate::Variable::kMrro, 12));
+  report("abs550aer",
+         bench::climate_series(sim::climate::Variable::kAbs550aer, 12));
+  const auto flash = bench::flash_series(12, {"dens", "pres", "velx"});
+  report("dens", flash.at("dens"));
+  report("pres", flash.at("pres"));
+  report("velx", flash.at("velx"));
+
+  std::printf("\nreading: 'idx entropy' is the Shannon entropy of the index\n"
+              "stream — the gap to B=8 bits is what Huffman recovers. Fields\n"
+              "dominated by the unchanged index (mrro, dens) gain the most;\n"
+              "the post-pass never loses because each coder is kept only when\n"
+              "it shrinks its stream.\n");
+  return 0;
+}

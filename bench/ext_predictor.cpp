@@ -1,0 +1,68 @@
+// Extension bench: first-order (paper, Eq. 1) vs second-order (linear
+// extrapolation) forward prediction.
+//
+// The paper adopts forward predictive coding from MPEG but stops at first
+// order. Linear extrapolation of the last two states predicts smooth
+// simulation evolution far better, shrinking the residual ratios — which
+// shows up as lower γ at the same (E, B), or equivalently headroom to drop
+// B. This bench measures both predictors on FLASH and climate data.
+#include <cstdio>
+
+#include "harness_common.hpp"
+#include "numarck/core/compressor.hpp"
+#include "numarck/metrics/metrics.hpp"
+
+int main() {
+  using namespace numarck;
+  std::printf("=== Extension — first-order vs linear-extrapolation "
+              "prediction ===\n\n");
+
+  auto evaluate = [](const char* name,
+                     const std::vector<std::vector<double>>& snaps) {
+    std::printf("--- %s ---\n", name);
+    std::printf("%-10s | %8s | %10s | %12s | %12s\n", "predictor", "gamma%",
+                "Eq.3 %", "mean err%", "postpass %");
+    for (auto p : {core::Predictor::kPrevious, core::Predictor::kLinear}) {
+      core::Options opts;
+      opts.error_bound = 0.001;
+      opts.strategy = core::Strategy::kClustering;
+      opts.predictor = p;
+      core::VariableCompressor comp(opts);
+      util::RunningStats gamma, ratio, err, true_ratio;
+      for (const auto& snap : snaps) {
+        const auto step = comp.push(snap);
+        if (step.is_full) continue;
+        gamma.add(100.0 * step.delta.stats.incompressible_ratio());
+        ratio.add(step.delta.paper_compression_ratio());
+        err.add(100.0 * step.delta.stats.mean_ratio_error);
+        const double raw = static_cast<double>(step.delta.point_count) * 8.0;
+        true_ratio.add(
+            100.0 *
+            (raw - static_cast<double>(
+                       step.delta.serialize(core::Postpass::all()).size())) /
+            raw);
+      }
+      std::printf("%-10s | %8.3f | %10.3f | %12.5f | %12.3f\n",
+                  core::to_string(p), gamma.mean(), ratio.mean(), err.mean(),
+                  true_ratio.mean());
+    }
+    std::printf("\n");
+  };
+
+  const auto flash = bench::flash_series(16, {"pres", "dens"});
+  evaluate("FLASH pres (Sedov)", flash.at("pres"));
+  evaluate("FLASH dens (Sedov)", flash.at("dens"));
+  evaluate("CMIP rlus",
+           bench::climate_series(sim::climate::Variable::kRlus, 16));
+  evaluate("CMIP rlds",
+           bench::climate_series(sim::climate::Variable::kRlds, 16));
+
+  std::printf("reading: on deterministic smooth evolution (FLASH) the linear\n"
+              "predictor shrinks residuals and the post-pass ratio rises —\n"
+              "its Eq.3 number can only improve through lower gamma. On noisy\n"
+              "weather-driven data (rlds) day-to-day changes are closer to\n"
+              "white, so extrapolation doubles the innovation variance and\n"
+              "first-order wins: the right predictor is data-dependent, which\n"
+              "is why it is a per-stream option and recorded per record.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Extension bench: the cost of locality. At scale every process compresses
+// its partition independently (the paper's deployment model) — each shard
+// learns only its local change distribution and pays for its own
+// 2^B - 1-entry table. This harness sweeps the shard count on FLASH and
+// climate data and reports the compression-ratio cost relative to the
+// single-table baseline, plus the incompressible ratio (does locality help
+// or hurt the *fit*?).
+#include <cstdio>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "numarck/core/sharded.hpp"
+#include "numarck/util/timer.hpp"
+
+int main() {
+  using namespace numarck;
+  std::printf("=== Extension — sharded (per-rank) compression ===\n\n");
+
+  auto sweep = [](const char* name,
+                  const std::vector<std::vector<double>>& snaps) {
+    std::printf("--- %s (n=%zu) ---\n", name, snaps[0].size());
+    std::printf("%7s | %10s | %8s | %9s\n", "shards", "Eq.3 %", "gamma%",
+                "time ms");
+    for (std::size_t shards : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      core::ShardedOptions o;
+      o.codec.error_bound = 0.001;
+      o.codec.strategy = core::Strategy::kClustering;
+      o.shards = shards;
+      core::ShardedCompressor comp(o);
+      util::RunningStats ratio, gamma;
+      util::Timer t;
+      for (const auto& snap : snaps) {
+        const auto step = comp.push(snap);
+        if (!step.is_full()) {
+          ratio.add(step.paper_compression_ratio());
+          gamma.add(100.0 * step.incompressible_ratio());
+        }
+      }
+      std::printf("%7zu | %10.3f | %8.3f | %9.1f\n", shards, ratio.mean(),
+                  gamma.mean(), t.milliseconds());
+    }
+    std::printf("\n");
+  };
+
+  const auto flash = bench::flash_series(8, {"pres"});
+  sweep("FLASH pres (Sedov)", flash.at("pres"));
+  sweep("CMIP rlds", bench::climate_series(sim::climate::Variable::kRlds, 8));
+
+  std::printf("reading: Eq.3 degrades roughly linearly with the shard count\n"
+              "(one 255-entry table per shard), while gamma often *improves*\n"
+              "slightly — local tables fit local distributions better. The\n"
+              "trade is favourable until the per-shard table overhead\n"
+              "(2^B-1)*64 bits approaches the shard's own payload.\n");
+  return 0;
+}

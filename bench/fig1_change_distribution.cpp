@@ -1,0 +1,78 @@
+// Fig. 1 reproduction: a slice of climate rlus data.
+//  (A)/(B) original data of two consecutive iterations (summary statistics
+//          and a coarse slice dump — the paper shows heat maps);
+//  (C)     the changing percentage between the iterations;
+//  (D)     the distribution of relative data change.
+//
+// The headline observation to reproduce: rlus snapshots are high-entropy in
+// space, but >75 % of points change by less than 0.5 % between iterations.
+#include <cmath>
+#include <cstdio>
+
+#include "harness_common.hpp"
+#include "numarck/cluster/histogram.hpp"
+#include "numarck/core/change_ratio.hpp"
+#include "numarck/vis/image.hpp"
+
+int main() {
+  using namespace numarck;
+  const auto snaps = bench::climate_series(sim::climate::Variable::kRlus, 2);
+  const auto& it1 = snaps[0];
+  const auto& it2 = snaps[1];
+
+  std::printf("=== Fig. 1 — slice of climate rlus simulation data ===\n\n");
+  const auto s1 = util::summarize(it1);
+  const auto s2 = util::summarize(it2);
+  std::printf("(A) iteration 1: n=%zu  min=%.2f  max=%.2f  mean=%.2f W/m^2\n",
+              s1.count(), s1.min(), s1.max(), s1.mean());
+  std::printf("(B) iteration 2: n=%zu  min=%.2f  max=%.2f  mean=%.2f W/m^2\n",
+              s2.count(), s2.min(), s2.max(), s2.mean());
+
+  const auto cr = core::compute_change_ratios(it1, it2);
+  std::vector<double> pct;
+  pct.reserve(cr.ratio.size());
+  for (std::size_t j = 0; j < cr.ratio.size(); ++j) {
+    if (cr.valid[j]) pct.push_back(100.0 * cr.ratio[j]);
+  }
+  const auto sc = util::summarize(pct);
+  std::printf("\n(C) changing percentage between the iterations:\n");
+  std::printf("    min=%.3f%%  max=%.3f%%  mean=%.4f%%  std=%.4f%%\n",
+              sc.min(), sc.max(), sc.mean(), sc.stddev());
+
+  std::size_t below_half = 0;
+  for (double p : pct) {
+    if (std::abs(p) < 0.5) ++below_half;
+  }
+  std::printf("    fraction with |change| < 0.5%% : %.1f%%  (paper: >75%%)\n",
+              100.0 * static_cast<double>(below_half) /
+                  static_cast<double>(pct.size()));
+
+  std::printf("\n(D) distribution of relative data change (61 bins):\n");
+  const auto h = cluster::equal_width_histogram_range(pct, 61, -1.5, 1.5);
+  std::uint64_t peak = 1;
+  for (auto c : h.counts) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    const int bars = static_cast<int>(
+        50.0 * static_cast<double>(h.counts[b]) / static_cast<double>(peak));
+    std::printf("  %+7.3f%% | %-50.*s %llu\n", h.centers[b], bars,
+                "##################################################",
+                static_cast<unsigned long long>(h.counts[b]));
+  }
+  std::printf("\nshape check: concentrated peak near 0%% with thin tails — the\n"
+              "property NUMARCK's change-distribution coding exploits.\n");
+
+  // Emit the actual Fig. 1 panels as images (the paper shows heat maps):
+  // (A)/(B) the two raw snapshots, (C) the change-percentage map.
+  const std::size_t nlon = 144, nlat = 90;
+  vis::grayscale_auto(it1, nlon, nlat).write_pgm("fig1a_rlus_iter1.pgm");
+  vis::grayscale_auto(it2, nlon, nlat).write_pgm("fig1b_rlus_iter2.pgm");
+  std::vector<double> change_map(it1.size(), 0.0);
+  for (std::size_t j = 0; j < it1.size(); ++j) {
+    if (cr.valid[j]) change_map[j] = 100.0 * cr.ratio[j];
+  }
+  vis::diverging(change_map, nlon, nlat, 1.0)
+      .write_ppm("fig1c_change_percent.ppm");
+  std::printf("\npanel images written: fig1a_rlus_iter1.pgm, "
+              "fig1b_rlus_iter2.pgm, fig1c_change_percent.ppm\n");
+  return 0;
+}

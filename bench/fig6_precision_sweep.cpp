@@ -1,0 +1,77 @@
+// Fig. 6 reproduction: effect of the approximation precision B on rlds with
+// the equal-width strategy (E = 0.1 %, 100 iterations).
+//
+// Paper shape: B = 8 -> average incompressible ratio ~60 %; B = 9 -> ~20 %
+// and compression ratio up >30 points; B = 10 -> everything compressible,
+// average ratio near 85 %, mean error below 0.05 %.
+#include <cstdio>
+
+#include "harness_common.hpp"
+
+int main() {
+  using namespace numarck;
+  constexpr std::size_t kIterations = 100;
+  std::printf("=== Fig. 6 — precision sweep on rlds, equal-width binning "
+              "(E=0.1%%, %zu iterations) ===\n\n",
+              kIterations);
+
+  const auto snaps =
+      bench::climate_series(sim::climate::Variable::kRlds, kIterations);
+
+  std::map<unsigned, bench::SeriesResult> results;
+  for (unsigned bits : {8u, 9u, 10u}) {
+    core::Options opts;
+    opts.error_bound = 0.001;
+    opts.index_bits = bits;
+    opts.strategy = core::Strategy::kEqualWidth;
+    results[bits] = bench::compress_series(snaps, opts);
+  }
+
+  std::printf("--- per-iteration series (every 5th) ---\n");
+  std::printf("iter |   gamma%% (B=8/9/10)   |  mean err%% (B=8/9/10)  |"
+              "   Eq.3 ratio%% (B=8/9/10)\n");
+  const std::size_t n = results[8].gamma_percent.size();
+  for (std::size_t it = 0; it < n; it += 5) {
+    std::printf("%4zu | %6.2f %6.2f %6.2f | %7.4f %7.4f %7.4f | %7.2f %7.2f %7.2f\n",
+                it + 1, results[8].gamma_percent[it],
+                results[9].gamma_percent[it], results[10].gamma_percent[it],
+                results[8].mean_error_percent[it],
+                results[9].mean_error_percent[it],
+                results[10].mean_error_percent[it],
+                results[8].ratio_percent[it], results[9].ratio_percent[it],
+                results[10].ratio_percent[it]);
+  }
+
+  std::printf("\n--- averages ---\n");
+  std::printf("B  | avg gamma%% | avg ratio%% | avg mean err%%\n");
+  for (unsigned bits : {8u, 9u, 10u}) {
+    std::printf("%2u | %10.2f | %10.2f | %12.5f\n", bits,
+                results[bits].gamma_stats().mean(),
+                results[bits].ratio_stats().mean(),
+                results[bits].mean_error_stats().mean());
+  }
+
+  std::printf("\n=== shape checks vs paper ===\n");
+  const double g8 = results[8].gamma_stats().mean();
+  const double g9 = results[9].gamma_stats().mean();
+  const double g10 = results[10].gamma_stats().mean();
+  const double r8 = results[8].ratio_stats().mean();
+  const double r9 = results[9].ratio_stats().mean();
+  const double r10 = results[10].ratio_stats().mean();
+  std::printf("gamma drops sharply 8->9 bits      : %.1f%% -> %.1f%%"
+              "  (paper: ~60%% -> ~20%%)\n", g8, g9);
+  std::printf("gamma ~0 at 10 bits                : %.2f%% (paper: 0%%)\n", g10);
+  std::printf("ratio gain 8->9 bits               : +%.1f points (paper: >30)\n",
+              r9 - r8);
+  std::printf("ratio at 10 bits                   : %.1f%% (paper: ~85%%; Eq. 3"
+              " caps at %.1f%% for n=12960\n"
+              "                                     because the 1023-entry "
+              "table costs 7.9%% — the paper's 85%%\n"
+              "                                     implies a larger per-"
+              "iteration n; see EXPERIMENTS.md)\n",
+              r10, 100.0 * (1.0 - 10.0 / 64.0 - 1023.0 / 12960.0));
+  std::printf("mean error stays below 0.05%%       : %s (max %.4f%%)\n",
+              results[10].mean_error_stats().max() < 0.05 ? "yes" : "NO",
+              results[10].mean_error_stats().max());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fig. 7 reproduction: effect of the user tolerance error threshold E on
+// abs550aer — "one of the most challenging simulation data" — with the
+// clustering strategy (B = 8, 60 iterations).
+//
+// Paper shape: E from 0.1 % to 0.5 % drives the average incompressible
+// ratio from >40 % down to <10 %, the average compression ratio from <50 %
+// up to >80 %, and the mean error grows from ~0.02 % to ~0.12 % while always
+// staying well below E itself.
+#include <cstdio>
+
+#include "harness_common.hpp"
+
+int main() {
+  using namespace numarck;
+  constexpr std::size_t kIterations = 60;
+  std::printf("=== Fig. 7 — error-bound sweep on abs550aer, clustering "
+              "(B=8, %zu iterations) ===\n\n",
+              kIterations);
+
+  const auto snaps =
+      bench::climate_series(sim::climate::Variable::kAbs550aer, kIterations);
+
+  const double bounds[] = {0.001, 0.002, 0.003, 0.004, 0.005};
+  std::map<int, bench::SeriesResult> results;
+  for (double e : bounds) {
+    core::Options opts;
+    opts.error_bound = e;
+    opts.index_bits = 8;
+    opts.strategy = core::Strategy::kClustering;
+    results[static_cast<int>(e * 10000)] = bench::compress_series(snaps, opts);
+  }
+
+  std::printf("E%%   | avg gamma%% | avg ratio%% | avg mean err%% | max err%% "
+              "(must be <= E)\n");
+  for (double e : bounds) {
+    const auto& r = results[static_cast<int>(e * 10000)];
+    double max_err = 0.0;
+    for (double m : r.max_error_percent) max_err = std::max(max_err, m);
+    std::printf("%.1f  | %10.2f | %10.2f | %12.5f | %8.5f\n", e * 100,
+                r.gamma_stats().mean(), r.ratio_stats().mean(),
+                r.mean_error_stats().mean(), max_err);
+  }
+
+  std::printf("\n--- per-iteration gamma%% (every 4th iteration) ---\n");
+  std::printf("iter |   E=0.1%%   E=0.2%%   E=0.3%%   E=0.4%%   E=0.5%%\n");
+  const std::size_t n = results[10].gamma_percent.size();
+  for (std::size_t it = 0; it < n; it += 4) {
+    std::printf("%4zu |", it + 1);
+    for (double e : bounds) {
+      std::printf(" %8.2f", results[static_cast<int>(e * 10000)].gamma_percent[it]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== shape checks vs paper ===\n");
+  const auto& r01 = results[10];
+  const auto& r05 = results[50];
+  std::printf("gamma at E=0.1%%  : %.1f%% (paper: >40%%)\n",
+              r01.gamma_stats().mean());
+  std::printf("gamma at E=0.5%%  : %.1f%% (paper: <10%%)\n",
+              r05.gamma_stats().mean());
+  std::printf("ratio at E=0.1%%  : %.1f%% (paper: <50%%)\n",
+              r01.ratio_stats().mean());
+  std::printf("ratio at E=0.5%%  : %.1f%% (paper: >80%%)\n",
+              r05.ratio_stats().mean());
+  std::printf("mean err at E=0.4%%: %.3f%% (paper: <0.1%%)\n",
+              results[40].mean_error_stats().mean());
+  bool monotone = true;
+  double prev_g = 1e9;
+  for (double e : bounds) {
+    const double g = results[static_cast<int>(e * 10000)].gamma_stats().mean();
+    if (g > prev_g + 0.5) monotone = false;
+    prev_g = g;
+  }
+  std::printf("gamma monotonically decreasing in E: %s\n",
+              monotone ? "yes (paper: yes)" : "NO");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Shared workload builders and reporting helpers for the per-figure/-table
+// experiment harnesses. Every harness derives all randomness from fixed
+// seeds so the regenerated tables are identical run to run.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "numarck/core/codec.hpp"
+#include "numarck/core/options.hpp"
+#include "numarck/sim/climate/generator.hpp"
+#include "numarck/sim/flash/simulator.hpp"
+#include "numarck/util/stats.hpp"
+
+namespace numarck::bench {
+
+/// The FLASH configuration used by the compression experiments: the Sedov
+/// point blast — FLASH's canonical verification problem and the regime the
+/// paper's checkpoints come from. The expanding shock produces the
+/// heavy-tailed change-ratio distribution of real FLASH data (cells the
+/// shock crosses change violently, the post-shock interior evolves smoothly,
+/// and the ambient medium is exactly constant), which is what makes
+/// equal-width binning visibly degrade while clustering stays below a few
+/// percent incompressible (Fig. 5). 2x2x2 blocks of 16^3 = 32768 points,
+/// two hydro steps per checkpoint iteration.
+inline sim::flash::SimulatorConfig flash_bench_config() {
+  sim::flash::SimulatorConfig cfg;
+  cfg.mesh.blocks_per_dim = 2;
+  cfg.mesh.block_interior = 16;
+  cfg.mesh.guard = 4;
+  cfg.problem.problem = sim::flash::Problem::kSedov;
+  cfg.problem.sedov_radius = 0.08;
+  cfg.problem.sedov_pressure = 40.0;
+  cfg.problem.sedov_ambient_p = 0.1;
+  cfg.steps_per_checkpoint = 2;
+  return cfg;
+}
+
+/// The FLASH configuration for the restart experiments (Fig. 8). Restart
+/// error is meant to measure *compression-induced* drift; near a strong
+/// shock, an approximation-shifted shock position reads as O(jump) relative
+/// error (chaotic sensitivity, not compression error), so the restart runs
+/// use the smooth-waves workload where the trajectory is differentiable in
+/// the initial data. See EXPERIMENTS.md.
+inline sim::flash::SimulatorConfig flash_restart_config() {
+  sim::flash::SimulatorConfig cfg;
+  cfg.mesh.blocks_per_dim = 2;
+  cfg.mesh.block_interior = 16;
+  cfg.mesh.guard = 4;
+  cfg.problem.problem = sim::flash::Problem::kSmoothWaves;
+  cfg.problem.wave_mach = 0.3;
+  cfg.problem.wave_bulk_mach = 0.5;
+  cfg.problem.wave_density_contrast = 0.2;
+  cfg.steps_per_checkpoint = 2;
+  return cfg;
+}
+
+/// Runs the FLASH simulator for `iterations` checkpoints and returns the
+/// per-variable snapshot series: series[var][it] is one snapshot.
+inline std::map<std::string, std::vector<std::vector<double>>> flash_series(
+    std::size_t iterations,
+    const std::vector<std::string>& variables =
+        sim::flash::Simulator::variable_names()) {
+  sim::flash::Simulator sim(flash_bench_config());
+  std::map<std::string, std::vector<std::vector<double>>> series;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    if (it > 0) sim.advance_checkpoint();
+    for (const auto& v : variables) series[v].push_back(sim.snapshot(v));
+  }
+  return series;
+}
+
+/// Runs the climate generator for `iterations` snapshots of one variable.
+inline std::vector<std::vector<double>> climate_series(
+    sim::climate::Variable var, std::size_t iterations,
+    std::uint64_t seed = 42) {
+  sim::climate::GeneratorConfig cfg;
+  cfg.seed = seed;
+  sim::climate::Generator gen(var, cfg);
+  std::vector<std::vector<double>> out;
+  out.push_back(gen.current());
+  for (std::size_t it = 1; it < iterations; ++it) out.push_back(gen.advance());
+  return out;
+}
+
+/// Per-iteration NUMARCK results over a snapshot series (open-loop, paper
+/// semantics: ratios against the true previous snapshot).
+struct SeriesResult {
+  std::vector<double> gamma_percent;
+  std::vector<double> mean_error_percent;
+  std::vector<double> max_error_percent;
+  std::vector<double> ratio_percent;  // Eq. 3
+
+  util::RunningStats gamma_stats() const {
+    return util::summarize(gamma_percent);
+  }
+  util::RunningStats ratio_stats() const {
+    return util::summarize(ratio_percent);
+  }
+  util::RunningStats mean_error_stats() const {
+    return util::summarize(mean_error_percent);
+  }
+};
+
+inline SeriesResult compress_series(
+    const std::vector<std::vector<double>>& snaps, const core::Options& opts) {
+  SeriesResult r;
+  for (std::size_t it = 1; it < snaps.size(); ++it) {
+    const auto enc = core::encode_iteration(snaps[it - 1], snaps[it], opts);
+    r.gamma_percent.push_back(100.0 * enc.stats.incompressible_ratio());
+    r.mean_error_percent.push_back(100.0 * enc.stats.mean_ratio_error);
+    r.max_error_percent.push_back(100.0 * enc.stats.max_ratio_error);
+    r.ratio_percent.push_back(enc.paper_compression_ratio());
+  }
+  return r;
+}
+
+inline const char* short_strategy(core::Strategy s) {
+  switch (s) {
+    case core::Strategy::kEqualWidth:
+      return "equal-width";
+    case core::Strategy::kLogScale:
+      return "log-scale";
+    case core::Strategy::kClustering:
+      return "clustering";
+  }
+  return "?";
+}
+
+/// Prints a "mean +- std" cell the way the paper's tables do.
+inline std::string pm(double mean, double std_dev, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f±%.*f", prec, mean, prec, std_dev);
+  return buf;
+}
+
+}  // namespace numarck::bench

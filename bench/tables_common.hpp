@@ -1,0 +1,98 @@
+// Shared experiment runner for Tables I and II (§III-F): the ten datasets
+// (five CMIP5 variables + five FLASH variables), three compressors, fifty
+// iterations, reporting mean ± std as the paper does.
+//
+// Paper configuration: ISABELA uses W0=512 for CMIP5 and W0=256 for FLASH
+// with P_I=30; NUMARCK uses the matching B=9 / B=8 with E=0.5 % and the
+// clustering strategy; B-Splines uses P_S = 0.8 n.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "numarck/baselines/bspline_compressor.hpp"
+#include "numarck/baselines/isabela.hpp"
+#include "numarck/core/codec.hpp"
+#include "numarck/metrics/metrics.hpp"
+
+namespace numarck::bench {
+
+struct DatasetResult {
+  std::string name;
+  bool is_cmip = true;
+  // Per-iteration samples.
+  util::RunningStats ratio_bspline, ratio_isabela, ratio_numarck;
+  util::RunningStats rho_bspline, rho_isabela, rho_numarck;
+  util::RunningStats xi_bspline, xi_isabela, xi_numarck;
+};
+
+inline DatasetResult run_table_experiment(
+    const std::string& name, bool is_cmip,
+    const std::vector<std::vector<double>>& snaps) {
+  DatasetResult r;
+  r.name = name;
+  r.is_cmip = is_cmip;
+
+  baselines::BSplineCompressor bspline(0.8);
+  baselines::Isabela isabela({is_cmip ? 512u : 256u, 30u});
+  core::Options nopts;
+  nopts.error_bound = 0.005;
+  nopts.index_bits = is_cmip ? 9 : 8;
+  nopts.strategy = core::Strategy::kClustering;
+
+  for (std::size_t it = 1; it < snaps.size(); ++it) {
+    const auto& prev = snaps[it - 1];
+    const auto& curr = snaps[it];
+
+    // B-Splines: per-iteration fit of the raw series.
+    const auto bc = bspline.compress(curr);
+    const auto bdec = bspline.decompress(bc);
+    r.ratio_bspline.add(bc.compression_ratio_percent());
+    r.rho_bspline.add(metrics::pearson(curr, bdec));
+    r.xi_bspline.add(metrics::rmse(curr, bdec));
+
+    // ISABELA.
+    const auto ic = isabela.compress(curr);
+    const auto idec = isabela.decompress(ic);
+    r.ratio_isabela.add(ic.compression_ratio_percent());
+    r.rho_isabela.add(metrics::pearson(curr, idec));
+    r.xi_isabela.add(metrics::rmse(curr, idec));
+
+    // NUMARCK (decoded against the true previous iteration, matching the
+    // paper's per-iteration accuracy evaluation).
+    const auto enc = core::encode_iteration(prev, curr, nopts);
+    const auto ndec = core::decode_iteration(prev, enc);
+    r.ratio_numarck.add(enc.paper_compression_ratio());
+    r.rho_numarck.add(metrics::pearson(curr, ndec));
+    r.xi_numarck.add(metrics::rmse(curr, ndec));
+  }
+  return r;
+}
+
+/// Builds all ten datasets (50 iterations each, the paper's count).
+inline std::vector<DatasetResult> run_all_table_experiments(
+    std::size_t iterations = 50) {
+  std::vector<DatasetResult> out;
+  const std::pair<sim::climate::Variable, const char*> cmip[] = {
+      {sim::climate::Variable::kRlus, "rlus"},
+      {sim::climate::Variable::kMrsos, "mrsos"},
+      {sim::climate::Variable::kMrro, "mrro"},
+      {sim::climate::Variable::kRlds, "rlds"},
+      {sim::climate::Variable::kMc, "mc"},
+  };
+  for (const auto& [var, name] : cmip) {
+    out.push_back(
+        run_table_experiment(name, true, climate_series(var, iterations)));
+  }
+  const char* flash_vars[] = {"dens", "pres", "temp", "ener", "eint"};
+  const auto series = flash_series(
+      iterations, {"dens", "pres", "temp", "ener", "eint"});
+  for (const char* v : flash_vars) {
+    out.push_back(run_table_experiment(v, false, series.at(v)));
+  }
+  return out;
+}
+
+}  // namespace numarck::bench

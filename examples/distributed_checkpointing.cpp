@@ -1,0 +1,60 @@
+// Distributed checkpointing demo: eight simulated ranks each hold a
+// partition of the snapshot, learn ONE global bin table together
+// (distributed K-means — the paper's MPI deployment), and compress locally.
+//
+//   build/examples/distributed_checkpointing
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "numarck/distributed/encoder.hpp"
+#include "numarck/sim/flash/simulator.hpp"
+
+int main() {
+  using namespace numarck;
+
+  sim::flash::SimulatorConfig cfg;
+  cfg.mesh.blocks_per_dim = 2;
+  cfg.mesh.block_interior = 12;
+  cfg.problem.problem = sim::flash::Problem::kSedov;
+  cfg.steps_per_checkpoint = 2;
+  sim::flash::Simulator sim(cfg);
+
+  core::Options opts;
+  opts.error_bound = 0.001;
+  opts.strategy = core::Strategy::kClustering;
+
+  constexpr int kRanks = 8;
+  mpisim::World world(kRanks);
+  std::mutex print_mu;
+
+  std::vector<double> prev = sim.snapshot("pres");
+  for (int it = 1; it <= 4; ++it) {
+    sim.advance_checkpoint();
+    const std::vector<double> curr = sim.snapshot("pres");
+    const std::size_t n = curr.size();
+
+    world.run([&](mpisim::Communicator& comm) {
+      const auto r = static_cast<std::size_t>(comm.rank());
+      const std::size_t b = r * n / kRanks;
+      const std::size_t e = (r + 1) * n / kRanks;
+      const auto res = distributed::encode_iteration(
+          comm, std::span<const double>(prev.data() + b, e - b),
+          std::span<const double>(curr.data() + b, e - b), opts);
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lk(print_mu);
+        std::printf("checkpoint %d: global table %zu bins | gamma %.3f%% | "
+                    "Eq.3 %.2f%% | max err %.4f%%\n",
+                    it, res.local.centers.size(), 100.0 * res.global_gamma,
+                    res.global_paper_ratio, 100.0 * res.global_max_error);
+      }
+    });
+    prev = curr;
+  }
+
+  std::printf("\nnetwork traffic for all table learning: %.2f MB\n",
+              static_cast<double>(world.bytes_moved()) / 1048576.0);
+  std::printf("every rank compressed its partition in place — the paper's\n"
+              "'minimal data movement' deployment, on a simulated cluster.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Restart-error demonstration (the Fig. 8 experiment in miniature):
+// run the FLASH-like simulation, checkpoint with NUMARCK, restart from an
+// *approximate* reconstructed checkpoint, continue the run, and track how
+// far the resumed trajectory drifts from the pristine one.
+//
+//   build/examples/restart_demo [restart_point] [extra_checkpoints]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "numarck/core/compressor.hpp"
+#include "numarck/metrics/metrics.hpp"
+#include "numarck/sim/flash/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace numarck;
+  const std::size_t restart_point =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 3;
+  const std::size_t extra =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
+
+  sim::flash::SimulatorConfig scfg;
+  scfg.mesh.blocks_per_dim = 2;
+  scfg.mesh.block_interior = 10;
+  scfg.problem.problem = sim::flash::Problem::kSmoothWaves;
+  scfg.steps_per_checkpoint = 2;
+
+  core::Options opts;
+  opts.error_bound = 0.001;
+  opts.strategy = core::Strategy::kClustering;
+
+  // Pristine run, compressing along the way and keeping the reconstructions.
+  sim::flash::Simulator sim(scfg);
+  const auto& vars = sim::flash::Simulator::variable_names();
+  std::map<std::string, core::VariableCompressor> comps;
+  std::map<std::string, core::VariableReconstructor> recos;
+  for (const auto& v : vars) comps.emplace(v, core::VariableCompressor(opts));
+
+  std::map<std::string, std::vector<double>> approx_at_restart;
+  double time_at_restart = 0.0;
+  for (std::size_t it = 0; it <= restart_point; ++it) {
+    if (it > 0) sim.advance_checkpoint();
+    for (const auto& v : vars) {
+      recos[v].push(comps.at(v).push(sim.snapshot(v)));
+    }
+  }
+  for (const auto& v : vars) approx_at_restart[v] = recos[v].state();
+  time_at_restart = sim.time();
+
+  // Resume a second simulator from the approximate state.
+  sim::flash::Simulator resumed(scfg);
+  resumed.restore(approx_at_restart, time_at_restart, 0);
+
+  std::printf("restarted at checkpoint %zu from NUMARCK-reconstructed state\n",
+              restart_point);
+  std::printf("ckpt | dens mean err%% | dens max err%% | pres mean err%% | pres max err%%\n");
+  for (std::size_t k = 1; k <= extra; ++k) {
+    sim.advance_checkpoint();
+    resumed.advance_checkpoint();
+    const auto td = sim.snapshot("dens");
+    const auto rd = resumed.snapshot("dens");
+    const auto tp = sim.snapshot("pres");
+    const auto rp = resumed.snapshot("pres");
+    std::printf("%4zu | %13.6f%% | %12.6f%% | %13.6f%% | %12.6f%%\n",
+                restart_point + k,
+                100.0 * metrics::mean_relative_error(td, rd),
+                100.0 * metrics::max_relative_error(td, rd),
+                100.0 * metrics::mean_relative_error(tp, rp),
+                100.0 * metrics::max_relative_error(tp, rp));
+  }
+  std::printf("\nthe resumed run stays within a small factor of the configured"
+              " bound (E = %.2f%%),\ndemonstrating §III-G: FLASH restarts"
+              " successfully from approximated checkpoints.\n",
+              100.0 * opts.error_bound);
+  return 0;
+}

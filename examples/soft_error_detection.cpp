@@ -1,0 +1,69 @@
+// Soft-error detection demo (§V future work): run the FLASH-like
+// simulation, corrupt one checkpoint with simulated memory bit flips, and
+// show that NUMARCK's learned change distributions both *detect* the event
+// (iteration-level drift alarm) and *localize* the corrupted cells
+// (point-level robust scan).
+//
+//   build/examples/soft_error_detection
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "numarck/anomaly/detector.hpp"
+#include "numarck/sim/flash/simulator.hpp"
+
+int main() {
+  using namespace numarck;
+
+  sim::flash::SimulatorConfig cfg;
+  cfg.mesh.blocks_per_dim = 2;
+  cfg.mesh.block_interior = 12;
+  cfg.problem.problem = sim::flash::Problem::kSmoothWaves;
+  cfg.steps_per_checkpoint = 2;
+  sim::flash::Simulator sim(cfg);
+
+  anomaly::DriftDetector drift;
+  std::vector<double> prev = sim.snapshot("pres");
+  const std::size_t corrupt_iteration = 10;
+  // A burst of 120 exponent-bit flips (a failing memory bank) plus three
+  // named cells we will localize afterwards.
+  std::vector<std::size_t> corrupt_cells;
+  for (std::size_t k = 0; k < 300; ++k) corrupt_cells.push_back(17 + 45 * k);
+
+  std::printf("iter | JS divergence |  z-score | alarm\n");
+  std::printf("-----+---------------+----------+------\n");
+  for (std::size_t it = 1; it <= 14; ++it) {
+    sim.advance_checkpoint();
+    std::vector<double> curr = sim.snapshot("pres");
+    if (it == corrupt_iteration) {
+      // A cosmic-ray burst: exponent-bit flips in three memory locations.
+      for (std::size_t c : corrupt_cells) {
+        anomaly::inject_bit_flip(curr, c, 61);
+      }
+    }
+    const auto r = drift.observe(prev, curr);
+    std::printf("%4zu | %13.6f | %8.2f | %s\n", it, r.divergence, r.zscore,
+                r.anomalous ? "*** ANOMALY ***" : "-");
+
+    if (r.anomalous && it == corrupt_iteration) {
+      anomaly::ScanOptions sopts;
+      sopts.max_reports = 256;
+      const auto hits = anomaly::scan_points(prev, curr, sopts);
+      std::size_t correct = 0;
+      for (const auto& h : hits) {
+        if (std::find(corrupt_cells.begin(), corrupt_cells.end(), h.index) !=
+            corrupt_cells.end()) {
+          ++correct;
+        }
+      }
+      std::printf("     point scan: %zu cells flagged, %zu/%zu injected "
+                  "cells localized\n",
+                  hits.size(), correct, corrupt_cells.size());
+    }
+    prev = curr;
+  }
+
+  std::printf("\nThe same distribution machinery NUMARCK uses for compression\n"
+              "doubles as a soft-error detector — the paper's §V proposal.\n");
+  return 0;
+}

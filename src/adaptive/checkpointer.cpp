@@ -1,0 +1,110 @@
+#include "numarck/adaptive/checkpointer.hpp"
+
+#include <cmath>
+
+#include "numarck/core/codec.hpp"
+#include "numarck/lossless/fpc.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace numarck::adaptive {
+
+const char* to_string(Action a) noexcept {
+  switch (a) {
+    case Action::kSkip:
+      return "skip";
+    case Action::kDelta:
+      return "delta";
+    case Action::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+AdaptiveCheckpointer::AdaptiveCheckpointer(const AdaptiveOptions& opts)
+    : opts_(opts) {
+  opts_.codec.validate();
+  NUMARCK_EXPECT(opts_.drift_budget > 0.0, "drift budget must be positive");
+  NUMARCK_EXPECT(opts_.max_interval >= 1, "max interval must be >= 1");
+  NUMARCK_EXPECT(opts_.min_interval >= 1, "min interval must be >= 1");
+  NUMARCK_EXPECT(opts_.min_interval <= opts_.max_interval,
+                 "min interval must not exceed max interval");
+  NUMARCK_EXPECT(opts_.gamma_rebase > 0.0 && opts_.gamma_rebase <= 1.0,
+                 "gamma rebase threshold must be in (0,1]");
+  NUMARCK_EXPECT(opts_.rebase_interval >= 1, "rebase interval must be >= 1");
+  NUMARCK_EXPECT(opts_.sample_stride >= 1, "sample stride must be >= 1");
+}
+
+double AdaptiveCheckpointer::estimate_drift(
+    std::span<const double> snapshot) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < snapshot.size(); j += opts_.sample_stride) {
+    const double ref = last_written_[j];
+    if (ref == 0.0) continue;
+    const double r = (snapshot[j] - ref) / ref;
+    if (!std::isfinite(r)) continue;
+    sum += std::abs(r);
+    ++count;
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+StepDecision AdaptiveCheckpointer::push(std::span<const double> snapshot) {
+  StepDecision d;
+  ++stats_.snapshots;
+
+  auto write_full = [&] {
+    d.action = Action::kFull;
+    d.step.is_full = true;
+    d.step.point_count = snapshot.size();
+    d.step.full_fpc = lossless::fpc_compress(snapshot);
+    d.bytes_written = d.step.full_fpc.size();
+    last_written_.assign(snapshot.begin(), snapshot.end());
+    since_write_ = 0;
+    writes_since_full_ = 0;
+    ++stats_.fulls;
+    stats_.bytes_written += d.bytes_written;
+  };
+
+  if (last_written_.empty()) {
+    write_full();
+    return d;
+  }
+  NUMARCK_EXPECT(snapshot.size() == last_written_.size(),
+                 "adaptive: snapshot length changed mid-stream");
+
+  ++since_write_;
+  d.estimated_drift = estimate_drift(snapshot);
+
+  const bool must_write = since_write_ >= opts_.max_interval;
+  const bool may_write = since_write_ >= opts_.min_interval;
+  const bool drifted = d.estimated_drift >= opts_.drift_budget;
+  if (!must_write && !(may_write && drifted)) {
+    d.action = Action::kSkip;
+    ++stats_.skips;
+    return d;
+  }
+
+  // Encode the delta against the last written state; inspect its quality.
+  core::EncodedIteration enc =
+      core::encode_iteration(last_written_, snapshot, opts_.codec);
+  const bool degraded =
+      enc.stats.incompressible_ratio() > opts_.gamma_rebase;
+  if (degraded || writes_since_full_ + 1 >= opts_.rebase_interval) {
+    write_full();
+    return d;
+  }
+  d.action = Action::kDelta;
+  d.step.is_full = false;
+  d.step.point_count = snapshot.size();
+  d.step.delta = std::move(enc);
+  d.bytes_written = d.step.delta.serialize(core::Postpass::all()).size();
+  last_written_.assign(snapshot.begin(), snapshot.end());
+  since_write_ = 0;
+  ++writes_since_full_;
+  ++stats_.deltas;
+  stats_.bytes_written += d.bytes_written;
+  return d;
+}
+
+}  // namespace numarck::adaptive

@@ -1,0 +1,100 @@
+// Dynamic checkpoint frequency — the paper's §V future work ("determining
+// dynamic checkpointing frequency based on how evolving distributions
+// change") made concrete.
+//
+// The AdaptiveCheckpointer wraps the NUMARCK codec with a controller that
+// decides, per simulation snapshot, between three actions:
+//   kSkip  — the state has barely drifted from the last written checkpoint;
+//            writing now would buy almost no recovery value;
+//   kDelta — drift exceeded the budget (or the max interval elapsed): write
+//            a NUMARCK delta against the last written snapshot;
+//   kFull  — the change distribution degraded (incompressible ratio above
+//            the rebase threshold — the encoding is no longer paying for
+//            itself) or the rebase interval elapsed: write a fresh lossless
+//            full checkpoint and restart the delta chain.
+//
+// Drift is estimated cheaply from a strided sample of relative changes
+// against the last *written* state, so skipped iterations cost O(n/stride).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numarck/core/compressor.hpp"
+
+namespace numarck::adaptive {
+
+enum class Action : std::uint8_t { kSkip = 0, kDelta = 1, kFull = 2 };
+
+const char* to_string(Action a) noexcept;
+
+struct AdaptiveOptions {
+  /// Codec settings for the written records. Note: the controller codes each
+  /// delta against the last *written* snapshot directly, so
+  /// codec.predictor is ignored (records are always first-order) — the
+  /// linear predictor needs an unbroken every-iteration history, which the
+  /// skip action intentionally destroys.
+  core::Options codec;
+
+  /// Write a delta once the estimated mean |change ratio| since the last
+  /// written checkpoint exceeds this budget.
+  double drift_budget = 0.01;
+
+  /// Never let more than this many snapshots pass without writing.
+  std::size_t max_interval = 8;
+
+  /// Never write more often than this (1 = no lower bound).
+  std::size_t min_interval = 1;
+
+  /// Rebase to a full checkpoint when a written delta's incompressible
+  /// ratio exceeds this (the distribution no longer matches the model).
+  double gamma_rebase = 0.35;
+
+  /// Rebase at least every this many *written* records.
+  std::size_t rebase_interval = 64;
+
+  /// Sampling stride for the drift estimate.
+  std::size_t sample_stride = 13;
+};
+
+struct StepDecision {
+  Action action = Action::kSkip;
+  core::CompressedStep step;       ///< populated unless action == kSkip
+  double estimated_drift = 0.0;    ///< mean |ratio| vs last written state
+  std::size_t bytes_written = 0;   ///< serialized size of `step` (0 on skip)
+};
+
+class AdaptiveCheckpointer {
+ public:
+  explicit AdaptiveCheckpointer(const AdaptiveOptions& opts);
+
+  /// Feeds the next simulation snapshot and returns the decision. The first
+  /// snapshot is always a full checkpoint.
+  StepDecision push(std::span<const double> snapshot);
+
+  struct Stats {
+    std::size_t snapshots = 0;
+    std::size_t fulls = 0;
+    std::size_t deltas = 0;
+    std::size_t skips = 0;
+    std::size_t bytes_written = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Snapshots elapsed since the last written record (staleness a failure
+  /// right now would cost).
+  [[nodiscard]] std::size_t staleness() const noexcept { return since_write_; }
+
+ private:
+  [[nodiscard]] double estimate_drift(std::span<const double> snapshot) const;
+
+  AdaptiveOptions opts_;
+  std::vector<double> last_written_;   ///< reference for drift + delta coding
+  std::size_t since_write_ = 0;
+  std::size_t writes_since_full_ = 0;
+  Stats stats_;
+};
+
+}  // namespace numarck::adaptive

@@ -1,0 +1,227 @@
+#include "numarck/anomaly/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "numarck/core/encoded.hpp"
+#include "numarck/util/bitpack.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace numarck::anomaly {
+
+namespace {
+
+/// Bin layout: [0] undefined, [1] unchanged (|ratio| < kMinMagnitude), then
+/// kMagnitudeBins negative-log bins (descending magnitude), then
+/// kMagnitudeBins positive-log bins (ascending magnitude), and one overflow
+/// bin per sign folded into the outermost bins.
+constexpr std::size_t kUndefined = 0;
+constexpr std::size_t kUnchanged = 1;
+
+std::size_t magnitude_bin(double mag) {
+  const double lo = std::log(DistributionSummary::kMinMagnitude);
+  const double hi = std::log(DistributionSummary::kMaxMagnitude);
+  const double t = (std::log(mag) - lo) / (hi - lo);
+  const auto b = static_cast<std::ptrdiff_t>(
+      t * static_cast<double>(DistributionSummary::kMagnitudeBins));
+  return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+      b, 0, DistributionSummary::kMagnitudeBins - 1));
+}
+
+}  // namespace
+
+DistributionSummary DistributionSummary::from_snapshots(
+    std::span<const double> previous, std::span<const double> current) {
+  NUMARCK_EXPECT(previous.size() == current.size(),
+                 "summary: snapshot size mismatch");
+  DistributionSummary s;
+  const std::size_t total_bins = 2 + 2 * kMagnitudeBins;
+  std::vector<std::uint64_t> counts(total_bins, 0);
+  for (std::size_t j = 0; j < previous.size(); ++j) {
+    const double prev = previous[j];
+    if (prev == 0.0 || !std::isfinite(prev) || !std::isfinite(current[j])) {
+      ++counts[kUndefined];
+      continue;
+    }
+    const double r = (current[j] - prev) / prev;
+    if (!std::isfinite(r)) {
+      ++counts[kUndefined];
+      continue;
+    }
+    const double mag = std::abs(r);
+    if (mag < kMinMagnitude) {
+      ++counts[kUnchanged];
+      continue;
+    }
+    const std::size_t mbin = magnitude_bin(mag);
+    counts[2 + (r < 0 ? mbin : kMagnitudeBins + mbin)] += 1;
+  }
+  s.count_ = previous.size();
+  s.prob_.assign(total_bins, 0.0);
+  if (s.count_ > 0) {
+    for (std::size_t b = 0; b < total_bins; ++b) {
+      s.prob_[b] =
+          static_cast<double>(counts[b]) / static_cast<double>(s.count_);
+    }
+  }
+  return s;
+}
+
+DistributionSummary summary_from_encoded_impl(std::vector<double> prob,
+                                              std::size_t count) {
+  DistributionSummary s;
+  s.prob_ = std::move(prob);
+  s.count_ = count;
+  return s;
+}
+
+DistributionSummary summary_from_encoded(const core::EncodedIteration& record) {
+  constexpr std::size_t kBins =
+      2 + 2 * DistributionSummary::kMagnitudeBins;
+  std::vector<std::uint64_t> counts(kBins, 0);
+
+  // Exact points: their ratio is not stored — conservatively "undefined".
+  counts[kUndefined] = record.stats.exact_total();
+  // Unchanged points (ratio-below-E and small-value rules).
+  counts[kUnchanged] =
+      record.stats.below_threshold + record.stats.small_value;
+
+  // Binned points: index populations weighted onto the center magnitudes.
+  if (record.compressible_count() > 0 && !record.centers.empty()) {
+    const auto symbols = util::unpack_indices(
+        record.indices, record.index_bits, record.compressible_count());
+    for (std::uint32_t sym : symbols) {
+      if (sym == 0) continue;  // already counted via below_threshold/small
+      NUMARCK_EXPECT(sym <= record.centers.size(),
+                     "summary: index outside the bin table");
+      const double r = record.centers[sym - 1];
+      const double mag = std::abs(r);
+      if (mag < DistributionSummary::kMinMagnitude) {
+        ++counts[kUnchanged];
+        continue;
+      }
+      const std::size_t mbin = magnitude_bin(mag);
+      counts[2 + (r < 0 ? mbin : DistributionSummary::kMagnitudeBins + mbin)] +=
+          1;
+    }
+  }
+
+  std::vector<double> prob(kBins, 0.0);
+  const std::size_t total = record.point_count;
+  if (total > 0) {
+    for (std::size_t b = 0; b < kBins; ++b) {
+      prob[b] = static_cast<double>(counts[b]) / static_cast<double>(total);
+    }
+  }
+  return summary_from_encoded_impl(std::move(prob), total);
+}
+
+double jensen_shannon(std::span<const double> p, std::span<const double> q) {
+  NUMARCK_EXPECT(p.size() == q.size(), "jensen_shannon: size mismatch");
+  double js = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double m = 0.5 * (p[i] + q[i]);
+    if (p[i] > 0.0) js += 0.5 * p[i] * std::log(p[i] / m);
+    if (q[i] > 0.0) js += 0.5 * q[i] * std::log(q[i] / m);
+  }
+  return std::max(0.0, js);
+}
+
+DriftReport DriftDetector::observe(const DistributionSummary& summary) {
+  DriftReport r;
+  const auto& prob = summary.probabilities();
+  if (last_prob_.empty()) {
+    last_prob_ = prob;
+    return r;  // first iteration: nothing to compare against
+  }
+  r.divergence = jensen_shannon(last_prob_, prob);
+  last_prob_ = prob;
+  ++n_;
+
+  if (n_ <= opts_.warmup) {
+    // Build the baseline without alarming.
+    const double d = r.divergence - mean_;
+    mean_ += d / static_cast<double>(n_);
+    var_ += d * (r.divergence - mean_);
+    return r;
+  }
+  // Floor the scale at a fraction of the baseline mean: a near-deterministic
+  // divergence series would otherwise turn any smooth trend into an alarm.
+  const double sd = std::max(
+      std::sqrt(std::max(
+          var_ / static_cast<double>(std::max<std::size_t>(n_ - 1, 1)), 1e-12)),
+      0.25 * mean_);
+  r.zscore = (r.divergence - mean_) / sd;
+  r.anomalous = r.zscore > opts_.z_threshold &&
+                r.divergence > opts_.ratio_threshold * mean_ &&
+                r.divergence > opts_.min_divergence;
+  if (!r.anomalous) {
+    // EWMA update of the baseline (anomalous iterations are excluded so one
+    // corrupt checkpoint does not poison the reference).
+    const double a = opts_.ewma_alpha;
+    const double d = r.divergence - mean_;
+    mean_ += a * d;
+    var_ = (1.0 - a) * (var_ + a * d * d * static_cast<double>(n_ - 1));
+  }
+  return r;
+}
+
+std::vector<PointAnomaly> scan_points(std::span<const double> previous,
+                                      std::span<const double> current,
+                                      const ScanOptions& opts) {
+  NUMARCK_EXPECT(previous.size() == current.size(),
+                 "scan_points: snapshot size mismatch");
+  std::vector<double> mags;
+  std::vector<std::pair<std::size_t, double>> ratios;
+  mags.reserve(previous.size());
+  for (std::size_t j = 0; j < previous.size(); ++j) {
+    if (previous[j] == 0.0) continue;
+    const double r = (current[j] - previous[j]) / previous[j];
+    if (!std::isfinite(r)) {
+      ratios.emplace_back(j, std::numeric_limits<double>::infinity());
+      continue;
+    }
+    ratios.emplace_back(j, r);
+    mags.push_back(std::abs(r));
+  }
+  if (mags.empty()) return {};
+
+  // Robust scale: median and MAD of |ratio|.
+  auto nth = [](std::vector<double>& v, std::size_t k) {
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                     v.end());
+    return v[k];
+  };
+  std::vector<double> tmp = mags;
+  const double med = nth(tmp, tmp.size() / 2);
+  for (double& m : tmp) m = std::abs(m - med);
+  const double mad = std::max(nth(tmp, tmp.size() / 2), 1e-15);
+  const double scale = 1.4826 * mad;  // consistent with a normal core
+
+  std::vector<PointAnomaly> out;
+  for (const auto& [j, r] : ratios) {
+    const double z = (std::abs(r) - med) / scale;
+    if (z > opts.z_threshold || !std::isfinite(r)) {
+      out.push_back({j, r, std::isfinite(r) ? z
+                                            : std::numeric_limits<double>::max()});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const PointAnomaly& a, const PointAnomaly& b) {
+    return a.robust_z > b.robust_z;
+  });
+  if (out.size() > opts.max_reports) out.resize(opts.max_reports);
+  return out;
+}
+
+void inject_bit_flip(std::span<double> snapshot, std::size_t index,
+                     unsigned bit) {
+  NUMARCK_EXPECT(index < snapshot.size(), "bit flip: index out of range");
+  NUMARCK_EXPECT(bit < 64, "bit flip: bit out of range");
+  std::uint64_t v;
+  std::memcpy(&v, &snapshot[index], sizeof v);
+  v ^= (std::uint64_t{1} << bit);
+  std::memcpy(&snapshot[index], &v, sizeof v);
+}
+
+}  // namespace numarck::anomaly

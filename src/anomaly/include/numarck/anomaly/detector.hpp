@@ -1,0 +1,146 @@
+// Soft-error / anomaly detection from the learned change distributions —
+// the paper's §V future work made concrete: "NUMARCK's mechanisms in
+// learning the evolving data distributions can also enable understanding
+// anomalies at scale, thereby potentially identifying erroneous calculations
+// due to soft errors or hardware errors."
+//
+// Two complementary detectors:
+//  * DriftDetector — iteration-level: summarizes each iteration's change
+//    ratios into a fixed signed-log histogram, tracks the Jensen–Shannon
+//    divergence between consecutive summaries with an exponentially-weighted
+//    baseline, and raises when the divergence z-score jumps. A flipped
+//    exponent bit or a diverging solver changes the *distribution*, which
+//    this sees even when no single magnitude threshold would.
+//  * PointAnomalyScanner — point-level: flags points whose |change ratio| is
+//    extreme relative to a robust (median + k·MAD) scale of the iteration,
+//    localizing the corrupted elements for targeted recovery.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace numarck::anomaly {
+
+/// Fixed-shape probability summary of one iteration's change ratios:
+/// 2*kMagnitudeBins signed log-magnitude bins plus an "unchanged" bin and an
+/// "undefined" bin. Comparable across iterations by construction.
+class DistributionSummary {
+ public:
+  static constexpr std::size_t kMagnitudeBins = 24;
+  static constexpr double kMinMagnitude = 1e-8;
+  static constexpr double kMaxMagnitude = 1e4;
+
+  /// Builds the summary from two consecutive snapshots.
+  static DistributionSummary from_snapshots(std::span<const double> previous,
+                                            std::span<const double> current);
+
+  /// Normalized probabilities (sums to 1 unless the summary is empty).
+  [[nodiscard]] const std::vector<double>& probabilities() const noexcept {
+    return prob_;
+  }
+
+  [[nodiscard]] std::size_t sample_count() const noexcept { return count_; }
+
+ private:
+  friend DistributionSummary summary_from_encoded_impl(
+      std::vector<double> prob, std::size_t count);
+  std::vector<double> prob_;
+  std::size_t count_ = 0;
+};
+
+/// Jensen–Shannon divergence between two probability vectors (natural log;
+/// symmetric, bounded by ln 2, zero iff identical).
+double jensen_shannon(std::span<const double> p, std::span<const double> q);
+
+}  // namespace numarck::anomaly
+
+// Forward declaration to avoid a core -> anomaly cycle.
+namespace numarck::core {
+class EncodedIteration;
+}
+
+namespace numarck::anomaly {
+
+/// Compressed-domain summary (§V: "enable scalable in-situ analysis"):
+/// builds the same fixed-shape distribution directly from a NUMARCK record —
+/// bin-table centers weighted by index populations — WITHOUT decoding any
+/// data. Points stored exactly land in the "undefined" bin (their ratio is
+/// not in the record), so the summary is an approximation whose divergence
+/// from the raw-data summary is bounded by the incompressible ratio γ; on
+/// well-compressing streams (γ ~ 0) the two are nearly identical. This lets
+/// a monitoring daemon watch the checkpoint *stream* itself — no access to
+/// raw snapshots, no decoding, just an index-count pass over each record.
+DistributionSummary summary_from_encoded(const core::EncodedIteration& record);
+
+struct DriftReport {
+  double divergence = 0.0;  ///< JS divergence vs the previous iteration
+  double zscore = 0.0;      ///< against the EWMA baseline
+  bool anomalous = false;   ///< zscore above the configured threshold
+};
+
+// Note on the alarm signature: the detector compares consecutive
+// *pair*-summaries (iteration i-1 vs i). One corrupted snapshot at iteration
+// k therefore perturbs the summaries of pairs (k-1,k) and (k,k+1), producing
+// alarms at k, k+1 and — when the pair-summary returns to normal — k+2.
+// A persistent distribution shift (diverging solver) alarms once and then
+// re-baselines.
+
+struct DriftOptions {
+  double ewma_alpha = 0.2;      ///< baseline smoothing factor
+  double z_threshold = 6.0;     ///< alarm threshold on the divergence z-score
+  double ratio_threshold = 4.0; ///< divergence must also exceed this multiple
+                                ///< of the baseline mean (guards against the
+                                ///< tiny-variance degenerate z-score)
+  std::size_t warmup = 3;       ///< iterations before alarms can fire
+  double min_divergence = 1e-4; ///< ignore jitter below this absolute level
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(const DriftOptions& opts = {}) : opts_(opts) {}
+
+  /// Feeds the next iteration's summary; returns the drift assessment
+  /// relative to the previous one.
+  DriftReport observe(const DistributionSummary& summary);
+
+  /// Convenience: summarize + observe.
+  DriftReport observe(std::span<const double> previous,
+                      std::span<const double> current) {
+    return observe(DistributionSummary::from_snapshots(previous, current));
+  }
+
+  [[nodiscard]] std::size_t iterations() const noexcept { return n_; }
+
+ private:
+  DriftOptions opts_;
+  std::vector<double> last_prob_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+struct PointAnomaly {
+  std::size_t index = 0;
+  double ratio = 0.0;       ///< the offending change ratio
+  double robust_z = 0.0;    ///< |ratio - median| / MAD-scale
+};
+
+struct ScanOptions {
+  double z_threshold = 12.0;  ///< robust z-score to flag a point
+  std::size_t max_reports = 64;
+};
+
+/// Localizes extreme change ratios between two snapshots. Returns the
+/// flagged points, most extreme first.
+std::vector<PointAnomaly> scan_points(std::span<const double> previous,
+                                      std::span<const double> current,
+                                      const ScanOptions& opts = {});
+
+/// Test/demo utility: flips bit `bit` (0 = LSB of the mantissa, 62 = top
+/// exponent bit, 63 = sign) of value `index` in the snapshot.
+void inject_bit_flip(std::span<double> snapshot, std::size_t index,
+                     unsigned bit);
+
+}  // namespace numarck::anomaly

@@ -1,0 +1,166 @@
+#include "numarck/baselines/bspline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::baselines {
+
+CubicBSplineBasis::CubicBSplineBasis(std::size_t control_points)
+    : p_(control_points) {
+  NUMARCK_EXPECT(p_ >= 4, "cubic B-spline needs >= 4 control points");
+  // Clamped knot vector: 4 zeros, p_-4 uniform interior knots, 4 ones.
+  knots_.resize(p_ + 4);
+  const std::size_t interior = p_ - 3;  // number of spans
+  for (std::size_t i = 0; i < knots_.size(); ++i) {
+    if (i < 4) {
+      knots_[i] = 0.0;
+    } else if (i >= p_) {
+      knots_[i] = 1.0;
+    } else {
+      knots_[i] = static_cast<double>(i - 3) / static_cast<double>(interior);
+    }
+  }
+}
+
+std::size_t CubicBSplineBasis::evaluate(double u,
+                                        std::array<double, 4>& w) const noexcept {
+  u = std::clamp(u, 0.0, 1.0);
+  // Knot span k: knots_[k] <= u < knots_[k+1], k in [3, p_-1].
+  std::size_t k;
+  if (u >= 1.0) {
+    k = p_ - 1;
+  } else {
+    const std::size_t interior = p_ - 3;
+    k = 3 + std::min<std::size_t>(
+                interior - 1,
+                static_cast<std::size_t>(u * static_cast<double>(interior)));
+  }
+  // Cox–de Boor (The NURBS Book, A2.2).
+  double left[4], right[4];
+  w = {1.0, 0.0, 0.0, 0.0};
+  for (std::size_t d = 1; d <= 3; ++d) {
+    left[d] = u - knots_[k + 1 - d];
+    right[d] = knots_[k + d] - u;
+    double saved = 0.0;
+    for (std::size_t r = 0; r < d; ++r) {
+      const double denom = right[r + 1] + left[d - r];
+      const double tmp = denom != 0.0 ? w[r] / denom : 0.0;
+      w[r] = saved + right[r + 1] * tmp;
+      saved = left[d - r] * tmp;
+    }
+    w[d] = saved;
+  }
+  return k - 3;  // first contributing control point
+}
+
+double CubicBSplineBasis::curve(std::span<const double> c,
+                                double u) const noexcept {
+  std::array<double, 4> w;
+  const std::size_t first = evaluate(u, w);
+  double s = 0.0;
+  for (std::size_t d = 0; d < 4; ++d) {
+    const std::size_t idx = first + d;
+    if (idx < c.size()) s += w[d] * c[idx];
+  }
+  return s;
+}
+
+std::vector<double> banded_spd_solve(std::vector<double> band, std::size_t bw,
+                                     std::vector<double> b) {
+  const std::size_t n = b.size();
+  NUMARCK_EXPECT(band.size() == n * (bw + 1), "banded solve: bad band size");
+  auto a = [&](std::size_t i, std::size_t d) -> double& {
+    return band[i * (bw + 1) + d];  // A(i, i-d)
+  };
+  // Banded Cholesky A = L Lᵀ, L stored over A.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t dmax = std::min(i, bw);
+    for (std::size_t d = dmax + 1; d-- > 0;) {
+      const std::size_t j = i - d;  // column
+      double s = a(i, d);
+      // sum over shared predecessors k < j within both bands
+      const std::size_t kmin = (i > bw) ? i - bw : 0;
+      const std::size_t kmin2 = (j > bw) ? j - bw : 0;
+      for (std::size_t k = std::max(kmin, kmin2); k < j; ++k) {
+        s -= a(i, i - k) * a(j, j - k);
+      }
+      if (d == 0) {
+        NUMARCK_EXPECT(s > 0.0, "banded solve: matrix not positive definite");
+        a(i, 0) = std::sqrt(s);
+      } else {
+        a(i, d) = s / a(j, 0);
+      }
+    }
+  }
+  // Forward substitution L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const std::size_t kmin = (i > bw) ? i - bw : 0;
+    for (std::size_t k = kmin; k < i; ++k) s -= a(i, i - k) * b[k];
+    b[i] = s / a(i, 0);
+  }
+  // Back substitution Lᵀ x = z.
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    const std::size_t kmax = std::min(n - 1, i + bw);
+    for (std::size_t k = i + 1; k <= kmax; ++k) s -= a(k, k - i) * b[k];
+    b[i] = s / a(i, 0);
+  }
+  return b;
+}
+
+std::vector<double> fit_least_squares(const CubicBSplineBasis& basis,
+                                      std::span<const double> y) {
+  const std::size_t n = y.size();
+  const std::size_t p = basis.control_points();
+  NUMARCK_EXPECT(n >= 2, "fit needs at least 2 samples");
+  constexpr std::size_t bw = 3;
+  std::vector<double> band(p * (bw + 1), 0.0);
+  std::vector<double> rhs(p, 0.0);
+  auto nband = [&](std::size_t i, std::size_t d) -> double& {
+    return band[i * (bw + 1) + d];
+  };
+
+  std::array<double, 4> w;
+  double ymag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = static_cast<double>(i) / static_cast<double>(n - 1);
+    const std::size_t first = basis.evaluate(u, w);
+    for (std::size_t a = 0; a < 4; ++a) {
+      const std::size_t ia = first + a;
+      if (ia >= p) continue;
+      rhs[ia] += w[a] * y[i];
+      for (std::size_t c = 0; c <= a; ++c) {
+        const std::size_t ic = first + c;
+        if (ic >= p) continue;
+        nband(ia, ia - ic) += w[a] * w[c];
+      }
+    }
+    ymag = std::max(ymag, std::abs(y[i]));
+  }
+  // Ridge term: keeps the normal equations SPD when P approaches n and some
+  // basis functions see almost no samples. Small enough (1e-10 of the
+  // diagonal scale) not to bias the fit measurably.
+  double diag_scale = 0.0;
+  for (std::size_t i = 0; i < p; ++i) diag_scale = std::max(diag_scale, nband(i, 0));
+  const double ridge = std::max(diag_scale, 1.0) * 1e-10;
+  for (std::size_t i = 0; i < p; ++i) nband(i, 0) += ridge;
+
+  return banded_spd_solve(std::move(band), bw, std::move(rhs));
+}
+
+std::vector<double> evaluate_uniform(const CubicBSplineBasis& basis,
+                                     std::span<const double> coeffs,
+                                     std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1)
+                           : 0.0;
+    out[i] = basis.curve(coeffs, u);
+  }
+  return out;
+}
+
+}  // namespace numarck::baselines

@@ -1,0 +1,32 @@
+#include "numarck/baselines/bspline_compressor.hpp"
+
+#include <algorithm>
+
+#include "numarck/baselines/bspline.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace numarck::baselines {
+
+BSplineCompressor::BSplineCompressor(double coeff_fraction)
+    : frac_(coeff_fraction) {
+  NUMARCK_EXPECT(coeff_fraction > 0.0 && coeff_fraction <= 1.0,
+                 "coefficient fraction must be in (0,1]");
+}
+
+BSplineCompressed BSplineCompressor::compress(std::span<const double> data) const {
+  NUMARCK_EXPECT(data.size() >= 8, "B-Splines baseline needs >= 8 points");
+  BSplineCompressed out;
+  out.point_count = data.size();
+  const std::size_t p = std::max<std::size_t>(
+      4, static_cast<std::size_t>(frac_ * static_cast<double>(data.size())));
+  CubicBSplineBasis basis(p);
+  out.coefficients = fit_least_squares(basis, data);
+  return out;
+}
+
+std::vector<double> BSplineCompressor::decompress(const BSplineCompressed& c) const {
+  CubicBSplineBasis basis(c.coefficients.size());
+  return evaluate_uniform(basis, c.coefficients, c.point_count);
+}
+
+}  // namespace numarck::baselines

@@ -1,0 +1,56 @@
+// Cubic B-spline basis and banded least-squares fitting — the numerical
+// machinery behind both §III-F baselines (Chou & Piegl's B-Splines data
+// reduction and ISABELA's per-window sorted-curve fit).
+//
+// The basis is a clamped uniform cubic B-spline with `control_points`
+// coefficients on the parameter domain [0, 1]. Fitting solves the normal
+// equations Aᵀ A c = Aᵀ y; A has at most 4 non-zeros per row, so AᵀA is a
+// symmetric banded matrix (bandwidth 3) solved by a banded Cholesky in
+// O(P · bw²). A tiny ridge term keeps the system SPD when some basis
+// functions have thin support (P close to n).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace numarck::baselines {
+
+/// Clamped uniform cubic B-spline basis with P >= 4 control points.
+class CubicBSplineBasis {
+ public:
+  explicit CubicBSplineBasis(std::size_t control_points);
+
+  [[nodiscard]] std::size_t control_points() const noexcept { return p_; }
+
+  /// Evaluates the 4 non-zero basis functions at parameter u in [0,1].
+  /// Returns the index of the first non-zero control point; weights[0..3]
+  /// are the corresponding basis values (they sum to 1).
+  std::size_t evaluate(double u, std::array<double, 4>& weights) const noexcept;
+
+  /// Curve value at u given coefficients c (c.size() == control_points()).
+  [[nodiscard]] double curve(std::span<const double> c, double u) const noexcept;
+
+ private:
+  std::size_t p_;
+  std::vector<double> knots_;  ///< size p_ + 4, clamped
+};
+
+/// Least-squares fit of `y` sampled at uniform parameters u_i = i/(n-1).
+/// Returns the control-point coefficients (size = control_points).
+std::vector<double> fit_least_squares(const CubicBSplineBasis& basis,
+                                      std::span<const double> y);
+
+/// Evaluates a fitted curve back onto n uniform samples.
+std::vector<double> evaluate_uniform(const CubicBSplineBasis& basis,
+                                     std::span<const double> coeffs,
+                                     std::size_t n);
+
+/// Symmetric banded SPD solve (in-place Cholesky), exposed for tests.
+/// `band` is row-major (rows x (bw+1)): band[i][0] is the diagonal A(i,i),
+/// band[i][d] is A(i, i-d) for d <= min(i, bw). Solves A x = b.
+std::vector<double> banded_spd_solve(std::vector<double> band, std::size_t bw,
+                                     std::vector<double> b);
+
+}  // namespace numarck::baselines

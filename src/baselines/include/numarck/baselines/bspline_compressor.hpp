@@ -1,0 +1,43 @@
+// The "B-Splines" baseline of §III-F (Chou & Piegl [7]): the raw data series
+// of one iteration is replaced by a least-squares cubic B-spline with
+// P_S = coeff_fraction · n control points. Storage is P_S 64-bit
+// coefficients, so the compression ratio is exactly (1 - coeff_fraction)
+// — 20 % for the paper's P_S = 0.8 n (Table I).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace numarck::baselines {
+
+struct BSplineCompressed {
+  std::vector<double> coefficients;
+  std::size_t point_count = 0;
+
+  [[nodiscard]] std::size_t stored_bytes() const noexcept {
+    return coefficients.size() * sizeof(double);
+  }
+  [[nodiscard]] double compression_ratio_percent() const noexcept {
+    if (point_count == 0) return 0.0;
+    const double orig = static_cast<double>(point_count) * 64.0;
+    const double stored = static_cast<double>(coefficients.size()) * 64.0;
+    return (orig - stored) / orig * 100.0;
+  }
+};
+
+class BSplineCompressor {
+ public:
+  /// `coeff_fraction` = P_S / n (paper uses 0.8).
+  explicit BSplineCompressor(double coeff_fraction = 0.8);
+
+  [[nodiscard]] BSplineCompressed compress(std::span<const double> data) const;
+  [[nodiscard]] std::vector<double> decompress(const BSplineCompressed& c) const;
+
+  [[nodiscard]] double coeff_fraction() const noexcept { return frac_; }
+
+ private:
+  double frac_;
+};
+
+}  // namespace numarck::baselines

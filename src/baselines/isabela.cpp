@@ -1,0 +1,106 @@
+#include "numarck/baselines/isabela.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "numarck/baselines/bspline.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace numarck::baselines {
+
+namespace {
+
+unsigned index_bits_for(std::size_t window) {
+  unsigned bits = 0;
+  std::size_t w = window - 1;
+  while (w) {
+    ++bits;
+    w >>= 1;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+}  // namespace
+
+std::size_t IsabelaCompressed::stored_bits() const noexcept {
+  const unsigned idx_bits = index_bits_for(options.window);
+  std::size_t bits = 0;
+  for (const auto& w : windows) {
+    bits += w.coefficients.size() * 64 + w.count * idx_bits;
+  }
+  return bits;
+}
+
+double IsabelaCompressed::compression_ratio_percent() const noexcept {
+  if (point_count == 0) return 0.0;
+  const double orig = static_cast<double>(point_count) * 64.0;
+  return (orig - static_cast<double>(stored_bits())) / orig * 100.0;
+}
+
+Isabela::Isabela(const IsabelaOptions& opts) : opts_(opts) {
+  NUMARCK_EXPECT(opts.window >= 16, "ISABELA window too small");
+  NUMARCK_EXPECT(opts.coeffs >= 4, "ISABELA needs >= 4 spline coefficients");
+  NUMARCK_EXPECT(opts.coeffs <= opts.window,
+                 "more coefficients than window points");
+}
+
+IsabelaCompressed Isabela::compress(std::span<const double> data) const {
+  IsabelaCompressed out;
+  out.options = opts_;
+  out.point_count = data.size();
+  const std::size_t w0 = opts_.window;
+  for (std::size_t start = 0; start < data.size(); start += w0) {
+    const std::size_t count = std::min(w0, data.size() - start);
+    IsabelaWindow win;
+    win.count = count;
+    // Sort positions by value (stable so the permutation is deterministic).
+    std::vector<std::uint32_t> order(count);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return data[start + a] < data[start + b];
+                     });
+    // permutation[j] = sorted position of original point j.
+    win.permutation.resize(count);
+    std::vector<double> sorted(count);
+    for (std::uint32_t pos = 0; pos < count; ++pos) {
+      win.permutation[order[pos]] = pos;
+      sorted[pos] = data[start + order[pos]];
+    }
+    // A partial tail window gets a proportionally smaller coefficient
+    // budget, keeping the bits-per-point — and hence the fixed compression
+    // ratio the paper reports — uniform across windows.
+    std::size_t p = opts_.coeffs;
+    if (count < w0) {
+      p = std::clamp<std::size_t>(opts_.coeffs * count / w0, 4, count);
+    }
+    CubicBSplineBasis basis(p);
+    win.coefficients = fit_least_squares(basis, sorted);
+    out.windows.push_back(std::move(win));
+  }
+  return out;
+}
+
+std::vector<double> Isabela::decompress(const IsabelaCompressed& c) const {
+  std::vector<double> out;
+  out.reserve(c.point_count);
+  for (const auto& win : c.windows) {
+    CubicBSplineBasis basis(win.coefficients.size());
+    const std::vector<double> sorted =
+        evaluate_uniform(basis, win.coefficients, win.count);
+    const std::size_t base = out.size();
+    out.resize(base + win.count);
+    NUMARCK_EXPECT(win.permutation.size() == win.count,
+                   "isabela: permutation size mismatch");
+    for (std::size_t j = 0; j < win.count; ++j) {
+      NUMARCK_EXPECT(win.permutation[j] < win.count,
+                     "isabela: permutation index out of range");
+      out[base + j] = sorted[win.permutation[j]];
+    }
+  }
+  NUMARCK_EXPECT(out.size() == c.point_count, "isabela: point count mismatch");
+  return out;
+}
+
+}  // namespace numarck::baselines

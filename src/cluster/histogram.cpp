@@ -1,0 +1,124 @@
+#include "numarck/cluster/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "numarck/util/expect.hpp"
+#include "numarck/util/parallel_for.hpp"
+
+namespace numarck::cluster {
+
+namespace {
+
+using numarck::util::ThreadPool;
+
+ThreadPool& pool_or_global(ThreadPool* p) {
+  return p ? *p : ThreadPool::global();
+}
+
+std::pair<double, double> minmax(std::span<const double> xs, ThreadPool& pool) {
+  using P = std::pair<double, double>;
+  return numarck::util::parallel_reduce<P>(
+      pool, 0, xs.size(),
+      P{std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()},
+      [&xs](std::size_t i0, std::size_t i1) {
+        P r{std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+        for (std::size_t i = i0; i < i1; ++i) {
+          r.first = std::min(r.first, xs[i]);
+          r.second = std::max(r.second, xs[i]);
+        }
+        return r;
+      },
+      [](P a, P b) {
+        return P{std::min(a.first, b.first), std::max(a.second, b.second)};
+      });
+}
+
+/// Counts xs into the bins defined by `h.edges` (parallel, per-chunk local
+/// count arrays merged at the end — the shared-memory analogue of a
+/// reduce-scatter over MPI ranks).
+void count_into(Histogram& h, std::span<const double> xs, ThreadPool& pool) {
+  using Counts = std::vector<std::uint64_t>;
+  Counts zero(h.counts.size(), 0);
+  Counts total = numarck::util::parallel_reduce<Counts>(
+      pool, 0, xs.size(), zero,
+      [&xs, &h](std::size_t i0, std::size_t i1) {
+        Counts local(h.counts.size(), 0);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const std::size_t b = h.bin_of(xs[i]);
+          if (b != Histogram::npos) ++local[b];
+        }
+        return local;
+      },
+      [](Counts a, Counts b) {
+        for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+        return a;
+      });
+  h.counts = std::move(total);
+  h.total = 0;
+  for (auto c : h.counts) h.total += c;
+}
+
+Histogram build_over_range(std::span<const double> xs, std::size_t bins,
+                           double lo, double hi, ThreadPool& tp) {
+  Histogram h;
+  h.counts.assign(bins, 0);
+  if (lo == hi) {
+    const double pad = (std::abs(lo) + 1.0) * 1e-12;
+    lo -= pad;
+    hi += pad;
+  }
+  const double width = (hi - lo) / static_cast<double>(bins);
+  h.edges.resize(bins + 1);
+  h.centers.resize(bins);
+  for (std::size_t b = 0; b <= bins; ++b) {
+    h.edges[b] = lo + width * static_cast<double>(b);
+  }
+  h.edges.back() = hi;  // avoid fp drift excluding the max
+  for (std::size_t b = 0; b < bins; ++b) {
+    h.centers[b] = 0.5 * (h.edges[b] + h.edges[b + 1]);
+  }
+  count_into(h, xs, tp);
+  return h;
+}
+
+}  // namespace
+
+std::size_t Histogram::bin_of(double x) const noexcept {
+  if (edges.empty() || x < edges.front() || x > edges.back()) return npos;
+  const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+  std::size_t b = static_cast<std::size_t>(it - edges.begin());
+  if (b == 0) return npos;
+  b -= 1;
+  if (b >= counts.size()) b = counts.size() - 1;  // x == edges.back()
+  return b;
+}
+
+Histogram equal_width_histogram(std::span<const double> xs, std::size_t bins,
+                                numarck::util::ThreadPool* pool) {
+  NUMARCK_EXPECT(bins >= 1, "histogram needs at least one bin");
+  auto& tp = pool_or_global(pool);
+  if (xs.empty()) {
+    Histogram h;
+    h.counts.assign(bins, 0);
+    h.edges.assign(bins + 1, 0.0);
+    h.centers.assign(bins, 0.0);
+    return h;
+  }
+  auto [lo, hi] = minmax(xs, tp);
+  return build_over_range(xs, bins, lo, hi, tp);
+}
+
+Histogram equal_width_histogram_range(std::span<const double> xs, std::size_t bins,
+                                      double lo, double hi,
+                                      numarck::util::ThreadPool* pool) {
+  NUMARCK_EXPECT(bins >= 1, "histogram needs at least one bin");
+  NUMARCK_EXPECT(lo <= hi, "invalid histogram range");
+  auto& tp = pool_or_global(pool);
+  return build_over_range(xs, bins, lo, hi, tp);
+}
+
+}  // namespace numarck::cluster

@@ -1,0 +1,37 @@
+// Distributed 1-D K-means over the simulated message-passing runtime — the
+// algorithm the paper actually ran (their MPI parallel K-means package,
+// references [1] and [13]).
+//
+// Data stays where it lives: each rank holds its local slice of the change
+// ratios and only aggregates cross the network —
+//   seeding:   allreduce(min, max), allreduce(histogram counts);
+//   iteration: allreduce(per-cluster sum, count) — exactly the
+//              MPI_Allreduce step of Lloyd's algorithm;
+//   repair:    allreduce(max) over the farthest-point distance.
+// Every rank therefore holds identical centroids at every step, and the
+// result is bitwise-identical to the shared-memory kLloydParallel engine on
+// the concatenated data (a property the tests assert).
+#pragma once
+
+#include <span>
+
+#include "numarck/cluster/kmeans1d.hpp"
+#include "numarck/mpisim/world.hpp"
+
+namespace numarck::cluster {
+
+struct DistributedKMeansOptions {
+  std::size_t k = 255;
+  std::size_t max_iterations = 30;
+  double tolerance = 1e-12;
+  std::size_t seed_histogram_bins = 0;  ///< 0 = max(4k, 256), as serial
+};
+
+/// Runs K-means over the union of all ranks' `local` slices. Must be called
+/// collectively (every rank of `comm`, same options). Returns the same
+/// result on every rank; `counts` are global populations.
+KMeansResult distributed_kmeans1d(mpisim::Communicator& comm,
+                                  std::span<const double> local,
+                                  const DistributedKMeansOptions& opts);
+
+}  // namespace numarck::cluster

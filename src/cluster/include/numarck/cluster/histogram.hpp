@@ -1,0 +1,46 @@
+// Histogram construction used both as a distribution-learning primitive
+// (§II-C-1 equal-width binning) and as the prior-knowledge initializer for
+// the K-means strategy (§II-C-3). The log-scale strategy (§II-C-2) computes
+// its bin index in closed form and lives in core/log_scale_binning.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numarck/util/thread_pool.hpp"
+
+namespace numarck::cluster {
+
+/// A fixed set of bins with explicit edges. Bin b covers
+/// [edges[b], edges[b+1]) except the last bin which is closed on the right.
+struct Histogram {
+  std::vector<double> edges;            ///< size = bins + 1, non-decreasing
+  std::vector<std::uint64_t> counts;    ///< size = bins
+  std::vector<double> centers;          ///< representative value per bin
+  std::uint64_t total = 0;              ///< sum of counts
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts.size(); }
+
+  /// Bin index for x, or npos when x falls outside [edges.front, edges.back].
+  [[nodiscard]] std::size_t bin_of(double x) const noexcept;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Equal-width histogram over [min(xs), max(xs)] with `bins` bins. Centers are
+/// bin midpoints (the approximation value used by equal-width binning). When
+/// all values are identical the single degenerate bin covers a tiny interval
+/// around the common value. Counting is parallelized over `pool` (defaults to
+/// the process-global pool).
+Histogram equal_width_histogram(std::span<const double> xs, std::size_t bins,
+                                numarck::util::ThreadPool* pool = nullptr);
+
+/// Equal-width histogram over an explicit [lo, hi] range; values outside are
+/// not counted. Used by the Fig. 1 / Fig. 3 distribution dumps.
+Histogram equal_width_histogram_range(std::span<const double> xs, std::size_t bins,
+                                      double lo, double hi,
+                                      numarck::util::ThreadPool* pool = nullptr);
+
+}  // namespace numarck::cluster

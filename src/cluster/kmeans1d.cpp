@@ -1,0 +1,277 @@
+#include "numarck/cluster/kmeans1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "numarck/cluster/histogram.hpp"
+#include "numarck/util/expect.hpp"
+#include "numarck/util/parallel_for.hpp"
+
+namespace numarck::cluster {
+
+namespace {
+
+using numarck::util::ThreadPool;
+
+ThreadPool& pool_or_global(ThreadPool* p) {
+  return p ? *p : ThreadPool::global();
+}
+
+std::vector<double> init_centroids(std::span<const double> xs,
+                                   const KMeansOptions& opts, ThreadPool& pool) {
+  std::vector<double> c;
+  c.reserve(opts.k);
+  switch (opts.init) {
+    case KMeansInit::kEqualWidthHistogram: {
+      // Paper seeding ("prior-knowledge from the equal-width histogram"):
+      // an equal-width histogram (finer than k) serves as a density
+      // estimate, and the k seeds are placed at its mass quantiles, with
+      // linear interpolation inside bins. Density-weighted placement is what
+      // makes the clustering strategy adapt to "multiple dense areas spread
+      // unevenly" (§II-C-3) within few Lloyd iterations — plain bin-center
+      // seeding cannot migrate centroids across a dense core in 1-D.
+      const std::size_t hist_bins = std::max<std::size_t>(4 * opts.k, 256);
+      Histogram h = equal_width_histogram(xs, hist_bins, &pool);
+      if (h.total == 0) break;
+      const double total = static_cast<double>(h.total);
+      std::size_t bin = 0;
+      double cum = 0.0;  // mass strictly before current bin
+      for (std::size_t i = 0; i < opts.k; ++i) {
+        const double target =
+            total * (static_cast<double>(i) + 0.5) / static_cast<double>(opts.k);
+        while (bin + 1 < h.bins() &&
+               cum + static_cast<double>(h.counts[bin]) < target) {
+          cum += static_cast<double>(h.counts[bin]);
+          ++bin;
+        }
+        const double in_bin = static_cast<double>(h.counts[bin]);
+        const double frac =
+            in_bin > 0.0 ? std::clamp((target - cum) / in_bin, 0.0, 1.0) : 0.5;
+        c.push_back(h.edges[bin] + frac * (h.edges[bin + 1] - h.edges[bin]));
+      }
+      break;
+    }
+    case KMeansInit::kBinCenters: {
+      Histogram h = equal_width_histogram(xs, opts.k, &pool);
+      c = h.centers;
+      break;
+    }
+    case KMeansInit::kQuantile: {
+      std::vector<double> sorted(xs.begin(), xs.end());
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t i = 0; i < opts.k; ++i) {
+        const double q = (static_cast<double>(i) + 0.5) / static_cast<double>(opts.k);
+        const auto idx = static_cast<std::size_t>(
+            q * static_cast<double>(sorted.size() - 1) + 0.5);
+        c.push_back(sorted[idx]);
+      }
+      break;
+    }
+  }
+  std::sort(c.begin(), c.end());
+  // Collapse exact duplicates (possible with quantile init on skewed data);
+  // Lloyd cannot separate identical centroids.
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  return c;
+}
+
+/// Per-cluster accumulators for one Lloyd assignment pass.
+struct Accum {
+  std::vector<double> sum;
+  std::vector<std::uint64_t> cnt;
+  double inertia = 0.0;
+  double farthest_dist = -1.0;
+  double farthest_value = 0.0;
+
+  explicit Accum(std::size_t k) : sum(k, 0.0), cnt(k, 0) {}
+  Accum() = default;
+
+  void merge(const Accum& o) {
+    for (std::size_t i = 0; i < sum.size(); ++i) {
+      sum[i] += o.sum[i];
+      cnt[i] += o.cnt[i];
+    }
+    inertia += o.inertia;
+    if (o.farthest_dist > farthest_dist) {
+      farthest_dist = o.farthest_dist;
+      farthest_value = o.farthest_value;
+    }
+  }
+};
+
+/// One parallel Lloyd assignment + accumulation pass (the MPI_Allreduce
+/// analogue): returns merged per-cluster sums/counts and the globally
+/// farthest point for empty-cluster reseeding.
+Accum assign_pass(std::span<const double> xs, std::span<const double> centroids,
+                  ThreadPool& pool) {
+  const std::size_t k = centroids.size();
+  return numarck::util::parallel_reduce<Accum>(
+      pool, 0, xs.size(), Accum(k),
+      [&xs, centroids, k](std::size_t i0, std::size_t i1) {
+        Accum a(k);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const double x = xs[i];
+          const std::size_t c = nearest_centroid(centroids, x);
+          a.sum[c] += x;
+          ++a.cnt[c];
+          const double d = x - centroids[c];
+          const double d2 = d * d;
+          a.inertia += d2;
+          if (d2 > a.farthest_dist) {
+            a.farthest_dist = d2;
+            a.farthest_value = x;
+          }
+        }
+        return a;
+      },
+      [](Accum a, Accum b) {
+        a.merge(b);
+        return a;
+      });
+}
+
+KMeansResult lloyd_parallel(std::span<const double> xs, const KMeansOptions& opts,
+                            std::vector<double> centroids, ThreadPool& pool) {
+  KMeansResult r;
+  bool reseeded_this_round = false;
+  Accum last;
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    last = assign_pass(xs, centroids, pool);
+    ++r.iterations;
+
+    // Update step; reseed at most one empty cluster per round to the point
+    // farthest from its centroid (a standard deterministic repair).
+    std::vector<double> next = centroids;
+    reseeded_this_round = false;
+    double max_shift = 0.0;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (last.cnt[c] > 0) {
+        next[c] = last.sum[c] / static_cast<double>(last.cnt[c]);
+      } else if (!reseeded_this_round && last.farthest_dist > 0.0) {
+        next[c] = last.farthest_value;
+        reseeded_this_round = true;
+      }
+      max_shift = std::max(max_shift, std::abs(next[c] - centroids[c]));
+    }
+    std::sort(next.begin(), next.end());
+    centroids.swap(next);
+    if (!reseeded_this_round && max_shift <= opts.tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+  // Final exact assignment for counts/inertia against the converged centroids.
+  last = assign_pass(xs, centroids, pool);
+  r.inertia = last.inertia;
+  // Drop empty clusters.
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    if (last.cnt[c] > 0) {
+      r.centroids.push_back(centroids[c]);
+      r.counts.push_back(last.cnt[c]);
+    }
+  }
+  return r;
+}
+
+/// Exact sorted-boundary engine. Requires xs sorted ascending and a prefix-sum
+/// array; each Lloyd step finds, for every pair of adjacent centroids, the
+/// boundary midpoint via binary search and updates means from prefix sums.
+KMeansResult sorted_boundary(std::span<const double> xs, const KMeansOptions& opts,
+                             std::vector<double> centroids, ThreadPool& pool) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  std::vector<double> prefix(n + 1, 0.0);
+  std::partial_sum(sorted.begin(), sorted.end(), prefix.begin() + 1);
+
+  KMeansResult r;
+  std::vector<std::size_t> bounds(centroids.size() + 1);
+  std::vector<std::uint64_t> counts(centroids.size(), 0);
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    ++r.iterations;
+    const std::size_t k = centroids.size();
+    bounds.assign(k + 1, 0);
+    bounds[k] = n;
+    for (std::size_t c = 1; c < k; ++c) {
+      const double mid = 0.5 * (centroids[c - 1] + centroids[c]);
+      // Points < mid belong to c-1; ties (== mid) resolve to the lower
+      // centroid, matching nearest_centroid.
+      bounds[c] = static_cast<std::size_t>(
+          std::upper_bound(sorted.begin(), sorted.end(), mid) - sorted.begin());
+    }
+    bool reseeded = false;
+    double max_shift = 0.0;
+    std::vector<double> next = centroids;
+    for (std::size_t c = 0; c < k; ++c) {
+      const std::size_t i0 = bounds[c];
+      const std::size_t i1 = bounds[c + 1];
+      counts[c] = i1 - i0;
+      if (i1 > i0) {
+        next[c] = (prefix[i1] - prefix[i0]) / static_cast<double>(i1 - i0);
+      } else if (!reseeded) {
+        // Reseed the empty cluster to the sorted extreme farthest from its
+        // nearest populated centroid.
+        const double lo_d = std::abs(sorted.front() -
+                                     centroids[nearest_centroid(centroids, sorted.front())]);
+        const double hi_d = std::abs(sorted.back() -
+                                     centroids[nearest_centroid(centroids, sorted.back())]);
+        next[c] = lo_d > hi_d ? sorted.front() : sorted.back();
+        reseeded = true;
+      }
+      max_shift = std::max(max_shift, std::abs(next[c] - centroids[c]));
+    }
+    std::sort(next.begin(), next.end());
+    centroids.swap(next);
+    if (!reseeded && max_shift <= opts.tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+  // Final exact pass via the parallel engine for counts and inertia (keeps
+  // the two engines' outputs directly comparable).
+  Accum fin = assign_pass(xs, centroids, pool);
+  r.inertia = fin.inertia;
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    if (fin.cnt[c] > 0) {
+      r.centroids.push_back(centroids[c]);
+      r.counts.push_back(fin.cnt[c]);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::size_t nearest_centroid(std::span<const double> centroids, double x) noexcept {
+  const std::size_t k = centroids.size();
+  if (k <= 1) return 0;
+  const auto it = std::lower_bound(centroids.begin(), centroids.end(), x);
+  if (it == centroids.begin()) return 0;
+  if (it == centroids.end()) return k - 1;
+  const std::size_t hi = static_cast<std::size_t>(it - centroids.begin());
+  const std::size_t lo = hi - 1;
+  // Ties go to the lower centroid.
+  return (x - centroids[lo]) <= (centroids[hi] - x) ? lo : hi;
+}
+
+KMeansResult kmeans1d(std::span<const double> xs, const KMeansOptions& opts) {
+  NUMARCK_EXPECT(opts.k >= 1, "k must be >= 1");
+  KMeansResult r;
+  if (xs.empty()) return r;
+  auto& pool = pool_or_global(opts.pool);
+
+  std::vector<double> seeds = init_centroids(xs, opts, pool);
+  if (seeds.empty()) return r;
+
+  switch (opts.engine) {
+    case KMeansEngine::kLloydParallel:
+      return lloyd_parallel(xs, opts, std::move(seeds), pool);
+    case KMeansEngine::kSortedBoundary:
+      return sorted_boundary(xs, opts, std::move(seeds), pool);
+  }
+  return r;
+}
+
+}  // namespace numarck::cluster

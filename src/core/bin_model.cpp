@@ -1,0 +1,175 @@
+#include "numarck/core/bin_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "numarck/cluster/histogram.hpp"
+#include "numarck/cluster/kmeans1d.hpp"
+#include "numarck/util/expect.hpp"
+#include "numarck/util/parallel_for.hpp"
+
+namespace numarck::core {
+
+std::size_t BinModel::nearest(double ratio) const noexcept {
+  return cluster::nearest_centroid(centers, ratio);
+}
+
+BinModel equal_width_from_range(double lo, double hi, std::size_t bins) {
+  NUMARCK_EXPECT(bins >= 1, "equal-width: need at least one bin");
+  NUMARCK_EXPECT(lo <= hi, "equal-width: invalid range");
+  BinModel m;
+  m.strategy = Strategy::kEqualWidth;
+  if (lo == hi) {
+    const double pad = (std::abs(lo) + 1.0) * 1e-12;
+    lo -= pad;
+    hi += pad;
+  }
+  const double width = (hi - lo) / static_cast<double>(bins);
+  m.centers.resize(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    m.centers[b] = lo + width * (static_cast<double>(b) + 0.5);
+  }
+  return m;
+}
+
+BinModel learn_equal_width(std::span<const double> ratios, std::size_t bins,
+                           util::ThreadPool* pool) {
+  NUMARCK_EXPECT(bins >= 1, "equal-width: need at least one bin");
+  BinModel m;
+  m.strategy = Strategy::kEqualWidth;
+  if (ratios.empty()) return m;
+  auto& tp = pool ? *pool : util::ThreadPool::global();
+  using P = std::pair<double, double>;
+  const P mm = util::parallel_reduce<P>(
+      tp, 0, ratios.size(),
+      P{std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()},
+      [&ratios](std::size_t i0, std::size_t i1) {
+        P r{std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+        for (std::size_t i = i0; i < i1; ++i) {
+          r.first = std::min(r.first, ratios[i]);
+          r.second = std::max(r.second, ratios[i]);
+        }
+        return r;
+      },
+      [](P a, P b) {
+        return P{std::min(a.first, b.first), std::max(a.second, b.second)};
+      });
+  return equal_width_from_range(mm.first, mm.second, bins);
+}
+
+BinModel log_scale_from_sides(const LogScaleSides& sides, std::size_t bins,
+                              double min_magnitude) {
+  NUMARCK_EXPECT(bins >= 1, "log-scale: need at least one bin");
+  NUMARCK_EXPECT(min_magnitude > 0.0, "log-scale: min magnitude must be > 0");
+  BinModel m;
+  m.strategy = Strategy::kLogScale;
+  const std::uint64_t total = sides.neg_count + sides.pos_count;
+  if (total == 0) return m;
+
+  std::size_t neg_bins = 0;
+  if (sides.neg_count > 0) {
+    if (sides.pos_count == 0) {
+      neg_bins = bins;
+    } else {
+      neg_bins = static_cast<std::size_t>(
+          std::llround(static_cast<double>(bins) *
+                       static_cast<double>(sides.neg_count) /
+                       static_cast<double>(total)));
+      neg_bins = std::clamp<std::size_t>(neg_bins, 1, bins - 1);
+    }
+  }
+  const std::size_t pos_bins = bins - neg_bins;
+
+  // Geometric midpoints of log-uniform intervals on [min_magnitude, max].
+  auto side_centers = [min_magnitude](double max_mag, std::size_t nb,
+                                      double sign, std::vector<double>& out) {
+    if (nb == 0) return;
+    const double lo = std::log(min_magnitude);
+    const double hi =
+        std::log(std::max(max_mag, min_magnitude * (1.0 + 1e-12)));
+    for (std::size_t b = 0; b < nb; ++b) {
+      const double a = lo + (hi - lo) * static_cast<double>(b) /
+                                static_cast<double>(nb);
+      const double c = lo + (hi - lo) * static_cast<double>(b + 1) /
+                                static_cast<double>(nb);
+      out.push_back(sign * std::exp(0.5 * (a + c)));
+    }
+  };
+
+  m.centers.reserve(bins);
+  side_centers(sides.neg_max, neg_bins, -1.0, m.centers);
+  side_centers(sides.pos_max, pos_bins, +1.0, m.centers);
+  std::sort(m.centers.begin(), m.centers.end());
+  return m;
+}
+
+BinModel learn_log_scale(std::span<const double> ratios, std::size_t bins,
+                         double min_magnitude, util::ThreadPool* pool) {
+  NUMARCK_EXPECT(min_magnitude > 0.0, "log-scale: min magnitude must be > 0");
+  if (ratios.empty()) {
+    BinModel m;
+    m.strategy = Strategy::kLogScale;
+    return m;
+  }
+  auto& tp = pool ? *pool : util::ThreadPool::global();
+  const LogScaleSides sides = util::parallel_reduce<LogScaleSides>(
+      tp, 0, ratios.size(), LogScaleSides{},
+      [&ratios, min_magnitude](std::size_t i0, std::size_t i1) {
+        LogScaleSides s;
+        for (std::size_t i = i0; i < i1; ++i) {
+          const double r = ratios[i];
+          const double mag = std::abs(r);
+          if (mag < min_magnitude) continue;  // index 0 upstream
+          if (r < 0.0) {
+            ++s.neg_count;
+            s.neg_max = std::max(s.neg_max, mag);
+          } else {
+            ++s.pos_count;
+            s.pos_max = std::max(s.pos_max, mag);
+          }
+        }
+        return s;
+      },
+      [](LogScaleSides a, const LogScaleSides& b) {
+        a.neg_count += b.neg_count;
+        a.neg_max = std::max(a.neg_max, b.neg_max);
+        a.pos_count += b.pos_count;
+        a.pos_max = std::max(a.pos_max, b.pos_max);
+        return a;
+      });
+  return log_scale_from_sides(sides, bins, min_magnitude);
+}
+
+BinModel learn_clustering(std::span<const double> ratios, std::size_t bins,
+                          const Options& opts) {
+  BinModel m;
+  m.strategy = Strategy::kClustering;
+  if (ratios.empty()) return m;
+  cluster::KMeansOptions ko;
+  ko.k = bins;
+  ko.max_iterations = opts.kmeans_max_iterations;
+  ko.engine = opts.kmeans_engine;
+  ko.init = cluster::KMeansInit::kEqualWidthHistogram;  // paper's seeding
+  ko.pool = opts.pool;
+  cluster::KMeansResult r = cluster::kmeans1d(ratios, ko);
+  m.centers = std::move(r.centroids);  // ascending, empties dropped
+  return m;
+}
+
+BinModel learn_bins(std::span<const double> ratios, const Options& opts) {
+  const std::size_t bins = opts.max_bins();
+  switch (opts.strategy) {
+    case Strategy::kEqualWidth:
+      return learn_equal_width(ratios, bins, opts.pool);
+    case Strategy::kLogScale:
+      return learn_log_scale(ratios, bins, opts.error_bound, opts.pool);
+    case Strategy::kClustering:
+      return learn_clustering(ratios, bins, opts);
+  }
+  return {};
+}
+
+}  // namespace numarck::core

@@ -1,0 +1,41 @@
+#include "numarck/core/change_ratio.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "numarck/util/expect.hpp"
+#include "numarck/util/parallel_for.hpp"
+
+namespace numarck::core {
+
+ChangeRatios compute_change_ratios(std::span<const double> previous,
+                                   std::span<const double> current,
+                                   numarck::util::ThreadPool* pool) {
+  NUMARCK_EXPECT(previous.size() == current.size(),
+                 "change ratios: snapshot size mismatch");
+  auto& tp = pool ? *pool : util::ThreadPool::global();
+  const std::size_t n = previous.size();
+  ChangeRatios out;
+  out.ratio.assign(n, 0.0);
+  out.valid.assign(n, 0);
+
+  out.defined_count = util::parallel_reduce<std::size_t>(
+      tp, 0, n, 0,
+      [&](std::size_t i0, std::size_t i1) {
+        std::size_t defined = 0;
+        for (std::size_t j = i0; j < i1; ++j) {
+          const double prev = previous[j];
+          if (prev == 0.0) continue;  // paper rule: store D_{i,j} exactly
+          const double r = (current[j] - prev) / prev;
+          if (!std::isfinite(r)) continue;  // extension: exact-store any junk
+          out.ratio[j] = r;
+          out.valid[j] = 1;
+          ++defined;
+        }
+        return defined;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
+  return out;
+}
+
+}  // namespace numarck::core

@@ -1,0 +1,165 @@
+#include "numarck/core/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numarck/core/change_ratio.hpp"
+#include "numarck/util/bitpack.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace numarck::core {
+
+namespace {
+
+/// Stage 3 of the encoder: per-point assignment against a learned model,
+/// packing, and stats. Shared by the local and the distributed paths.
+EncodedIteration encode_with_ratios(std::span<const double> previous,
+                                    std::span<const double> current,
+                                    const ChangeRatios& cr,
+                                    const BinModel& model,
+                                    const Options& opts) {
+  const std::size_t n = current.size();
+  const double E = opts.error_bound;
+
+  EncodedIteration enc;
+  enc.index_bits = opts.index_bits;
+  enc.error_bound = E;
+  enc.strategy = opts.strategy;
+  enc.point_count = n;
+  enc.stats.total_points = n;
+  if (n == 0) return enc;
+  NUMARCK_EXPECT(model.centers.size() <= opts.max_bins(),
+                 "bin model larger than the index space");
+  enc.centers = model.centers;
+
+  util::BitWriter zeta;
+  util::BitWriter idx;
+  const double small = opts.resolved_small_value_threshold();
+  double err_sum = 0.0;
+  double err_max = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    // Small-value rule (Algorithm 1 line 5): both sides below the absolute
+    // threshold -> "unchanged", index 0. Relative change of noise-scale
+    // values is meaningless; the absolute reconstruction error is <= 2*small.
+    if (small > 0.0 && std::abs(current[j]) < small &&
+        std::abs(previous[j]) <= small) {
+      zeta.put_bit(true);
+      idx.put(0u, opts.index_bits);
+      ++enc.stats.small_value;
+      continue;  // counted as an unchanged point: zero ratio error
+    }
+    if (!cr.valid[j]) {
+      zeta.put_bit(false);
+      enc.exact_values.push_back(current[j]);
+      ++enc.stats.exact_undefined;
+      continue;
+    }
+    const double r = cr.ratio[j];
+    const double mag = std::abs(r);
+    if (mag < E) {
+      zeta.put_bit(true);
+      idx.put(0u, opts.index_bits);
+      ++enc.stats.below_threshold;
+      err_sum += mag;  // approximated ratio is exactly 0
+      err_max = std::max(err_max, mag);
+      continue;
+    }
+    bool stored = false;
+    if (!model.empty()) {
+      const std::size_t c = model.nearest(r);
+      const double err = std::abs(model.centers[c] - r);
+      if (err <= E) {
+        zeta.put_bit(true);
+        idx.put(static_cast<std::uint32_t>(c + 1), opts.index_bits);
+        ++enc.stats.binned;
+        err_sum += err;
+        err_max = std::max(err_max, err);
+        stored = true;
+      }
+    }
+    if (!stored) {
+      zeta.put_bit(false);
+      enc.exact_values.push_back(current[j]);
+      ++enc.stats.exact_out_of_bound;
+    }
+  }
+  enc.zeta = zeta.finish();
+  enc.indices = idx.finish();
+  enc.stats.mean_ratio_error = err_sum / static_cast<double>(n);
+  enc.stats.max_ratio_error = err_max;
+  return enc;
+}
+
+}  // namespace
+
+EncodedIteration encode_iteration(std::span<const double> previous,
+                                  std::span<const double> current,
+                                  const Options& opts) {
+  opts.validate();
+  NUMARCK_EXPECT(previous.size() == current.size(),
+                 "encode: snapshot size mismatch");
+  const std::size_t n = current.size();
+  const double E = opts.error_bound;
+
+  // Stage 1: forward predictive coding.
+  const ChangeRatios cr = compute_change_ratios(previous, current, opts.pool);
+
+  // Stage 2: learn the distribution from ratios that actually need a bin
+  // (defined, not small-valued, and not already satisfied by the zero index).
+  const double small_thr = opts.resolved_small_value_threshold();
+  std::vector<double> learn_set;
+  learn_set.reserve(cr.defined_count);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!cr.valid[j] || std::abs(cr.ratio[j]) < E) continue;
+    if (small_thr > 0.0 && std::abs(current[j]) < small_thr &&
+        std::abs(previous[j]) <= small_thr) {
+      continue;
+    }
+    learn_set.push_back(cr.ratio[j]);
+  }
+  const BinModel model = learn_bins(learn_set, opts);
+
+  // Stage 3: assignment + packing.
+  return encode_with_ratios(previous, current, cr, model, opts);
+}
+
+EncodedIteration encode_iteration_with_model(std::span<const double> previous,
+                                             std::span<const double> current,
+                                             const BinModel& model,
+                                             const Options& opts) {
+  opts.validate();
+  NUMARCK_EXPECT(previous.size() == current.size(),
+                 "encode: snapshot size mismatch");
+  const ChangeRatios cr = compute_change_ratios(previous, current, opts.pool);
+  return encode_with_ratios(previous, current, cr, model, opts);
+}
+
+std::vector<double> decode_iteration(std::span<const double> previous,
+                                     const EncodedIteration& enc) {
+  NUMARCK_EXPECT(previous.size() == enc.point_count,
+                 "decode: previous snapshot has wrong length");
+  std::vector<double> out(enc.point_count);
+  util::BitReader zeta(enc.zeta);
+  util::BitReader idx(enc.indices);
+  std::size_t exact_pos = 0;
+  for (std::size_t j = 0; j < enc.point_count; ++j) {
+    if (!zeta.get_bit()) {
+      NUMARCK_EXPECT(exact_pos < enc.exact_values.size(),
+                     "decode: exact stream exhausted");
+      out[j] = enc.exact_values[exact_pos++];
+      continue;
+    }
+    const std::uint32_t i = idx.get(enc.index_bits);
+    if (i == 0) {
+      out[j] = previous[j];  // |ΔD| < E: carry the previous value
+    } else {
+      NUMARCK_EXPECT(i <= enc.centers.size(), "decode: index out of table");
+      out[j] = previous[j] * (1.0 + enc.centers[i - 1]);
+    }
+  }
+  NUMARCK_EXPECT(exact_pos == enc.exact_values.size(),
+                 "decode: exact stream not fully consumed");
+  return out;
+}
+
+}  // namespace numarck::core

@@ -1,0 +1,94 @@
+#include "numarck/core/compressor.hpp"
+
+#include "numarck/lossless/fpc.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace numarck::core {
+
+std::size_t CompressedStep::stored_bytes() const {
+  return is_full ? full_fpc.size() : delta.serialized_size_bytes();
+}
+
+VariableCompressor::VariableCompressor(Options opts) : opts_(opts) {
+  opts_.validate();
+}
+
+std::vector<double> VariableCompressor::prediction_base() const {
+  if (opts_.predictor == Predictor::kLinear && !reference2_.empty()) {
+    std::vector<double> base(reference_.size());
+    for (std::size_t j = 0; j < base.size(); ++j) {
+      base[j] = 2.0 * reference_[j] - reference2_[j];
+    }
+    return base;
+  }
+  return reference_;
+}
+
+CompressedStep VariableCompressor::push(std::span<const double> snapshot) {
+  CompressedStep step;
+  step.point_count = snapshot.size();
+  if (iter_ == 0) {
+    step.is_full = true;
+    step.full_fpc = lossless::fpc_compress(snapshot);
+    reference_.assign(snapshot.begin(), snapshot.end());
+    ++iter_;
+    return step;
+  }
+  NUMARCK_EXPECT(snapshot.size() == reference_.size(),
+                 "VariableCompressor: snapshot length changed mid-stream");
+  step.is_full = false;
+  const bool linear =
+      opts_.predictor == Predictor::kLinear && !reference2_.empty();
+  const std::vector<double> base = prediction_base();
+  step.delta = encode_iteration(base, snapshot, opts_);
+  step.delta.predictor = linear ? Predictor::kLinear : Predictor::kPrevious;
+  if (opts_.reference == Reference::kTruePrevious) {
+    reference2_ = reference_;
+    reference_.assign(snapshot.begin(), snapshot.end());
+  } else {
+    // Closed loop: predict the next iteration from what the decoder will
+    // actually hold, so per-iteration bounds apply to the *absolute* state.
+    std::vector<double> recon = decode_iteration(base, step.delta);
+    reference2_ = std::move(reference_);
+    reference_ = std::move(recon);
+  }
+  ++iter_;
+  return step;
+}
+
+void VariableReconstructor::push(const CompressedStep& step) {
+  if (step.is_full) {
+    push_full(step.full_fpc);
+  } else {
+    push_delta(step.delta);
+  }
+}
+
+void VariableReconstructor::push_full(std::span<const std::uint8_t> fpc_stream) {
+  // A full record is always accepted: mid-stream it is a rebase (the
+  // adaptive controller emits those), resetting the delta chain.
+  state_ = lossless::fpc_decompress(fpc_stream);
+  state2_.clear();
+  ++iter_;
+}
+
+void VariableReconstructor::push_delta(const EncodedIteration& delta) {
+  NUMARCK_EXPECT(iter_ > 0, "reconstructor: delta before the full record");
+  std::vector<double> base;
+  if (delta.predictor == Predictor::kLinear) {
+    NUMARCK_EXPECT(!state2_.empty(),
+                   "reconstructor: linear-coded delta without two states");
+    base.resize(state_.size());
+    for (std::size_t j = 0; j < base.size(); ++j) {
+      base[j] = 2.0 * state_[j] - state2_[j];
+    }
+  } else {
+    base = state_;
+  }
+  std::vector<double> next = decode_iteration(base, delta);
+  state2_ = std::move(state_);
+  state_ = std::move(next);
+  ++iter_;
+}
+
+}  // namespace numarck::core

@@ -1,0 +1,71 @@
+// The learned representative table (§II-C): every strategy reduces to a
+// sorted list of representative change ratios ("centers"); the encoder assigns
+// each ratio to its nearest center and escapes to exact storage when the
+// resulting approximation error would exceed the user bound E.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "numarck/core/options.hpp"
+
+namespace numarck::core {
+
+/// A learned table of representative change ratios.
+struct BinModel {
+  Strategy strategy = Strategy::kEqualWidth;
+  std::vector<double> centers;  ///< sorted ascending; size <= 2^B - 1
+
+  /// Index (into centers) of the representative nearest to `ratio`.
+  [[nodiscard]] std::size_t nearest(double ratio) const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return centers.empty(); }
+};
+
+/// §II-C-1 — centers are the midpoints of `bins` equal-width histogram bins
+/// over the range of `ratios`. All bins are kept (even empty ones) because
+/// the table slots are charged to storage regardless.
+BinModel learn_equal_width(std::span<const double> ratios, std::size_t bins,
+                           util::ThreadPool* pool = nullptr);
+
+/// §II-C-2 — log-scale bins per sign. Bin budget is split between negative
+/// and positive ratios proportionally to their population; within a side the
+/// magnitude range [E, max|ratio|] is divided into log-uniform intervals and
+/// each center is the interval's geometric midpoint (mirrored for the
+/// negative side). `min_magnitude` is the user error bound E: ratios below it
+/// are index 0 upstream and never reach the model.
+BinModel learn_log_scale(std::span<const double> ratios, std::size_t bins,
+                         double min_magnitude, util::ThreadPool* pool = nullptr);
+
+/// §II-C-3 — 1-D K-means with k = `bins` clusters seeded from the equal-width
+/// histogram. Empty clusters are dropped, so the table may be smaller than
+/// `bins` (the storage accounting still charges the full 2^B - 1 table, as in
+/// the paper's Eq. 3).
+BinModel learn_clustering(std::span<const double> ratios, std::size_t bins,
+                          const Options& opts);
+
+/// Dispatch on opts.strategy over a pre-filtered learn set (|ratio| >= E,
+/// defined ratios only).
+BinModel learn_bins(std::span<const double> ratios, const Options& opts);
+
+// --- closed-form constructors, shared by the serial learners and the
+// --- distributed (global-table) encoder -----------------------------------
+
+/// Equal-width centers (bin midpoints) over an explicit [lo, hi] range.
+BinModel equal_width_from_range(double lo, double hi, std::size_t bins);
+
+/// Sufficient statistics for the log-scale model: population and maximum
+/// magnitude per sign (what a distributed run allreduces).
+struct LogScaleSides {
+  std::uint64_t neg_count = 0;
+  std::uint64_t pos_count = 0;
+  double neg_max = 0.0;
+  double pos_max = 0.0;
+};
+
+/// Log-scale centers from side statistics.
+BinModel log_scale_from_sides(const LogScaleSides& sides, std::size_t bins,
+                              double min_magnitude);
+
+}  // namespace numarck::core

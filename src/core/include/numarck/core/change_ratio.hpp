@@ -1,0 +1,31 @@
+// Forward predictive coding (§II-B, Eq. 1):
+//   ΔD_{i,j} = (D_{i,j} - D_{i-1,j}) / D_{i-1,j}
+// with the paper's zero-denominator rule: when D_{i-1,j} == 0 the point is
+// stored exactly (no ratio exists). We extend the exact-storage rule to
+// non-finite ratios (inf/nan inputs) so the compressor is total on any input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numarck/util/thread_pool.hpp"
+
+namespace numarck::core {
+
+struct ChangeRatios {
+  /// Ratio per point; meaningless where valid[j] == 0.
+  std::vector<double> ratio;
+  /// 1 where the ratio is defined (previous value non-zero, result finite).
+  std::vector<std::uint8_t> valid;
+  std::size_t defined_count = 0;  ///< number of points with valid[j] == 1
+};
+
+/// Computes Eq. 1 over two equal-length snapshots (parallel over `pool`;
+/// null = process-global).
+ChangeRatios compute_change_ratios(std::span<const double> previous,
+                                   std::span<const double> current,
+                                   numarck::util::ThreadPool* pool = nullptr);
+
+}  // namespace numarck::core

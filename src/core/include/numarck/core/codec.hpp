@@ -1,0 +1,50 @@
+// The NUMARCK per-iteration codec (Algorithm 1, lines 3–10, plus §II-D).
+//
+// encode_iteration compresses snapshot `current` against snapshot `previous`:
+//   1. forward predictive coding — compute change ratios (Eq. 1);
+//   2. learn the distribution with the configured strategy;
+//   3. per point, assign the nearest representative; points whose ratio error
+//      would exceed E — and points with an undefined ratio — escape to exact
+//      storage (the ζ = 0 path).
+//
+// decode_iteration applies the §II-D reconstruction rule:
+//   ε_{i,j} = D_{i,j}                     when ζ = 0 (exact)
+//   ε_{i,j} = D'_{i-1,j} (1 + ΔD'_{i,j})  otherwise.
+//
+// Whether `previous` is the true or the reconstructed previous iteration is
+// the caller's choice (Options::reference is implemented by the pipeline in
+// compressor.hpp); the codec itself is reference-agnostic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "numarck/core/bin_model.hpp"
+#include "numarck/core/encoded.hpp"
+#include "numarck/core/options.hpp"
+
+namespace numarck::core {
+
+/// Compresses `current` against `previous` (same length). The per-point
+/// guarantee: for every compressible point, |Δ' - Δ| <= E; every other point
+/// is stored bit-exact.
+EncodedIteration encode_iteration(std::span<const double> previous,
+                                  std::span<const double> current,
+                                  const Options& opts);
+
+/// Like encode_iteration, but with an externally learned representative
+/// table (the distributed global-table path: ranks learn `model` together,
+/// then each encodes its partition locally). The error-bound guarantee is
+/// unconditional — a model that fits the data poorly only raises γ.
+EncodedIteration encode_iteration_with_model(std::span<const double> previous,
+                                             std::span<const double> current,
+                                             const BinModel& model,
+                                             const Options& opts);
+
+/// Reconstructs the iteration from `previous` (typically itself a
+/// reconstruction) and the encoded record. Inverse of encode_iteration when
+/// called with the same previous snapshot.
+std::vector<double> decode_iteration(std::span<const double> previous,
+                                     const EncodedIteration& enc);
+
+}  // namespace numarck::core

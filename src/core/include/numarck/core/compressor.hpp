@@ -1,0 +1,88 @@
+// Stateful per-variable pipelines implementing Algorithm 1 end to end.
+//
+// VariableCompressor consumes a time series of snapshots for one simulation
+// variable. The first snapshot becomes the full checkpoint C0 (losslessly
+// FPC-compressed, Algorithm 1 line 1); every later snapshot is encoded as a
+// NUMARCK delta against the reference configured by Options::reference
+// (true previous = paper behaviour, reconstructed previous = closed-loop
+// extension).
+//
+// VariableReconstructor replays the records in order and maintains the
+// reconstructed state D'_i — the restart path of §II-D.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "numarck/core/codec.hpp"
+#include "numarck/core/encoded.hpp"
+#include "numarck/core/options.hpp"
+
+namespace numarck::core {
+
+/// One step of compressed output: either the lossless full checkpoint or a
+/// NUMARCK-encoded delta.
+struct CompressedStep {
+  bool is_full = false;
+  std::vector<std::uint8_t> full_fpc;  ///< set when is_full
+  EncodedIteration delta;              ///< set when !is_full
+  std::size_t point_count = 0;
+
+  /// Bytes this step occupies when serialized (payload only).
+  [[nodiscard]] std::size_t stored_bytes() const;
+};
+
+class VariableCompressor {
+ public:
+  explicit VariableCompressor(Options opts);
+
+  /// Compresses the next snapshot. All snapshots must have identical length.
+  CompressedStep push(std::span<const double> snapshot);
+
+  /// Number of snapshots consumed so far.
+  [[nodiscard]] std::size_t iterations() const noexcept { return iter_; }
+
+  /// The reference the *next* snapshot will be coded against (empty before
+  /// the first push). True previous values in paper mode; reconstructed
+  /// values in closed-loop mode.
+  [[nodiscard]] const std::vector<double>& reference() const noexcept {
+    return reference_;
+  }
+
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+ private:
+  /// Prediction base for the next snapshot (see Options::predictor).
+  [[nodiscard]] std::vector<double> prediction_base() const;
+
+  Options opts_;
+  std::vector<double> reference_;    ///< D_{i-1} (true or reconstructed)
+  std::vector<double> reference2_;   ///< D_{i-2}, for the linear predictor
+  std::size_t iter_ = 0;
+};
+
+class VariableReconstructor {
+ public:
+  /// Applies one compressed step; must be fed the exact sequence the
+  /// compressor produced, starting with the full record.
+  void push(const CompressedStep& step);
+
+  /// Convenience overloads for records loaded from a checkpoint file.
+  void push_full(std::span<const std::uint8_t> fpc_stream);
+  void push_delta(const EncodedIteration& delta);
+
+  /// Current reconstructed snapshot D'_i.
+  [[nodiscard]] const std::vector<double>& state() const noexcept { return state_; }
+
+  [[nodiscard]] std::size_t iterations() const noexcept { return iter_; }
+
+ private:
+  std::vector<double> state_;
+  std::vector<double> state2_;  ///< previous state, for linear-coded deltas
+  std::size_t iter_ = 0;
+};
+
+}  // namespace numarck::core

@@ -1,0 +1,102 @@
+// The on-disk representation of one NUMARCK-compressed iteration and its
+// storage accounting (paper Eq. 3 plus honest serialized size).
+//
+// Layout per iteration (DESIGN.md §3):
+//   * ζ bitmap — 1 bit per point, 1 = compressible (the paper's ζ_{i,j});
+//   * index stream — B bits per *compressible* point; index 0 means
+//     |ΔD| < E (reconstruct as the previous value), index i >= 1 addresses
+//     centers[i-1];
+//   * exact stream — raw 8-byte doubles for incompressible points, in point
+//     order;
+//   * center table — at most 2^B - 1 learned representative ratios.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numarck/core/options.hpp"
+
+namespace numarck::core {
+
+/// Per-iteration bookkeeping (§III-B metrics are derived from these).
+struct IterationStats {
+  std::size_t total_points = 0;
+  std::size_t below_threshold = 0;        ///< |ΔD| < E, index 0
+  std::size_t small_value = 0;            ///< |value| below the small-value
+                                          ///< threshold on both sides, index 0
+  std::size_t binned = 0;                 ///< assigned to a learned bin
+  std::size_t exact_undefined = 0;        ///< previous value 0 / ratio not finite
+  std::size_t exact_out_of_bound = 0;     ///< nearest bin missed the E bound
+  double mean_ratio_error = 0.0;          ///< mean |Δ' - Δ| over all points
+  double max_ratio_error = 0.0;           ///< max  |Δ' - Δ| over all points
+
+  [[nodiscard]] std::size_t exact_total() const noexcept {
+    return exact_undefined + exact_out_of_bound;
+  }
+
+  /// Incompressible ratio γ (§III-B).
+  [[nodiscard]] double incompressible_ratio() const noexcept {
+    return total_points == 0
+               ? 0.0
+               : static_cast<double>(exact_total()) /
+                     static_cast<double>(total_points);
+  }
+};
+
+/// Optional lossless post-pass applied at serialization time (§III-B: "we
+/// can further use a lossless compression technique ... on our compressed
+/// data"). Each stream is only replaced when the coded form is smaller, so
+/// kAuto never loses.
+struct Postpass {
+  bool huffman_indices = false;  ///< entropy-code the B-bit index stream
+  bool rle_bitmap = false;       ///< run-length code the ζ bitmap
+  bool fpc_exact = false;        ///< FPC the exact-value doubles
+
+  static Postpass none() noexcept { return {}; }
+  static Postpass all() noexcept { return {true, true, true}; }
+};
+
+class EncodedIteration {
+ public:
+  unsigned index_bits = 8;
+  double error_bound = 0.001;
+  Strategy strategy = Strategy::kClustering;
+  /// How the prediction base this record was coded against is formed from
+  /// the reconstructed history (set by the pipeline; kPrevious unless the
+  /// linear-extrapolation extension was active for this step).
+  Predictor predictor = Predictor::kPrevious;
+  std::size_t point_count = 0;
+
+  std::vector<double> centers;            ///< learned table, ascending
+  std::vector<std::uint8_t> zeta;         ///< packed bitmap, 1 bit/point
+  std::vector<std::uint8_t> indices;      ///< packed B-bit indices
+  std::vector<double> exact_values;       ///< incompressible points, in order
+
+  IterationStats stats;
+
+  /// Paper Eq. 3 compression ratio in percent (charges index stream, exact
+  /// values and a full 2^B - 1 center table; ignores the ζ bitmap).
+  [[nodiscard]] double paper_compression_ratio() const;
+
+  /// True size of serialize()'s output in bytes (bitmap, headers and all).
+  [[nodiscard]] std::size_t serialized_size_bytes() const;
+
+  /// Honest compression ratio in percent based on serialized_size_bytes().
+  [[nodiscard]] double true_compression_ratio() const;
+
+  /// Serializes the record. With a post-pass, each stream is entropy/run/
+  /// FPC-coded when that actually shrinks it (per-stream flags travel in the
+  /// record, so any serialization deserializes with the plain overload).
+  [[nodiscard]] std::vector<std::uint8_t> serialize(
+      const Postpass& postpass = Postpass::none()) const;
+  static EncodedIteration deserialize(std::span<const std::uint8_t> bytes);
+
+  /// Number of compressible points (= indices stored in the index stream).
+  [[nodiscard]] std::size_t compressible_count() const noexcept {
+    return point_count - exact_values.size();
+  }
+};
+
+}  // namespace numarck::core

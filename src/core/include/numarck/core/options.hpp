@@ -1,0 +1,95 @@
+// User-facing knobs of the NUMARCK compressor, mirroring the paper's inputs:
+//   E — user tolerance error threshold on the change ratio (§II-C),
+//   B — approximation precision, bits per stored index (§II-C),
+//   the approximation strategy (§II-C-1/2/3),
+// plus engineering extensions (closed-loop reference mode, K-means engine
+// selection, explicit thread pool).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "numarck/cluster/kmeans1d.hpp"
+#include "numarck/util/thread_pool.hpp"
+
+namespace numarck::core {
+
+/// The three distribution-learning strategies from §II-C.
+enum class Strategy : std::uint8_t {
+  kEqualWidth = 0,  ///< §II-C-1: equal-width histogram bins, midpoint centers
+  kLogScale = 1,    ///< §II-C-2: log-spaced magnitude bins, per sign
+  kClustering = 2,  ///< §II-C-3: K-means, seeded from the equal-width histogram
+};
+
+/// Which previous iteration the change ratios are computed against.
+enum class Reference : std::uint8_t {
+  /// Paper behaviour (Algorithm 1): ratios against the true previous
+  /// iteration. Per-iteration ratio error is bounded by E but errors
+  /// accumulate across chained checkpoints (observed in §III-G / Fig. 8).
+  kTruePrevious = 0,
+  /// Extension: ratios against the *reconstructed* previous iteration, like a
+  /// video codec predicting from decoded frames. Accumulation is eliminated;
+  /// costs one extra reconstruction per compressed iteration.
+  kReconstructedPrevious = 1,
+};
+
+/// How the prediction base for the change ratios is formed (extension; the
+/// paper uses kPrevious, i.e. first-order forward prediction).
+enum class Predictor : std::uint8_t {
+  /// Eq. 1 verbatim: base_j = D_{i-1,j}.
+  kPrevious = 0,
+  /// Second-order: linear extrapolation base_j = 2 D_{i-1,j} - D_{i-2,j}.
+  /// For smoothly evolving simulations the residual ratios shrink by an
+  /// order of magnitude, which buys either smaller B or smaller γ at the
+  /// same bound (bench/ext_predictor). Falls back to kPrevious on the first
+  /// delta (no second history point yet).
+  kLinear = 1,
+};
+
+const char* to_string(Strategy s) noexcept;
+const char* to_string(Reference r) noexcept;
+const char* to_string(Predictor p) noexcept;
+
+struct Options {
+  /// User tolerance error threshold E as a fraction (0.001 = 0.1 %).
+  double error_bound = 0.001;
+
+  /// Index precision B in bits; the bin table holds up to 2^B - 1 learned
+  /// representatives (index 0 is reserved for |ratio| < E).
+  unsigned index_bits = 8;
+
+  /// Small-value rule (Algorithm 1, line 5: "if abs(D_{i,j}) < E"): when the
+  /// current *and* previous values are both below this absolute threshold,
+  /// the point is coded as index 0 (reconstructed as the previous value,
+  /// absolute error <= 2x the threshold). This is what makes near-zero
+  /// fields like CMIP runoff compressible — their relative changes are
+  /// meaningless but their absolute values are noise. Negative means
+  /// "default to error_bound" (the paper reuses E); 0 disables the rule and
+  /// enforces the pure ratio bound everywhere.
+  double small_value_threshold = -1.0;
+
+  [[nodiscard]] double resolved_small_value_threshold() const noexcept {
+    return small_value_threshold < 0.0 ? error_bound : small_value_threshold;
+  }
+
+  Strategy strategy = Strategy::kClustering;
+  Reference reference = Reference::kTruePrevious;
+  Predictor predictor = Predictor::kPrevious;
+
+  /// K-means controls (only used by Strategy::kClustering).
+  cluster::KMeansEngine kmeans_engine = cluster::KMeansEngine::kSortedBoundary;
+  std::size_t kmeans_max_iterations = 30;
+
+  /// Thread pool for all data-parallel stages; null = process-global pool.
+  util::ThreadPool* pool = nullptr;
+
+  /// Maximum number of learned bins: 2^B - 1.
+  [[nodiscard]] std::size_t max_bins() const noexcept {
+    return (std::size_t{1} << index_bits) - 1;
+  }
+
+  /// Throws ContractViolation when a field is out of its valid domain.
+  void validate() const;
+};
+
+}  // namespace numarck::core

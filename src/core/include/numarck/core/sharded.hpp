@@ -1,0 +1,81 @@
+// Sharded (per-rank) compression — the paper's deployment model made
+// explicit. At scale, each MPI process compresses its local partition
+// independently ("minimal data movement, mostly in place", §I/§II): no
+// global communication, but every shard pays for its own 2^B - 1 bin table
+// and learns only its local change distribution. ShardedCompressor
+// reproduces that trade-off on shared memory: the snapshot is split into
+// contiguous shards, each with an independent VariableCompressor, pushed
+// concurrently through the thread pool. The ext_sharding bench quantifies
+// the compression-ratio cost of locality against the single-table baseline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "numarck/core/compressor.hpp"
+
+namespace numarck::core {
+
+struct ShardedOptions {
+  Options codec;
+  std::size_t shards = 4;               ///< simulated process count
+  util::ThreadPool* pool = nullptr;     ///< null = process-global pool
+};
+
+/// One iteration's output across all shards.
+struct ShardedStep {
+  std::vector<CompressedStep> shard_steps;  ///< in shard order
+  std::size_t point_count = 0;
+
+  /// Aggregate incompressible ratio across shards.
+  [[nodiscard]] double incompressible_ratio() const;
+
+  /// Paper Eq. 3 accounting summed over shards (each shard charges its own
+  /// full 2^B - 1 table — the locality cost).
+  [[nodiscard]] double paper_compression_ratio() const;
+
+  /// True when this is the first (lossless full) iteration.
+  [[nodiscard]] bool is_full() const {
+    return !shard_steps.empty() && shard_steps.front().is_full;
+  }
+};
+
+class ShardedCompressor {
+ public:
+  explicit ShardedCompressor(const ShardedOptions& opts);
+
+  /// Compresses the next snapshot; shards run concurrently on the pool.
+  ShardedStep push(std::span<const double> snapshot);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return compressors_.size();
+  }
+
+ private:
+  ShardedOptions opts_;
+  /// Each shard's codec runs serially inside (like one MPI rank); the
+  /// cross-shard parallelism lives in push(). Routing inner stages through
+  /// the shared pool would deadlock it: shard tasks would block on inner
+  /// tasks queued behind other shard tasks.
+  util::ThreadPool inner_pool_{1};
+  std::vector<VariableCompressor> compressors_;
+  std::vector<std::size_t> boundaries_;  ///< size shards+1, set on first push
+};
+
+class ShardedReconstructor {
+ public:
+  /// Replays a sharded step; must be fed the exact sequence produced.
+  void push(const ShardedStep& step);
+
+  /// Reassembled full snapshot.
+  [[nodiscard]] const std::vector<double>& state() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::vector<VariableReconstructor> shards_;
+  std::vector<double> state_;
+};
+
+}  // namespace numarck::core

@@ -1,0 +1,92 @@
+#include "numarck/core/sharded.hpp"
+
+#include <cmath>
+#include <future>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::core {
+
+double ShardedStep::incompressible_ratio() const {
+  std::size_t exact = 0, total = 0;
+  for (const auto& s : shard_steps) {
+    if (!s.is_full) {
+      exact += s.delta.stats.exact_total();
+      total += s.delta.stats.total_points;
+    }
+  }
+  return total ? static_cast<double>(exact) / static_cast<double>(total) : 0.0;
+}
+
+double ShardedStep::paper_compression_ratio() const {
+  if (point_count == 0 || is_full()) return 0.0;
+  double compressed_bits = 0.0;
+  for (const auto& s : shard_steps) {
+    const auto& st = s.delta.stats;
+    const double n = static_cast<double>(st.total_points);
+    const double gamma = st.incompressible_ratio();
+    const double bits = s.delta.index_bits;
+    compressed_bits += (1.0 - gamma) * n * bits + gamma * n * 64.0 +
+                       (std::pow(2.0, bits) - 1.0) * 64.0;
+  }
+  const double total_bits = static_cast<double>(point_count) * 64.0;
+  return (total_bits - compressed_bits) / total_bits * 100.0;
+}
+
+ShardedCompressor::ShardedCompressor(const ShardedOptions& opts) : opts_(opts) {
+  NUMARCK_EXPECT(opts.shards >= 1, "need at least one shard");
+  opts_.codec.validate();
+  compressors_.reserve(opts.shards);
+  Options shard_codec = opts_.codec;
+  shard_codec.pool = &inner_pool_;  // inner stages run inline (see header)
+  for (std::size_t s = 0; s < opts.shards; ++s) {
+    compressors_.emplace_back(shard_codec);
+  }
+}
+
+ShardedStep ShardedCompressor::push(std::span<const double> snapshot) {
+  if (boundaries_.empty()) {
+    NUMARCK_EXPECT(snapshot.size() >= compressors_.size(),
+                   "fewer points than shards");
+    boundaries_.resize(compressors_.size() + 1);
+    for (std::size_t s = 0; s <= compressors_.size(); ++s) {
+      boundaries_[s] = s * snapshot.size() / compressors_.size();
+    }
+  }
+  NUMARCK_EXPECT(snapshot.size() == boundaries_.back(),
+                 "sharded: snapshot length changed mid-stream");
+
+  ShardedStep out;
+  out.point_count = snapshot.size();
+  out.shard_steps.resize(compressors_.size());
+
+  auto& pool = opts_.pool ? *opts_.pool : util::ThreadPool::global();
+  std::vector<std::future<void>> futs;
+  futs.reserve(compressors_.size());
+  for (std::size_t s = 0; s < compressors_.size(); ++s) {
+    futs.push_back(pool.submit([this, s, snapshot, &out] {
+      const auto shard = snapshot.subspan(boundaries_[s],
+                                          boundaries_[s + 1] - boundaries_[s]);
+      out.shard_steps[s] = compressors_[s].push(shard);
+    }));
+  }
+  for (auto& f : futs) f.get();
+  return out;
+}
+
+void ShardedReconstructor::push(const ShardedStep& step) {
+  if (shards_.empty()) {
+    shards_.resize(step.shard_steps.size());
+  }
+  NUMARCK_EXPECT(shards_.size() == step.shard_steps.size(),
+                 "sharded: shard count changed mid-stream");
+  state_.clear();
+  state_.reserve(step.point_count);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].push(step.shard_steps[s]);
+    const auto& part = shards_[s].state();
+    state_.insert(state_.end(), part.begin(), part.end());
+  }
+}
+
+}  // namespace numarck::core

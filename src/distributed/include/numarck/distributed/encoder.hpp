@@ -1,0 +1,51 @@
+// Distributed NUMARCK encoding with a *global* bin table — the paper's
+// deployment model, end to end: every rank holds its partition of the
+// snapshot, the representative table is learned collectively (distributed
+// K-means for the clustering strategy; allreduced sufficient statistics for
+// equal-width and log-scale), and each rank then encodes its partition
+// locally with the shared table.
+//
+// Compared with the two other deployment points in this repository:
+//   * serial (core::encode_iteration)      — one table, no communication,
+//                                            no parallelism;
+//   * sharded (core::ShardedCompressor)    — per-rank local tables, zero
+//                                            communication, S tables of
+//                                            storage overhead;
+//   * distributed (this module)            — one table, full parallelism,
+//                                            a few allreduces per iteration.
+// The ext_distributed bench quantifies all three on the same data, including
+// bytes moved over the (simulated) network — the paper's data-movement
+// currency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "numarck/core/codec.hpp"
+#include "numarck/mpisim/world.hpp"
+
+namespace numarck::distributed {
+
+struct EncodeResult {
+  /// This rank's encoded partition (decodable locally with
+  /// core::decode_iteration against the rank's previous partition).
+  core::EncodedIteration local;
+
+  /// Globally aggregated metrics — identical on every rank.
+  std::uint64_t global_points = 0;
+  double global_gamma = 0.0;           ///< incompressible ratio across ranks
+  double global_mean_error = 0.0;      ///< mean |Δ' - Δ| across ranks
+  double global_max_error = 0.0;
+  /// Paper Eq. 3 with the 2^B - 1 table charged ONCE (the global-table
+  /// advantage over per-shard tables).
+  double global_paper_ratio = 0.0;
+};
+
+/// Collective: every rank of `comm` calls this with its partition of the
+/// previous/current snapshots and identical options.
+EncodeResult encode_iteration(mpisim::Communicator& comm,
+                              std::span<const double> previous_local,
+                              std::span<const double> current_local,
+                              const core::Options& opts);
+
+}  // namespace numarck::distributed

@@ -1,0 +1,304 @@
+#include "numarck/io/checkpoint_file.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "numarck/util/byte_stream.hpp"
+#include "numarck/util/crc32.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace numarck::io {
+
+namespace {
+
+constexpr std::uint64_t kFileMagic = 0x004E4D434B505431ull;  // "NMCKPT1\0"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kRecordMarker = 0x52454331u;  // "REC1"
+
+}  // namespace
+
+// ---------------------------------------------------------------- Writer --
+
+class CheckpointWriter::Impl {
+ public:
+  Impl(const std::string& path, const std::vector<std::string>& variables)
+      : vars_(variables), out_(path, std::ios::binary | std::ios::trunc) {
+    NUMARCK_EXPECT(out_.good(), "cannot open checkpoint file for writing: " + path);
+    NUMARCK_EXPECT(!variables.empty(), "checkpoint needs at least one variable");
+    util::ByteWriter hdr;
+    hdr.put_u64(kFileMagic);
+    hdr.put_u32(kVersion);
+    hdr.put_varint(variables.size());
+    for (const auto& v : variables) hdr.put_string(v);
+    write_raw(hdr.bytes().data(), hdr.size());
+  }
+
+  void append(const std::string& variable, std::size_t iteration,
+              double sim_time, const core::CompressedStep& step,
+              const core::Postpass& postpass) {
+    const auto it = std::find(vars_.begin(), vars_.end(), variable);
+    NUMARCK_EXPECT(it != vars_.end(), "unknown variable: " + variable);
+    const std::size_t var_id = static_cast<std::size_t>(it - vars_.begin());
+
+    std::vector<std::uint8_t> payload =
+        step.is_full ? step.full_fpc : step.delta.serialize(postpass);
+
+    util::ByteWriter rec;
+    rec.put_u32(kRecordMarker);
+    rec.put_varint(var_id);
+    rec.put_varint(iteration);
+    rec.put_u8(static_cast<std::uint8_t>(step.is_full ? RecordType::kFull
+                                                      : RecordType::kDelta));
+    rec.put_f64(sim_time);
+    rec.put_varint(payload.size());
+    write_raw(rec.bytes().data(), rec.size());
+    write_raw(payload.data(), payload.size());
+    const std::uint32_t crc = util::crc32(payload.data(), payload.size());
+    write_raw(&crc, sizeof crc);
+  }
+
+  void close() {
+    if (out_.is_open()) {
+      out_.flush();
+      out_.close();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+
+ private:
+  void write_raw(const void* data, std::size_t size) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    NUMARCK_EXPECT(out_.good(), "checkpoint write failed");
+    bytes_ += size;
+  }
+
+  std::vector<std::string> vars_;
+  std::ofstream out_;
+  std::uint64_t bytes_ = 0;
+};
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   const std::vector<std::string>& variables)
+    : impl_(std::make_unique<Impl>(path, variables)) {}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (impl_) impl_->close();
+}
+
+void CheckpointWriter::append(const std::string& variable, std::size_t iteration,
+                              double sim_time, const core::CompressedStep& step,
+                              const core::Postpass& postpass) {
+  impl_->append(variable, iteration, sim_time, step, postpass);
+  bytes_ = impl_->bytes();
+}
+
+void CheckpointWriter::close() {
+  impl_->close();
+  bytes_ = impl_->bytes();
+}
+
+// ---------------------------------------------------------------- Reader --
+
+class CheckpointReader::Impl {
+ public:
+  Impl(const std::string& path, TailPolicy policy) : path_(path) {
+    std::ifstream in(path, std::ios::binary);
+    NUMARCK_EXPECT(in.good(), "cannot open checkpoint file: " + path);
+    in.seekg(0, std::ios::end);
+    const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0);
+
+    // Header.
+    std::vector<std::uint8_t> buf(file_size);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(file_size));
+    NUMARCK_EXPECT(in.gcount() == static_cast<std::streamsize>(file_size),
+                   "checkpoint read failed");
+    util::ByteReader r(buf);
+    NUMARCK_EXPECT(r.get_u64() == kFileMagic, "not a NUMARCK checkpoint file");
+    NUMARCK_EXPECT(r.get_u32() == kVersion, "unsupported checkpoint version");
+    const std::size_t nvars = r.get_varint();
+    vars_.reserve(nvars);
+    for (std::size_t v = 0; v < nvars; ++v) vars_.push_back(r.get_string());
+
+    // Record scan — build the (variable, iteration) -> offset index. Under
+    // kSalvage, structural damage ends the scan instead of throwing: the
+    // records before the damage stay readable (the torn-write recovery path).
+    while (!r.at_end()) {
+      try {
+        NUMARCK_EXPECT(r.get_u32() == kRecordMarker, "corrupt record marker");
+        RecordInfo info;
+        const std::size_t var_id = r.get_varint();
+        NUMARCK_EXPECT(var_id < vars_.size(),
+                       "record references unknown variable");
+        info.variable = vars_[var_id];
+        info.iteration = r.get_varint();
+        info.type = static_cast<RecordType>(r.get_u8());
+        info.sim_time = r.get_f64();
+        info.payload_size = r.get_varint();
+        info.payload_offset = r.position();
+        NUMARCK_EXPECT(r.remaining() >= info.payload_size + 4,
+                       "truncated checkpoint record");
+        // Skip payload + crc; verification happens on load().
+        std::vector<std::uint8_t> skip(info.payload_size + 4);
+        r.get_bytes(skip.data(), skip.size());
+        iterations_ = std::max(iterations_, info.iteration + 1);
+        times_[info.iteration] = info.sim_time;
+        index_[key(info.variable, info.iteration)] = info;
+      } catch (const numarck::ContractViolation&) {
+        if (policy == TailPolicy::kStrict) throw;
+        tail_damaged_ = true;
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool tail_damaged() const noexcept { return tail_damaged_; }
+
+  [[nodiscard]] std::optional<std::size_t> last_complete_iteration() const {
+    for (std::size_t it = iterations_; it-- > 0;) {
+      bool complete = true;
+      for (const auto& v : vars_) {
+        if (index_.find(key(v, it)) == index_.end()) {
+          complete = false;
+          break;
+        }
+      }
+      if (complete) return it;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& variables() const noexcept {
+    return vars_;
+  }
+  [[nodiscard]] std::size_t iterations() const noexcept { return iterations_; }
+
+  [[nodiscard]] std::optional<RecordInfo> info(const std::string& variable,
+                                               std::size_t iteration) const {
+    const auto it = index_.find(key(variable, iteration));
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] core::CompressedStep load(const std::string& variable,
+                                          std::size_t iteration) const {
+    const auto inf = info(variable, iteration);
+    NUMARCK_EXPECT(inf.has_value(), "checkpoint record not found: " + variable);
+    std::ifstream in(path_, std::ios::binary);
+    NUMARCK_EXPECT(in.good(), "cannot reopen checkpoint file: " + path_);
+    in.seekg(static_cast<std::streamoff>(inf->payload_offset));
+    std::vector<std::uint8_t> payload(inf->payload_size);
+    in.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+    std::uint32_t crc_stored = 0;
+    in.read(reinterpret_cast<char*>(&crc_stored), sizeof crc_stored);
+    NUMARCK_EXPECT(in.good(), "checkpoint payload read failed");
+    NUMARCK_EXPECT(util::crc32(payload.data(), payload.size()) == crc_stored,
+                   "checkpoint payload CRC mismatch (torn write?)");
+    core::CompressedStep step;
+    if (inf->type == RecordType::kFull) {
+      step.is_full = true;
+      step.full_fpc = std::move(payload);
+    } else {
+      step.is_full = false;
+      step.delta = core::EncodedIteration::deserialize(payload);
+    }
+    return step;
+  }
+
+  [[nodiscard]] double sim_time(std::size_t iteration) const {
+    const auto it = times_.find(iteration);
+    NUMARCK_EXPECT(it != times_.end(), "no records for requested iteration");
+    return it->second;
+  }
+
+ private:
+  static std::string key(const std::string& variable, std::size_t iteration) {
+    return variable + "#" + std::to_string(iteration);
+  }
+
+  std::string path_;
+  std::vector<std::string> vars_;
+  std::map<std::string, RecordInfo> index_;
+  std::map<std::size_t, double> times_;
+  std::size_t iterations_ = 0;
+  bool tail_damaged_ = false;
+};
+
+CheckpointReader::CheckpointReader(const std::string& path, TailPolicy policy)
+    : impl_(std::make_unique<Impl>(path, policy)) {}
+
+bool CheckpointReader::tail_was_damaged() const noexcept {
+  return impl_->tail_damaged();
+}
+
+std::optional<std::size_t> CheckpointReader::last_complete_iteration() const {
+  return impl_->last_complete_iteration();
+}
+
+CheckpointReader::~CheckpointReader() = default;
+
+const std::vector<std::string>& CheckpointReader::variables() const noexcept {
+  return impl_->variables();
+}
+
+std::size_t CheckpointReader::iteration_count() const noexcept {
+  return impl_->iterations();
+}
+
+std::optional<RecordInfo> CheckpointReader::info(const std::string& variable,
+                                                 std::size_t iteration) const {
+  return impl_->info(variable, iteration);
+}
+
+core::CompressedStep CheckpointReader::load(const std::string& variable,
+                                            std::size_t iteration) const {
+  return impl_->load(variable, iteration);
+}
+
+double CheckpointReader::sim_time(std::size_t iteration) const {
+  return impl_->sim_time(iteration);
+}
+
+// ---------------------------------------------------------------- Restart --
+
+std::vector<double> RestartEngine::reconstruct_variable(
+    const std::string& variable, std::size_t iteration) const {
+  NUMARCK_EXPECT(iteration < reader_.iteration_count(),
+                 "restart iteration beyond checkpoint history");
+  // Replay from the LATEST full record at or before the target: correct for
+  // rebased chains (the adaptive controller emits periodic fulls) and
+  // avoids decoding history the full already supersedes.
+  std::size_t start = 0;
+  bool found_full = false;
+  for (std::size_t it = iteration + 1; it-- > 0;) {
+    const auto info = reader_.info(variable, it);
+    if (info && info->type == RecordType::kFull) {
+      start = it;
+      found_full = true;
+      break;
+    }
+  }
+  NUMARCK_EXPECT(found_full,
+                 "no full checkpoint at or before the requested iteration");
+  core::VariableReconstructor rec;
+  for (std::size_t it = start; it <= iteration; ++it) {
+    rec.push(reader_.load(variable, it));
+  }
+  return rec.state();
+}
+
+std::map<std::string, std::vector<double>> RestartEngine::reconstruct(
+    std::size_t iteration) const {
+  std::map<std::string, std::vector<double>> out;
+  for (const auto& v : reader_.variables()) {
+    out[v] = reconstruct_variable(v, iteration);
+  }
+  return out;
+}
+
+}  // namespace numarck::io

@@ -1,0 +1,125 @@
+#include "numarck/io/distributed_checkpoint.hpp"
+
+#include <fstream>
+
+#include "numarck/util/byte_stream.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace numarck::io {
+
+namespace {
+constexpr std::uint64_t kManifestMagic = 0x4E4D4B4D414E4946ull;  // "NMKMANIF"
+}
+
+std::size_t Manifest::total_points() const noexcept {
+  std::size_t total = 0;
+  for (auto s : partition_sizes) total += s;
+  return total;
+}
+
+std::string Manifest::rank_path(const std::string& base, std::size_t rank) {
+  return base + ".rank" + std::to_string(rank) + ".ckpt";
+}
+
+std::string Manifest::manifest_path(const std::string& base) {
+  return base + ".manifest";
+}
+
+void Manifest::save(const std::string& path) const {
+  NUMARCK_EXPECT(ranks >= 1, "manifest needs at least one rank");
+  NUMARCK_EXPECT(partition_sizes.size() == ranks,
+                 "manifest partition table size mismatch");
+  NUMARCK_EXPECT(!variables.empty(), "manifest needs variables");
+  util::ByteWriter w;
+  w.put_u64(kManifestMagic);
+  w.put_varint(ranks);
+  w.put_varint(variables.size());
+  for (const auto& v : variables) w.put_string(v);
+  for (auto s : partition_sizes) w.put_varint(s);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  NUMARCK_EXPECT(out.good(), "cannot write manifest: " + path);
+  out.write(reinterpret_cast<const char*>(w.bytes().data()),
+            static_cast<std::streamsize>(w.size()));
+  NUMARCK_EXPECT(out.good(), "manifest write failed: " + path);
+}
+
+Manifest Manifest::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  NUMARCK_EXPECT(in.good(), "cannot open manifest: " + path);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  util::ByteReader r(buf);
+  NUMARCK_EXPECT(r.get_u64() == kManifestMagic, "not a NUMARCK manifest");
+  Manifest m;
+  m.ranks = r.get_varint();
+  const std::size_t nvars = r.get_varint();
+  for (std::size_t v = 0; v < nvars; ++v) m.variables.push_back(r.get_string());
+  for (std::size_t k = 0; k < m.ranks; ++k) {
+    m.partition_sizes.push_back(r.get_varint());
+  }
+  return m;
+}
+
+RankCheckpointWriter::RankCheckpointWriter(const std::string& base,
+                                           std::size_t rank,
+                                           const Manifest& manifest) {
+  NUMARCK_EXPECT(rank < manifest.ranks, "rank outside the manifest");
+  writer_ = std::make_unique<CheckpointWriter>(
+      Manifest::rank_path(base, rank), manifest.variables);
+  if (rank == 0) manifest.save(Manifest::manifest_path(base));
+}
+
+void RankCheckpointWriter::append(const std::string& variable,
+                                  std::size_t iteration, double sim_time,
+                                  const core::CompressedStep& step,
+                                  const core::Postpass& postpass) {
+  writer_->append(variable, iteration, sim_time, step, postpass);
+}
+
+void RankCheckpointWriter::close() { writer_->close(); }
+
+DistributedRestartEngine::DistributedRestartEngine(const std::string& base)
+    : manifest_(Manifest::load(Manifest::manifest_path(base))) {
+  readers_.reserve(manifest_.ranks);
+  for (std::size_t k = 0; k < manifest_.ranks; ++k) {
+    readers_.push_back(
+        std::make_unique<CheckpointReader>(Manifest::rank_path(base, k)));
+    NUMARCK_EXPECT(readers_.back()->variables() == manifest_.variables,
+                   "rank file variable table disagrees with the manifest");
+  }
+}
+
+std::size_t DistributedRestartEngine::iteration_count() const {
+  std::size_t iters = readers_.front()->iteration_count();
+  for (const auto& r : readers_) {
+    iters = std::min(iters, r->iteration_count());
+  }
+  return iters;
+}
+
+std::vector<double> DistributedRestartEngine::reconstruct_variable(
+    const std::string& variable, std::size_t iteration) const {
+  std::vector<double> global;
+  global.reserve(manifest_.total_points());
+  for (std::size_t k = 0; k < manifest_.ranks; ++k) {
+    RestartEngine engine(*readers_[k]);
+    const auto part = engine.reconstruct_variable(variable, iteration);
+    NUMARCK_EXPECT(part.size() == manifest_.partition_sizes[k],
+                   "rank partition length disagrees with the manifest");
+    global.insert(global.end(), part.begin(), part.end());
+  }
+  return global;
+}
+
+std::map<std::string, std::vector<double>> DistributedRestartEngine::reconstruct(
+    std::size_t iteration) const {
+  std::map<std::string, std::vector<double>> out;
+  for (const auto& v : manifest_.variables) {
+    out[v] = reconstruct_variable(v, iteration);
+  }
+  return out;
+}
+
+}  // namespace numarck::io

@@ -1,0 +1,139 @@
+// The NUMARCK checkpoint container format.
+//
+// One file holds the full history of a simulation's checkpoint stream: per
+// variable, a lossless FPC "full" record for iteration 0 (Algorithm 1 line 1)
+// followed by one NUMARCK delta record per checkpoint iteration. Every
+// record payload is CRC-32 protected so a torn write is detected at restart
+// time rather than silently corrupting the resumed simulation.
+//
+// Layout:
+//   file header : magic "NMCKPT1\0" (u64) | version u32 | var-name table
+//   record      : marker u32 | var-id varint | iteration varint | type u8
+//                 | sim-time f64 | payload-size varint | payload | crc32 u32
+//
+// The reader scans the record stream once, builds an in-memory index, and
+// loads payloads on demand (random access by (variable, iteration)).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "numarck/core/compressor.hpp"
+
+namespace numarck::io {
+
+enum class RecordType : std::uint8_t {
+  kFull = 0,   ///< FPC-compressed lossless snapshot
+  kDelta = 1,  ///< NUMARCK-encoded change-ratio record
+};
+
+struct RecordInfo {
+  std::string variable;
+  std::size_t iteration = 0;
+  RecordType type = RecordType::kFull;
+  double sim_time = 0.0;
+  std::uint64_t payload_offset = 0;
+  std::uint64_t payload_size = 0;
+};
+
+class CheckpointWriter {
+ public:
+  /// Creates/truncates `path` and writes the header for `variables`.
+  CheckpointWriter(const std::string& path,
+                   const std::vector<std::string>& variables);
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Appends a compressed step for `variable` at checkpoint `iteration`.
+  /// Delta records are serialized with `postpass` (the reader auto-detects
+  /// the stream coders from per-record flags).
+  void append(const std::string& variable, std::size_t iteration,
+              double sim_time, const core::CompressedStep& step,
+              const core::Postpass& postpass = core::Postpass::none());
+
+  /// Flushes and closes; called automatically by the destructor.
+  void close();
+
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_; }
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// How the reader treats a file whose tail is damaged. A node that dies
+/// *while writing* a checkpoint leaves exactly this kind of file behind, and
+/// recovering every complete earlier iteration is the entire point of
+/// checkpointing — so restart paths should use kSalvage.
+enum class TailPolicy : std::uint8_t {
+  kStrict = 0,   ///< any structural damage throws (default: catch bugs early)
+  kSalvage = 1,  ///< stop scanning at the first damaged record; everything
+                 ///< before it stays readable
+};
+
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(const std::string& path,
+                            TailPolicy policy = TailPolicy::kStrict);
+  ~CheckpointReader();
+
+  /// Number of records dropped by salvage (0 under kStrict or on a clean
+  /// file). "Dropped" counts only the detection point; the rest of the tail
+  /// is unscanned by construction.
+  [[nodiscard]] bool tail_was_damaged() const noexcept;
+
+  /// Latest iteration for which EVERY variable has a record — the safe
+  /// restart target after a torn write.
+  [[nodiscard]] std::optional<std::size_t> last_complete_iteration() const;
+
+  CheckpointReader(const CheckpointReader&) = delete;
+  CheckpointReader& operator=(const CheckpointReader&) = delete;
+
+  [[nodiscard]] const std::vector<std::string>& variables() const noexcept;
+
+  /// Number of checkpoint iterations present (max iteration + 1).
+  [[nodiscard]] std::size_t iteration_count() const noexcept;
+
+  /// Record metadata for (variable, iteration); nullopt when absent.
+  [[nodiscard]] std::optional<RecordInfo> info(const std::string& variable,
+                                               std::size_t iteration) const;
+
+  /// Loads and CRC-verifies one record payload, re-hydrated as a
+  /// CompressedStep (full or delta).
+  [[nodiscard]] core::CompressedStep load(const std::string& variable,
+                                          std::size_t iteration) const;
+
+  /// Simulation time stamped on the given iteration's records.
+  [[nodiscard]] double sim_time(std::size_t iteration) const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Rebuilds full-precision (approximate) snapshots from a checkpoint file —
+/// the restart path of §II-D: read the full checkpoint, then apply each
+/// intermediate delta in order.
+class RestartEngine {
+ public:
+  explicit RestartEngine(const CheckpointReader& reader) : reader_(reader) {}
+
+  /// Reconstructs every variable at checkpoint `iteration`.
+  [[nodiscard]] std::map<std::string, std::vector<double>> reconstruct(
+      std::size_t iteration) const;
+
+  /// Reconstructs a single variable at checkpoint `iteration`.
+  [[nodiscard]] std::vector<double> reconstruct_variable(
+      const std::string& variable, std::size_t iteration) const;
+
+ private:
+  const CheckpointReader& reader_;
+};
+
+}  // namespace numarck::io

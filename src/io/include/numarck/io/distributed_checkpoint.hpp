@@ -1,0 +1,75 @@
+// Per-rank checkpoint files with a manifest — the paper's scalable I/O
+// layout (§I, question 6: "how do we engineer scalable software for storing,
+// replaying, and restarting simulations?"). Each rank writes its partition
+// into its own container (`<base>.rankK.ckpt`, no cross-rank contention,
+// node-local storage friendly); a small manifest records the topology so a
+// restart can reassemble global snapshots — possibly on a different number
+// of readers than writers.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "numarck/io/checkpoint_file.hpp"
+
+namespace numarck::io {
+
+struct Manifest {
+  std::size_t ranks = 0;
+  std::vector<std::string> variables;
+  /// partition_sizes[rank] = points held by that rank (same for every
+  /// variable; heterogeneous sizes model unbalanced block counts).
+  std::vector<std::size_t> partition_sizes;
+
+  [[nodiscard]] std::size_t total_points() const noexcept;
+
+  void save(const std::string& path) const;
+  static Manifest load(const std::string& path);
+
+  /// Path of one rank's container file for a given base path.
+  static std::string rank_path(const std::string& base, std::size_t rank);
+  static std::string manifest_path(const std::string& base);
+};
+
+/// Writer handle for one rank (create one per rank; rank 0 also writes the
+/// manifest). Thread-safe across ranks by construction: no shared state.
+class RankCheckpointWriter {
+ public:
+  RankCheckpointWriter(const std::string& base, std::size_t rank,
+                       const Manifest& manifest);
+
+  void append(const std::string& variable, std::size_t iteration,
+              double sim_time, const core::CompressedStep& step,
+              const core::Postpass& postpass = core::Postpass::none());
+  void close();
+
+ private:
+  std::unique_ptr<CheckpointWriter> writer_;
+};
+
+/// Reassembles global snapshots from all rank files of a distributed
+/// checkpoint.
+class DistributedRestartEngine {
+ public:
+  explicit DistributedRestartEngine(const std::string& base);
+
+  [[nodiscard]] const Manifest& manifest() const noexcept { return manifest_; }
+  [[nodiscard]] std::size_t iteration_count() const;
+
+  /// Global snapshot of `variable` at `iteration`, partitions concatenated
+  /// in rank order.
+  [[nodiscard]] std::vector<double> reconstruct_variable(
+      const std::string& variable, std::size_t iteration) const;
+
+  [[nodiscard]] std::map<std::string, std::vector<double>> reconstruct(
+      std::size_t iteration) const;
+
+ private:
+  Manifest manifest_;
+  std::vector<std::unique_ptr<CheckpointReader>> readers_;
+};
+
+}  // namespace numarck::io

@@ -1,0 +1,146 @@
+#include "numarck/lossless/fpc.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "numarck/util/bitpack.hpp"
+#include "numarck/util/byte_stream.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace numarck::lossless {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46504331u;  // "FPC1"
+
+/// Predictor pair with the hash-update constants from the FPC paper.
+class Predictors {
+ public:
+  explicit Predictors(unsigned table_log2)
+      : mask_((1ull << table_log2) - 1),
+        fcm_(mask_ + 1, 0),
+        dfcm_(mask_ + 1, 0) {}
+
+  [[nodiscard]] std::uint64_t predict_fcm() const { return fcm_[fcm_hash_]; }
+  [[nodiscard]] std::uint64_t predict_dfcm() const {
+    return dfcm_[dfcm_hash_] + last_;
+  }
+
+  /// Advances both predictor states with the true value (must be called with
+  /// the identical sequence on compressor and decompressor).
+  void update(std::uint64_t v) {
+    fcm_[fcm_hash_] = v;
+    fcm_hash_ = ((fcm_hash_ << 6) ^ (v >> 48)) & mask_;
+    const std::uint64_t delta = v - last_;
+    dfcm_[dfcm_hash_] = delta;
+    dfcm_hash_ = ((dfcm_hash_ << 2) ^ (delta >> 40)) & mask_;
+    last_ = v;
+  }
+
+ private:
+  std::uint64_t mask_;
+  std::vector<std::uint64_t> fcm_;
+  std::vector<std::uint64_t> dfcm_;
+  std::uint64_t fcm_hash_ = 0;
+  std::uint64_t dfcm_hash_ = 0;
+  std::uint64_t last_ = 0;
+};
+
+unsigned leading_zero_bytes(std::uint64_t x) {
+  if (x == 0) return 8;
+  return static_cast<unsigned>(std::countl_zero(x)) / 8;
+}
+
+/// FPC's 3-bit leading-zero-byte code: {0,1,2,3,5,6,7,8} are representable;
+/// an actual count of 4 is demoted to 3 (one extra residual byte), as in the
+/// original encoder.
+unsigned lzb_to_code(unsigned lzb) {
+  if (lzb == 4) return 3;
+  return lzb <= 3 ? lzb : lzb - 1;
+}
+
+unsigned code_to_lzb(unsigned code) { return code <= 3 ? code : code + 1; }
+
+}  // namespace
+
+std::vector<std::uint8_t> fpc_compress(std::span<const double> values,
+                                       const FpcOptions& opts) {
+  NUMARCK_EXPECT(opts.table_log2 >= 4 && opts.table_log2 <= 24,
+                 "fpc table_log2 out of [4,24]");
+  Predictors pred(opts.table_log2);
+  numarck::util::BitWriter header;
+  std::vector<std::uint8_t> residual;
+  residual.reserve(values.size() * 4);
+
+  for (double d : values) {
+    std::uint64_t v;
+    std::memcpy(&v, &d, sizeof v);
+    const std::uint64_t x_fcm = v ^ pred.predict_fcm();
+    const std::uint64_t x_dfcm = v ^ pred.predict_dfcm();
+    const bool use_dfcm = leading_zero_bytes(x_dfcm) > leading_zero_bytes(x_fcm);
+    const std::uint64_t xr = use_dfcm ? x_dfcm : x_fcm;
+    const unsigned code = lzb_to_code(leading_zero_bytes(xr));
+    const unsigned stored_bytes = 8 - code_to_lzb(code);
+    header.put(use_dfcm ? 1u : 0u, 1);
+    header.put(code, 3);
+    std::uint64_t rest = xr;
+    for (unsigned b = 0; b < stored_bytes; ++b) {
+      residual.push_back(static_cast<std::uint8_t>(rest & 0xffu));
+      rest >>= 8;
+    }
+    pred.update(v);
+  }
+
+  numarck::util::ByteWriter out;
+  out.put_u32(kMagic);
+  out.put_u8(static_cast<std::uint8_t>(opts.table_log2));
+  out.put_varint(values.size());
+  const auto hdr = header.finish();
+  out.put_varint(hdr.size());
+  out.put_bytes(hdr.data(), hdr.size());
+  out.put_varint(residual.size());
+  out.put_bytes(residual.data(), residual.size());
+  return out.take();
+}
+
+std::vector<double> fpc_decompress(std::span<const std::uint8_t> stream) {
+  numarck::util::ByteReader in(stream);
+  NUMARCK_EXPECT(in.get_u32() == kMagic, "fpc: bad magic");
+  const unsigned table_log2 = in.get_u8();
+  NUMARCK_EXPECT(table_log2 >= 4 && table_log2 <= 24, "fpc: bad table size");
+  const std::size_t count = in.get_varint();
+  const std::size_t hdr_size = in.get_varint();
+  NUMARCK_EXPECT(hdr_size <= in.remaining(), "fpc: truncated header");
+  const std::uint8_t* hdr_ptr = stream.data() + in.position();
+  numarck::util::BitReader header(hdr_ptr, hdr_size);
+  // Skip over the header region, then read the residual byte vector.
+  std::vector<std::uint8_t> skip(hdr_size);
+  in.get_bytes(skip.data(), hdr_size);
+  const std::size_t res_size = in.get_varint();
+  NUMARCK_EXPECT(res_size <= in.remaining(), "fpc: truncated residual");
+  const std::uint8_t* res = stream.data() + in.position();
+  std::size_t res_pos = 0;
+
+  Predictors pred(table_log2);
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool use_dfcm = header.get_bit();
+    const unsigned code = header.get(3);
+    const unsigned stored_bytes = 8 - code_to_lzb(code);
+    std::uint64_t xr = 0;
+    NUMARCK_EXPECT(res_pos + stored_bytes <= res_size, "fpc: residual overrun");
+    for (unsigned b = 0; b < stored_bytes; ++b) {
+      xr |= static_cast<std::uint64_t>(res[res_pos++]) << (8 * b);
+    }
+    const std::uint64_t p = use_dfcm ? pred.predict_dfcm() : pred.predict_fcm();
+    const std::uint64_t v = xr ^ p;
+    pred.update(v);
+    double d;
+    std::memcpy(&d, &v, sizeof d);
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace numarck::lossless

@@ -1,0 +1,221 @@
+#include "numarck/lossless/huffman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "numarck/util/bitpack.hpp"
+#include "numarck/util/byte_stream.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace numarck::lossless {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48554631u;  // "HUF1"
+constexpr unsigned kMaxCodeLength = 31;
+
+/// Huffman code lengths from frequencies; lengths capped at kMaxCodeLength
+/// by frequency flattening (rare; only triggered by extreme skew).
+std::vector<unsigned> code_lengths(std::vector<std::uint64_t> freq) {
+  const std::size_t n = freq.size();
+  std::vector<unsigned> lengths(n, 0);
+  for (;;) {
+    // Build the tree with a min-heap of (weight, node). Internal nodes get
+    // indices >= n; parent[] lets us read off depths at the end.
+    struct Node {
+      std::uint64_t weight;
+      std::size_t id;
+      bool operator>(const Node& o) const {
+        return weight > o.weight || (weight == o.weight && id > o.id);
+      }
+    };
+    std::priority_queue<Node, std::vector<Node>, std::greater<>> heap;
+    std::vector<std::size_t> parent;
+    parent.reserve(2 * n);
+    std::size_t next_id = 0;
+    std::vector<std::uint64_t> weights;
+    for (std::size_t s = 0; s < n; ++s) {
+      parent.push_back(SIZE_MAX);
+      weights.push_back(freq[s]);
+      if (freq[s] > 0) heap.push({freq[s], next_id});
+      ++next_id;
+    }
+    if (heap.size() <= 1) {
+      // Zero or one used symbol: length 1 for the lone symbol.
+      for (std::size_t s = 0; s < n; ++s) {
+        if (freq[s] > 0) lengths[s] = 1;
+      }
+      return lengths;
+    }
+    while (heap.size() > 1) {
+      const Node a = heap.top();
+      heap.pop();
+      const Node b = heap.top();
+      heap.pop();
+      parent.push_back(SIZE_MAX);
+      weights.push_back(a.weight + b.weight);
+      parent[a.id] = next_id;
+      parent[b.id] = next_id;
+      heap.push({a.weight + b.weight, next_id});
+      ++next_id;
+    }
+    unsigned max_len = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (freq[s] == 0) {
+        lengths[s] = 0;
+        continue;
+      }
+      unsigned d = 0;
+      for (std::size_t p = parent[s]; p != SIZE_MAX; p = parent[p]) ++d;
+      lengths[s] = d;
+      max_len = std::max(max_len, d);
+    }
+    if (max_len <= kMaxCodeLength) return lengths;
+    // Flatten the distribution and retry (halving preserves order, reduces
+    // depth).
+    for (auto& f : freq) {
+      if (f > 0) f = (f + 1) / 2;
+    }
+  }
+}
+
+struct CanonicalTable {
+  // Per length: first canonical code and the symbols in canonical order.
+  std::vector<std::uint32_t> codes;     ///< per symbol (valid if length > 0)
+  std::vector<unsigned> lengths;        ///< per symbol
+  std::vector<std::uint32_t> first_code;   ///< per length 1..kMax
+  std::vector<std::uint32_t> first_index;  ///< per length: index into sorted
+  std::vector<std::uint32_t> sorted_symbols;
+  std::vector<std::uint32_t> count_by_len;
+};
+
+CanonicalTable build_canonical(const std::vector<unsigned>& lengths) {
+  CanonicalTable t;
+  t.lengths = lengths;
+  const std::size_t n = lengths.size();
+  t.codes.assign(n, 0);
+  t.count_by_len.assign(kMaxCodeLength + 1, 0);
+  for (unsigned l : lengths) {
+    if (l > 0) ++t.count_by_len[l];
+  }
+  // Symbols sorted by (length, symbol value).
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (lengths[s] > 0) t.sorted_symbols.push_back(s);
+  }
+  std::stable_sort(t.sorted_symbols.begin(), t.sorted_symbols.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return lengths[a] < lengths[b];
+                   });
+  // Canonical first codes.
+  t.first_code.assign(kMaxCodeLength + 2, 0);
+  t.first_index.assign(kMaxCodeLength + 2, 0);
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+    code <<= 1;
+    t.first_code[l] = code;
+    t.first_index[l] = index;
+    code += t.count_by_len[l];
+    index += t.count_by_len[l];
+  }
+  // Assign per-symbol codes.
+  std::vector<std::uint32_t> next = t.first_code;
+  for (std::uint32_t s : t.sorted_symbols) {
+    t.codes[s] = next[lengths[s]]++;
+  }
+  return t;
+}
+
+}  // namespace
+
+double symbol_entropy_bits(std::span<const std::uint32_t> symbols,
+                           std::uint32_t alphabet_size) {
+  if (symbols.empty()) return 0.0;
+  std::vector<std::uint64_t> freq(alphabet_size, 0);
+  for (auto s : symbols) {
+    NUMARCK_EXPECT(s < alphabet_size, "symbol out of alphabet");
+    ++freq[s];
+  }
+  const double n = static_cast<double>(symbols.size());
+  double h = 0.0;
+  for (auto f : freq) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
+                                         std::uint32_t alphabet_size) {
+  NUMARCK_EXPECT(alphabet_size >= 1 && alphabet_size <= (1u << 20),
+                 "alphabet size out of range");
+  std::vector<std::uint64_t> freq(alphabet_size, 0);
+  for (auto s : symbols) {
+    NUMARCK_EXPECT(s < alphabet_size, "symbol out of alphabet");
+    ++freq[s];
+  }
+  const auto lengths = code_lengths(std::move(freq));
+  const auto table = build_canonical(lengths);
+
+  util::ByteWriter out;
+  out.put_u32(kMagic);
+  out.put_varint(alphabet_size);
+  out.put_varint(symbols.size());
+  util::BitWriter bits;
+  for (std::uint32_t s = 0; s < alphabet_size; ++s) {
+    bits.put(lengths[s], 5);
+  }
+  for (auto s : symbols) {
+    const unsigned l = lengths[s];
+    const std::uint32_t c = table.codes[s];
+    // MSB-first within the code so canonical decoding works bit by bit.
+    for (unsigned b = l; b-- > 0;) {
+      bits.put_bit((c >> b) & 1u);
+    }
+  }
+  const auto payload = bits.finish();
+  out.put_varint(payload.size());
+  out.put_bytes(payload.data(), payload.size());
+  return out.take();
+}
+
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> stream) {
+  util::ByteReader in(stream);
+  NUMARCK_EXPECT(in.get_u32() == kMagic, "huffman: bad magic");
+  const std::uint32_t alphabet = static_cast<std::uint32_t>(in.get_varint());
+  NUMARCK_EXPECT(alphabet >= 1 && alphabet <= (1u << 20),
+                 "huffman: bad alphabet");
+  const std::size_t count = in.get_varint();
+  const std::size_t payload_size = in.get_varint();
+  NUMARCK_EXPECT(payload_size <= in.remaining(), "huffman: truncated payload");
+  util::BitReader bits(stream.data() + in.position(), payload_size);
+
+  std::vector<unsigned> lengths(alphabet);
+  for (std::uint32_t s = 0; s < alphabet; ++s) lengths[s] = bits.get(5);
+  const auto table = build_canonical(lengths);
+
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t code = 0;
+    unsigned len = 0;
+    for (;;) {
+      code = (code << 1) | (bits.get_bit() ? 1u : 0u);
+      ++len;
+      NUMARCK_EXPECT(len <= kMaxCodeLength, "huffman: code overrun");
+      const std::uint32_t cnt = table.count_by_len[len];
+      if (cnt != 0 && code >= table.first_code[len] &&
+          code < table.first_code[len] + cnt) {
+        out.push_back(
+            table.sorted_symbols[table.first_index[len] +
+                                 (code - table.first_code[len])]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace numarck::lossless

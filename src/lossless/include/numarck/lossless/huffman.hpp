@@ -1,0 +1,34 @@
+// Canonical Huffman coding for small symbol alphabets.
+//
+// NUMARCK's index stream is heavily skewed — index 0 (the "unchanged" code)
+// frequently covers most points, and the learned bins have very uneven
+// populations (see Fig. 3) — so entropy-coding the B-bit indices recovers a
+// large fraction of the B bits/point the paper's Eq. 3 charges. This module
+// implements the paper's §III-B suggestion ("we can further use a lossless
+// compression technique ... on our compressed data").
+//
+// Format: symbol count (varint), then one 5-bit code length per symbol
+// (0 = unused, max length 31), then the canonical-code bitstream. Canonical
+// codes mean the table needs only lengths, not the codes themselves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace numarck::lossless {
+
+/// Encodes `symbols` (each < alphabet_size) into a self-describing stream.
+/// Handles the degenerate single-symbol and empty cases.
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
+                                         std::uint32_t alphabet_size);
+
+/// Exact inverse of huffman_encode. Throws on malformed input.
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> stream);
+
+/// Shannon entropy (bits/symbol) of the symbol histogram — the lower bound
+/// huffman_encode approaches; exposed for the post-pass benchmarks.
+double symbol_entropy_bits(std::span<const std::uint32_t> symbols,
+                           std::uint32_t alphabet_size);
+
+}  // namespace numarck::lossless

@@ -1,0 +1,53 @@
+#include "numarck/lossless/rle.hpp"
+
+#include "numarck/util/bitpack.hpp"
+#include "numarck/util/byte_stream.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace numarck::lossless {
+
+std::vector<std::uint8_t> rle_encode_bits(std::span<const std::uint8_t> packed,
+                                          std::size_t bit_count) {
+  NUMARCK_EXPECT(packed.size() * 8 >= bit_count, "rle: bitmap too small");
+  util::ByteWriter out;
+  if (bit_count == 0) {
+    out.put_u8(0);
+    return out.take();
+  }
+  util::BitReader r(packed.data(), packed.size());
+  bool current = r.get_bit();
+  out.put_u8(current ? 1 : 0);
+  std::uint64_t run = 1;
+  for (std::size_t i = 1; i < bit_count; ++i) {
+    const bool b = r.get_bit();
+    if (b == current) {
+      ++run;
+    } else {
+      out.put_varint(run);
+      current = b;
+      run = 1;
+    }
+  }
+  out.put_varint(run);
+  return out.take();
+}
+
+std::vector<std::uint8_t> rle_decode_bits(std::span<const std::uint8_t> stream,
+                                          std::size_t bit_count) {
+  util::ByteReader in(stream);
+  util::BitWriter w;
+  bool current = in.get_u8() != 0;
+  std::uint64_t produced = 0;
+  while (produced < bit_count) {
+    NUMARCK_EXPECT(!in.at_end(), "rle: truncated run stream");
+    const std::uint64_t run = in.get_varint();
+    NUMARCK_EXPECT(run > 0 && produced + run <= bit_count,
+                   "rle: run overflows bit count");
+    for (std::uint64_t i = 0; i < run; ++i) w.put_bit(current);
+    produced += run;
+    current = !current;
+  }
+  return w.finish();
+}
+
+}  // namespace numarck::lossless

@@ -1,0 +1,63 @@
+// Evaluation metrics from §III-B of the paper:
+//   * mean / maximum error rate (difference between approximated and real
+//     change ratio, averaged / maximized over the iteration),
+//   * incompressible ratio γ (fraction of points stored exact),
+//   * compression ratio R (Eq. 2 generic form and Eq. 3 NUMARCK form),
+//   * Pearson correlation ρ and root-mean-square error ξ (Eq. 4) used in the
+//     Table II accuracy comparison.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace numarck::metrics {
+
+/// Pearson product-moment correlation between two equal-length vectors.
+/// Returns 1.0 when both vectors are (numerically) constant and equal, and
+/// 0.0 when either vector is constant but they differ — a pragmatic choice
+/// that keeps Table II well-defined on all-zero fields like mrro.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Root-mean-square error (paper Eq. 4).
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Mean absolute difference |a_i - b_i| / n.
+double mean_abs_error(std::span<const double> a, std::span<const double> b);
+
+/// Max absolute difference.
+double max_abs_error(std::span<const double> a, std::span<const double> b);
+
+/// Mean relative error |a_i - b_i| / |a_i| over points with a_i != 0;
+/// exact-zero reference points are skipped (they are stored exactly by
+/// NUMARCK's zero-denominator rule and would otherwise be 0/0).
+double mean_relative_error(std::span<const double> truth,
+                           std::span<const double> approx);
+
+/// Max relative error under the same convention as mean_relative_error.
+double max_relative_error(std::span<const double> truth,
+                          std::span<const double> approx);
+
+/// Generic compression ratio (paper Eq. 2): (|D| - |D'|) / |D| * 100, with
+/// sizes in bytes (any consistent unit works).
+double compression_ratio_percent(std::size_t original_bytes,
+                                 std::size_t compressed_bytes);
+
+/// NUMARCK compression ratio (paper Eq. 3), all terms in bits:
+///   R = (n*64 - ((1-γ)*n*B + γ*n*64 + (2^B - 1)*64)) / (n*64) * 100.
+/// `n` is the point count, `gamma` the incompressible ratio, `bits` the index
+/// precision B. This is the *paper's* accounting: it charges the index stream,
+/// the exact values, and the centroid table, but not the 1-bit ζ bitmap.
+double numarck_compression_ratio_percent(std::size_t n, double gamma,
+                                         unsigned bits);
+
+/// ISABELA storage model (paper §III-F): per window of W0 doubles the encoder
+/// stores P_I spline coefficients (64 bits each) and one log2(W0)-bit
+/// permutation index per point. Returns the compression ratio in percent.
+/// W0=512,P_I=30 -> 80.078; W0=256,P_I=30 -> 75.781 (Table I).
+double isabela_compression_ratio_percent(std::size_t window, std::size_t coeffs);
+
+/// B-Splines storage model (paper §III-F): P_S = frac*n coefficients of 64
+/// bits replace n doubles; frac=0.8 -> 20 % (Table I).
+double bspline_compression_ratio_percent(double coeff_fraction);
+
+}  // namespace numarck::metrics

@@ -1,0 +1,135 @@
+#include "numarck/metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::metrics {
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  NUMARCK_EXPECT(a.size() == b.size(), "pearson: size mismatch");
+  NUMARCK_EXPECT(!a.empty(), "pearson: empty input");
+  const auto n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa == 0.0 || sbb == 0.0) {
+    // Degenerate: at least one side is constant. Equal constants correlate
+    // perfectly by convention; otherwise report no correlation.
+    bool equal = true;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) {
+        equal = false;
+        break;
+      }
+    }
+    return equal ? 1.0 : 0.0;
+  }
+  return sab / std::sqrt(saa * sbb);
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  NUMARCK_EXPECT(a.size() == b.size(), "rmse: size mismatch");
+  NUMARCK_EXPECT(!a.empty(), "rmse: empty input");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double mean_abs_error(std::span<const double> a, std::span<const double> b) {
+  NUMARCK_EXPECT(a.size() == b.size(), "mean_abs_error: size mismatch");
+  NUMARCK_EXPECT(!a.empty(), "mean_abs_error: empty input");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
+  return s / static_cast<double>(a.size());
+}
+
+double max_abs_error(std::span<const double> a, std::span<const double> b) {
+  NUMARCK_EXPECT(a.size() == b.size(), "max_abs_error: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+double mean_relative_error(std::span<const double> truth,
+                           std::span<const double> approx) {
+  NUMARCK_EXPECT(truth.size() == approx.size(), "mean_relative_error: size mismatch");
+  double s = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0) continue;
+    s += std::abs((approx[i] - truth[i]) / truth[i]);
+    ++n;
+  }
+  return n ? s / static_cast<double>(n) : 0.0;
+}
+
+double max_relative_error(std::span<const double> truth,
+                          std::span<const double> approx) {
+  NUMARCK_EXPECT(truth.size() == approx.size(), "max_relative_error: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0) continue;
+    m = std::max(m, std::abs((approx[i] - truth[i]) / truth[i]));
+  }
+  return m;
+}
+
+double compression_ratio_percent(std::size_t original_bytes,
+                                 std::size_t compressed_bytes) {
+  NUMARCK_EXPECT(original_bytes > 0, "compression ratio of empty data");
+  return (static_cast<double>(original_bytes) - static_cast<double>(compressed_bytes)) /
+         static_cast<double>(original_bytes) * 100.0;
+}
+
+double numarck_compression_ratio_percent(std::size_t n, double gamma,
+                                         unsigned bits) {
+  NUMARCK_EXPECT(n > 0, "compression ratio of empty data");
+  NUMARCK_EXPECT(gamma >= 0.0 && gamma <= 1.0, "gamma must be a fraction");
+  NUMARCK_EXPECT(bits >= 1 && bits <= 32, "index precision out of range");
+  const double total_bits = static_cast<double>(n) * 64.0;
+  const double table_bits = (std::pow(2.0, bits) - 1.0) * 64.0;
+  const double compressed_bits = (1.0 - gamma) * static_cast<double>(n) * bits +
+                                 gamma * static_cast<double>(n) * 64.0 + table_bits;
+  return (total_bits - compressed_bits) / total_bits * 100.0;
+}
+
+double isabela_compression_ratio_percent(std::size_t window, std::size_t coeffs) {
+  NUMARCK_EXPECT(window >= 2, "isabela window too small");
+  // bits per point: permutation index; window is a power of two in the paper,
+  // round the index width up otherwise.
+  unsigned idx_bits = 0;
+  std::size_t w = window - 1;
+  while (w) {
+    ++idx_bits;
+    w >>= 1;
+  }
+  const double original = static_cast<double>(window) * 64.0;
+  const double stored = static_cast<double>(coeffs) * 64.0 +
+                        static_cast<double>(window) * idx_bits;
+  return (original - stored) / original * 100.0;
+}
+
+double bspline_compression_ratio_percent(double coeff_fraction) {
+  NUMARCK_EXPECT(coeff_fraction > 0.0 && coeff_fraction <= 1.0,
+                 "coefficient fraction must be in (0,1]");
+  return (1.0 - coeff_fraction) * 100.0;
+}
+
+}  // namespace numarck::metrics

@@ -1,0 +1,129 @@
+// A simulated message-passing runtime: the substrate for reproducing the
+// paper's *distributed* algorithms on one machine.
+//
+// The paper's clustering stage runs their MPI parallel K-means [1][13], and
+// the whole pipeline is designed for per-process local computation with a
+// handful of collectives ("minimal data movement, mostly in place"). We
+// model that faithfully: World spawns N ranks as threads, each executing the
+// same rank_main with its own Communicator; Communicators provide the MPI
+// subset the algorithms need — point-to-point send/recv with tags, barrier,
+// broadcast, allreduce (sum/min/max, scalar and vector) and gather — built
+// on mailboxes and generation-counted barriers. Collective semantics match
+// MPI: every rank must call the collective, in the same order.
+//
+// The runtime also meters traffic: bytes sent point-to-point and through
+// collectives are counted per World, so the benches can report *data
+// movement* — the paper's currency — not just wall time.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace numarck::mpisim {
+
+class World;
+
+class Communicator {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Point-to-point: blocking send/recv matched by (source, tag).
+  void send(int dest, int tag, std::vector<std::uint8_t> payload);
+  [[nodiscard]] std::vector<std::uint8_t> recv(int source, int tag);
+
+  /// Typed convenience overloads.
+  void send_doubles(int dest, int tag, std::span<const double> values);
+  [[nodiscard]] std::vector<double> recv_doubles(int source, int tag);
+
+  /// Collectives (every rank must participate, same order).
+  void barrier();
+  [[nodiscard]] double allreduce_sum(double value);
+  [[nodiscard]] double allreduce_min(double value);
+  [[nodiscard]] double allreduce_max(double value);
+  [[nodiscard]] std::uint64_t allreduce_sum(std::uint64_t value);
+  /// Element-wise vector sum across ranks (all ranks pass equal lengths).
+  [[nodiscard]] std::vector<double> allreduce_sum(std::span<const double> values);
+  [[nodiscard]] std::vector<std::uint64_t> allreduce_sum(
+      std::span<const std::uint64_t> values);
+  /// Root's vector is distributed to everyone.
+  [[nodiscard]] std::vector<double> broadcast(std::vector<double> values,
+                                              int root);
+  /// Every rank's payload collected at root (rank order); non-roots get {}.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> gather(
+      std::vector<std::uint8_t> payload, int root);
+
+ private:
+  friend class World;
+  Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+  World* world_;
+  int rank_;
+};
+
+class World {
+ public:
+  explicit World(int size);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  /// Runs rank_main once per rank, concurrently; returns when all ranks
+  /// finish. Exceptions from any rank are collected and the first rethrown.
+  void run(const std::function<void(Communicator&)>& rank_main);
+
+  /// Total bytes moved between ranks so far (point-to-point + collectives).
+  [[nodiscard]] std::uint64_t bytes_moved() const noexcept;
+
+ private:
+  friend class Communicator;
+
+  struct Mailbox {
+    std::deque<std::vector<std::uint8_t>> messages;
+  };
+
+  // --- point to point ---
+  void post(int source, int dest, int tag, std::vector<std::uint8_t> payload);
+  std::vector<std::uint8_t> take(int source, int dest, int tag);
+
+  // --- collectives ---
+  void enter_barrier();
+  /// Generic reduce-all: each rank contributes `local`; `combine` folds the
+  /// contributions (associative); all ranks receive the result.
+  std::vector<double> reduce_all(
+      int rank, std::vector<double> local,
+      const std::function<void(std::vector<double>&, const std::vector<double>&)>&
+          combine);
+  std::vector<double> do_broadcast(int rank, std::vector<double> values,
+                                   int root);
+  std::vector<std::vector<std::uint8_t>> do_gather(
+      int rank, std::vector<std::uint8_t> payload, int root);
+
+  int size_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::tuple<int, int, int>, Mailbox> mailboxes_;
+
+  // Barrier and collective state (generation counted).
+  std::uint64_t barrier_gen_ = 0;
+  int barrier_waiting_ = 0;
+  std::uint64_t coll_gen_ = 0;
+  int coll_arrived_ = 0;
+  int coll_left_ = 0;
+  std::vector<double> coll_accum_;
+  std::vector<std::vector<std::uint8_t>> coll_gather_;
+  bool coll_has_accum_ = false;
+
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace numarck::mpisim

@@ -1,0 +1,236 @@
+#include "numarck/mpisim/world.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::mpisim {
+
+// ------------------------------------------------------------------ World --
+
+World::World(int size) : size_(size) {
+  NUMARCK_EXPECT(size >= 1 && size <= 512, "world size out of [1,512]");
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Communicator&)>& rank_main) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(size_);
+  threads.reserve(size_);
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &rank_main, &errors] {
+      Communicator comm(this, r);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        // NOTE: a rank that dies while peers wait in a collective would
+        // deadlock a real MPI job too; tests exercise failure paths outside
+        // collectives. The error is captured and rethrown after join.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::uint64_t World::bytes_moved() const noexcept { return bytes_moved_; }
+
+void World::post(int source, int dest, int tag,
+                 std::vector<std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lk(mu_);
+  bytes_moved_ += payload.size();
+  mailboxes_[{source, dest, tag}].messages.push_back(std::move(payload));
+  cv_.notify_all();
+}
+
+std::vector<std::uint8_t> World::take(int source, int dest, int tag) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto& box = mailboxes_[{source, dest, tag}];
+  cv_.wait(lk, [&] { return !box.messages.empty(); });
+  auto payload = std::move(box.messages.front());
+  box.messages.pop_front();
+  return payload;
+}
+
+void World::enter_barrier() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const std::uint64_t gen = barrier_gen_;
+  if (++barrier_waiting_ == size_) {
+    barrier_waiting_ = 0;
+    ++barrier_gen_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lk, [&] { return barrier_gen_ != gen; });
+}
+
+std::vector<double> World::reduce_all(
+    int, std::vector<double> local,
+    const std::function<void(std::vector<double>&, const std::vector<double>&)>&
+        combine) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Wait for the previous collective round to fully drain.
+  cv_.wait(lk, [&] { return coll_arrived_ < size_; });
+  const std::uint64_t gen = coll_gen_;
+  bytes_moved_ += local.size() * sizeof(double);
+  if (!coll_has_accum_) {
+    coll_accum_ = std::move(local);
+    coll_has_accum_ = true;
+  } else {
+    combine(coll_accum_, local);
+  }
+  if (++coll_arrived_ == size_) {
+    coll_left_ = 0;
+    cv_.notify_all();
+  }
+  cv_.wait(lk, [&] { return coll_arrived_ == size_ && coll_gen_ == gen; });
+  std::vector<double> result = coll_accum_;
+  bytes_moved_ += result.size() * sizeof(double);
+  if (++coll_left_ == size_) {
+    coll_arrived_ = 0;
+    coll_has_accum_ = false;
+    coll_accum_.clear();
+    ++coll_gen_;
+    cv_.notify_all();
+  }
+  return result;
+}
+
+std::vector<double> World::do_broadcast(int rank, std::vector<double> values,
+                                        int root) {
+  return reduce_all(rank, rank == root ? std::move(values) : std::vector<double>{},
+                    [](std::vector<double>& acc, const std::vector<double>& in) {
+                      if (acc.empty()) acc = in;
+                      // If acc is the root's value already, empty contributions
+                      // leave it untouched.
+                      else if (!in.empty()) acc = in;
+                    });
+}
+
+std::vector<std::vector<std::uint8_t>> World::do_gather(
+    int rank, std::vector<std::uint8_t> payload, int root) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return coll_arrived_ < size_; });
+  const std::uint64_t gen = coll_gen_;
+  if (coll_gather_.size() != static_cast<std::size_t>(size_)) {
+    coll_gather_.assign(size_, {});
+  }
+  bytes_moved_ += payload.size();
+  coll_gather_[static_cast<std::size_t>(rank)] = std::move(payload);
+  if (++coll_arrived_ == size_) {
+    coll_left_ = 0;
+    cv_.notify_all();
+  }
+  cv_.wait(lk, [&] { return coll_arrived_ == size_ && coll_gen_ == gen; });
+  std::vector<std::vector<std::uint8_t>> result;
+  if (rank == root) result = coll_gather_;
+  if (++coll_left_ == size_) {
+    coll_arrived_ = 0;
+    coll_gather_.clear();
+    ++coll_gen_;
+    cv_.notify_all();
+  }
+  return result;
+}
+
+// ----------------------------------------------------------- Communicator --
+
+int Communicator::size() const noexcept { return world_->size_; }
+
+void Communicator::send(int dest, int tag, std::vector<std::uint8_t> payload) {
+  NUMARCK_EXPECT(dest >= 0 && dest < size(), "send: bad destination rank");
+  world_->post(rank_, dest, tag, std::move(payload));
+}
+
+std::vector<std::uint8_t> Communicator::recv(int source, int tag) {
+  NUMARCK_EXPECT(source >= 0 && source < size(), "recv: bad source rank");
+  return world_->take(source, rank_, tag);
+}
+
+void Communicator::send_doubles(int dest, int tag,
+                                std::span<const double> values) {
+  std::vector<std::uint8_t> bytes(values.size() * sizeof(double));
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  send(dest, tag, std::move(bytes));
+}
+
+std::vector<double> Communicator::recv_doubles(int source, int tag) {
+  const auto bytes = recv(source, tag);
+  NUMARCK_EXPECT(bytes.size() % sizeof(double) == 0,
+                 "recv_doubles: payload not a double array");
+  std::vector<double> values(bytes.size() / sizeof(double));
+  std::memcpy(values.data(), bytes.data(), bytes.size());
+  return values;
+}
+
+void Communicator::barrier() { world_->enter_barrier(); }
+
+double Communicator::allreduce_sum(double value) {
+  return world_->reduce_all(rank_, {value},
+                            [](std::vector<double>& a,
+                               const std::vector<double>& b) { a[0] += b[0]; })[0];
+}
+
+double Communicator::allreduce_min(double value) {
+  return world_->reduce_all(rank_, {value},
+                            [](std::vector<double>& a, const std::vector<double>& b) {
+                              a[0] = std::min(a[0], b[0]);
+                            })[0];
+}
+
+double Communicator::allreduce_max(double value) {
+  return world_->reduce_all(rank_, {value},
+                            [](std::vector<double>& a, const std::vector<double>& b) {
+                              a[0] = std::max(a[0], b[0]);
+                            })[0];
+}
+
+std::uint64_t Communicator::allreduce_sum(std::uint64_t value) {
+  // Exact for counts below 2^53; checkpoint point counts qualify.
+  return static_cast<std::uint64_t>(
+      allreduce_sum(static_cast<double>(value)) + 0.5);
+}
+
+std::vector<double> Communicator::allreduce_sum(std::span<const double> values) {
+  return world_->reduce_all(
+      rank_, std::vector<double>(values.begin(), values.end()),
+      [](std::vector<double>& a, const std::vector<double>& b) {
+        NUMARCK_EXPECT(a.size() == b.size(), "allreduce: length mismatch");
+        for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+      });
+}
+
+std::vector<std::uint64_t> Communicator::allreduce_sum(
+    std::span<const std::uint64_t> values) {
+  std::vector<double> d(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    d[i] = static_cast<double>(values[i]);
+  }
+  const auto r = allreduce_sum(d);
+  std::vector<std::uint64_t> out(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    out[i] = static_cast<std::uint64_t>(r[i] + 0.5);
+  }
+  return out;
+}
+
+std::vector<double> Communicator::broadcast(std::vector<double> values,
+                                            int root) {
+  NUMARCK_EXPECT(root >= 0 && root < size(), "broadcast: bad root");
+  return world_->do_broadcast(rank_, std::move(values), root);
+}
+
+std::vector<std::vector<std::uint8_t>> Communicator::gather(
+    std::vector<std::uint8_t> payload, int root) {
+  NUMARCK_EXPECT(root >= 0 && root < size(), "gather: bad root");
+  return world_->do_gather(rank_, std::move(payload), root);
+}
+
+}  // namespace numarck::mpisim

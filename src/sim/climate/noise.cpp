@@ -1,0 +1,88 @@
+#include "numarck/sim/climate/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numarck/util/expect.hpp"
+#include "numarck/util/stats.hpp"
+
+namespace numarck::sim::climate {
+
+namespace {
+
+/// One separable box-blur pass: periodic in longitude, clamped in latitude.
+void box_blur(const GridShape& g, std::vector<double>& f, int radius,
+              std::vector<double>& tmp) {
+  const int nlat = static_cast<int>(g.nlat);
+  const int nlon = static_cast<int>(g.nlon);
+  const double inv = 1.0 / (2.0 * radius + 1.0);
+  tmp.resize(f.size());
+  // Longitude pass (periodic).
+  for (int la = 0; la < nlat; ++la) {
+    for (int lo = 0; lo < nlon; ++lo) {
+      double s = 0.0;
+      for (int d = -radius; d <= radius; ++d) {
+        const int w = (lo + d + nlon) % nlon;
+        s += f[g.idx(la, w)];
+      }
+      tmp[g.idx(la, lo)] = s * inv;
+    }
+  }
+  // Latitude pass (clamped).
+  for (int la = 0; la < nlat; ++la) {
+    for (int lo = 0; lo < nlon; ++lo) {
+      double s = 0.0;
+      for (int d = -radius; d <= radius; ++d) {
+        const int w = std::clamp(la + d, 0, nlat - 1);
+        s += tmp[g.idx(w, lo)];
+      }
+      f[g.idx(la, lo)] = s * inv;
+    }
+  }
+}
+
+}  // namespace
+
+void smooth_in_place(const GridShape& grid, std::vector<double>& field,
+                     int smooth_passes, int radius) {
+  NUMARCK_EXPECT(field.size() == grid.cells(), "field size mismatch");
+  std::vector<double> tmp;
+  for (int p = 0; p < smooth_passes; ++p) box_blur(grid, field, radius, tmp);
+}
+
+std::vector<double> smooth_noise_field(const GridShape& grid,
+                                       numarck::util::Pcg32& rng,
+                                       int smooth_passes, int radius) {
+  std::vector<double> f(grid.cells());
+  for (double& v : f) v = rng.normal();
+  smooth_in_place(grid, f, smooth_passes, radius);
+  // Rescale to zero mean / unit variance (smoothing shrank the variance).
+  auto s = numarck::util::summarize(f);
+  const double sd = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+  for (double& v : f) v = (v - s.mean()) / sd;
+  return f;
+}
+
+Ar1Field::Ar1Field(const GridShape& grid, double rho, std::uint64_t seed,
+                   int smooth_passes, int radius)
+    : grid_(grid),
+      rho_(rho),
+      passes_(smooth_passes),
+      radius_(radius),
+      rng_(seed) {
+  NUMARCK_EXPECT(rho >= 0.0 && rho < 1.0, "AR(1) rho must be in [0,1)");
+  state_ = smooth_noise_field(grid_, rng_, passes_, radius_);
+}
+
+const std::vector<double>& Ar1Field::step() {
+  const std::vector<double> fresh =
+      smooth_noise_field(grid_, rng_, passes_, radius_);
+  const double a = rho_;
+  const double b = std::sqrt(1.0 - rho_ * rho_);
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    state_[i] = a * state_[i] + b * fresh[i];
+  }
+  return state_;
+}
+
+}  // namespace numarck::sim::climate

@@ -1,0 +1,147 @@
+#include "numarck/sim/flash/exact_riemann.hpp"
+
+#include <cmath>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::sim::flash {
+
+namespace {
+
+/// f_K(p) and its derivative for one side (Toro eqs. 4.6/4.7): the velocity
+/// change across the wave on side K as a function of the star pressure.
+void side_function(const RiemannState& s, double gamma, double p, double& f,
+                   double& df) {
+  const double a = std::sqrt(gamma * s.p / s.rho);
+  if (p > s.p) {
+    // Shock (Rankine–Hugoniot).
+    const double ak = 2.0 / ((gamma + 1.0) * s.rho);
+    const double bk = (gamma - 1.0) / (gamma + 1.0) * s.p;
+    const double root = std::sqrt(ak / (p + bk));
+    f = (p - s.p) * root;
+    df = root * (1.0 - 0.5 * (p - s.p) / (p + bk));
+  } else {
+    // Rarefaction (isentropic relation).
+    const double exponent = (gamma - 1.0) / (2.0 * gamma);
+    f = 2.0 * a / (gamma - 1.0) * (std::pow(p / s.p, exponent) - 1.0);
+    df = 1.0 / (s.rho * a) * std::pow(p / s.p, -(gamma + 1.0) / (2.0 * gamma));
+  }
+}
+
+}  // namespace
+
+RiemannSolution solve_riemann_star(const RiemannState& left,
+                                   const RiemannState& right, double gamma) {
+  NUMARCK_EXPECT(left.rho > 0 && right.rho > 0 && left.p > 0 && right.p > 0,
+                 "riemann: states must be positive");
+  const double al = std::sqrt(gamma * left.p / left.rho);
+  const double ar = std::sqrt(gamma * right.p / right.rho);
+  const double du = right.u - left.u;
+  NUMARCK_EXPECT(2.0 * (al + ar) / (gamma - 1.0) > du,
+                 "riemann: vacuum-generating data");
+
+  // Initial guess: two-rarefaction approximation (robust for all regimes).
+  const double z = (gamma - 1.0) / (2.0 * gamma);
+  double p = std::pow(
+      (al + ar - 0.5 * (gamma - 1.0) * du) /
+          (al / std::pow(left.p, z) + ar / std::pow(right.p, z)),
+      1.0 / z);
+  p = std::max(p, 1e-14);
+
+  RiemannSolution sol;
+  for (int it = 0; it < 100; ++it) {
+    double fl, dfl, fr, dfr;
+    side_function(left, gamma, p, fl, dfl);
+    side_function(right, gamma, p, fr, dfr);
+    const double f = fl + fr + du;
+    const double step = f / (dfl + dfr);
+    double next = p - step;
+    if (next <= 0.0) next = 0.5 * p;  // damped step keeps pressure positive
+    sol.iterations = it + 1;
+    const double change = 2.0 * std::abs(next - p) / (next + p);
+    p = next;
+    if (change < 1e-14) break;
+  }
+  sol.p_star = p;
+  double fl, dfl, fr, dfr;
+  side_function(left, gamma, p, fl, dfl);
+  side_function(right, gamma, p, fr, dfr);
+  sol.u_star = 0.5 * (left.u + right.u) + 0.5 * (fr - fl);
+  return sol;
+}
+
+RiemannState sample_riemann(const RiemannState& left, const RiemannState& right,
+                            double gamma, double s) {
+  const RiemannSolution st = solve_riemann_star(left, right, gamma);
+  const double g1 = (gamma - 1.0) / (gamma + 1.0);
+  const double g2 = 2.0 / (gamma + 1.0);
+
+  if (s <= st.u_star) {
+    // Left of the contact.
+    const double a = std::sqrt(gamma * left.p / left.rho);
+    if (st.p_star > left.p) {
+      // Left shock.
+      const double ps = st.p_star / left.p;
+      const double shock_speed =
+          left.u - a * std::sqrt((gamma + 1.0) / (2.0 * gamma) * ps +
+                                 (gamma - 1.0) / (2.0 * gamma));
+      if (s < shock_speed) return left;
+      return {left.rho * (ps + g1) / (g1 * ps + 1.0), st.u_star, st.p_star};
+    }
+    // Left rarefaction.
+    const double a_star = a * std::pow(st.p_star / left.p,
+                                       (gamma - 1.0) / (2.0 * gamma));
+    const double head = left.u - a;
+    const double tail = st.u_star - a_star;
+    if (s < head) return left;
+    if (s > tail) {
+      return {left.rho * std::pow(st.p_star / left.p, 1.0 / gamma), st.u_star,
+              st.p_star};
+    }
+    // Inside the fan.
+    const double u = g2 * (a + 0.5 * (gamma - 1.0) * left.u + s);
+    const double afan = g2 * (a + 0.5 * (gamma - 1.0) * (left.u - s));
+    const double rho = left.rho * std::pow(afan / a, 2.0 / (gamma - 1.0));
+    const double p = left.p * std::pow(afan / a, 2.0 * gamma / (gamma - 1.0));
+    return {rho, u, p};
+  }
+
+  // Right of the contact (mirror).
+  const double a = std::sqrt(gamma * right.p / right.rho);
+  if (st.p_star > right.p) {
+    const double ps = st.p_star / right.p;
+    const double shock_speed =
+        right.u + a * std::sqrt((gamma + 1.0) / (2.0 * gamma) * ps +
+                                (gamma - 1.0) / (2.0 * gamma));
+    if (s > shock_speed) return right;
+    return {right.rho * (ps + g1) / (g1 * ps + 1.0), st.u_star, st.p_star};
+  }
+  const double a_star =
+      a * std::pow(st.p_star / right.p, (gamma - 1.0) / (2.0 * gamma));
+  const double head = right.u + a;
+  const double tail = st.u_star + a_star;
+  if (s > head) return right;
+  if (s < tail) {
+    return {right.rho * std::pow(st.p_star / right.p, 1.0 / gamma), st.u_star,
+            st.p_star};
+  }
+  const double u = g2 * (-a + 0.5 * (gamma - 1.0) * right.u + s);
+  const double afan = g2 * (a - 0.5 * (gamma - 1.0) * (right.u - s));
+  const double rho = right.rho * std::pow(afan / a, 2.0 / (gamma - 1.0));
+  const double p = right.p * std::pow(afan / a, 2.0 * gamma / (gamma - 1.0));
+  return {rho, u, p};
+}
+
+std::vector<double> sod_exact_density(const RiemannState& left,
+                                      const RiemannState& right, double gamma,
+                                      const std::vector<double>& x, double x0,
+                                      double t) {
+  NUMARCK_EXPECT(t > 0.0, "sod profile needs t > 0");
+  std::vector<double> rho(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rho[i] = sample_riemann(left, right, gamma, (x[i] - x0) / t).rho;
+  }
+  return rho;
+}
+
+}  // namespace numarck::sim::flash

@@ -1,0 +1,308 @@
+#include "numarck/sim/flash/hydro.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "numarck/util/parallel_for.hpp"
+
+namespace numarck::sim::flash {
+
+namespace {
+
+/// Primitive state in the sweep frame: density, normal velocity, two
+/// transverse velocities, pressure.
+struct Prim {
+  double rho, un, ut1, ut2, p;
+};
+
+/// Conserved state in the sweep frame.
+struct Cons {
+  double rho, mn, mt1, mt2, e;
+};
+
+struct Flux {
+  double rho, mn, mt1, mt2, e;
+};
+
+double minmod(double a, double b) {
+  if (a * b <= 0.0) return 0.0;
+  return std::abs(a) < std::abs(b) ? a : b;
+}
+
+Cons to_cons(const Prim& w, const Eos& eos) {
+  const double eint = eos.internal_energy(w.rho, w.p);
+  const double kin = 0.5 * (w.un * w.un + w.ut1 * w.ut1 + w.ut2 * w.ut2);
+  return {w.rho, w.rho * w.un, w.rho * w.ut1, w.rho * w.ut2,
+          w.rho * (eint + kin)};
+}
+
+Prim to_prim(const Cons& u, const Eos& eos) {
+  const double rho = std::max(u.rho, eos.config().density_floor);
+  const double un = u.mn / rho;
+  const double ut1 = u.mt1 / rho;
+  const double ut2 = u.mt2 / rho;
+  const double kin = 0.5 * rho * (un * un + ut1 * ut1 + ut2 * ut2);
+  const double eint = std::max(u.e - kin, 0.0) / rho;
+  return {rho, un, ut1, ut2, eos.pressure(rho, eint)};
+}
+
+Flux physical_flux(const Prim& w, const Cons& u) {
+  return {u.mn, u.mn * w.un + w.p, u.mt1 * w.un, u.mt2 * w.un,
+          (u.e + w.p) * w.un};
+}
+
+/// HLL approximate Riemann flux between left/right primitive states.
+Flux hll_flux(const Prim& wl, const Prim& wr, const Eos& eos) {
+  const double cl = eos.sound_speed(wl.rho, wl.p);
+  const double cr = eos.sound_speed(wr.rho, wr.p);
+  const double sl = std::min(wl.un - cl, wr.un - cr);
+  const double sr = std::max(wl.un + cl, wr.un + cr);
+  const Cons ul = to_cons(wl, eos);
+  const Cons ur = to_cons(wr, eos);
+  const Flux fl = physical_flux(wl, ul);
+  const Flux fr = physical_flux(wr, ur);
+  if (sl >= 0.0) return fl;
+  if (sr <= 0.0) return fr;
+  const double inv = 1.0 / (sr - sl);
+  auto blend = [&](double f_l, double f_r, double u_l, double u_r) {
+    return (sr * f_l - sl * f_r + sl * sr * (u_r - u_l)) * inv;
+  };
+  return {blend(fl.rho, fr.rho, ul.rho, ur.rho),
+          blend(fl.mn, fr.mn, ul.mn, ur.mn),
+          blend(fl.mt1, fr.mt1, ul.mt1, ur.mt1),
+          blend(fl.mt2, fr.mt2, ul.mt2, ur.mt2),
+          blend(fl.e, fr.e, ul.e, ur.e)};
+}
+
+/// HLLC flux (Toro ch. 10): restores the contact wave that HLL smears.
+Flux hllc_flux(const Prim& wl, const Prim& wr, const Eos& eos) {
+  const double cl = eos.sound_speed(wl.rho, wl.p);
+  const double cr = eos.sound_speed(wr.rho, wr.p);
+  const double sl = std::min(wl.un - cl, wr.un - cr);
+  const double sr = std::max(wl.un + cl, wr.un + cr);
+  const Cons ul = to_cons(wl, eos);
+  const Cons ur = to_cons(wr, eos);
+  const Flux fl = physical_flux(wl, ul);
+  const Flux fr = physical_flux(wr, ur);
+  if (sl >= 0.0) return fl;
+  if (sr <= 0.0) return fr;
+
+  // Contact speed.
+  const double dl = wl.rho * (sl - wl.un);
+  const double dr = wr.rho * (sr - wr.un);
+  const double sm = (wr.p - wl.p + dl * wl.un - dr * wr.un) / (dl - dr);
+
+  auto star_flux = [&](const Prim& w, const Cons& u, const Flux& f,
+                       double sk) -> Flux {
+    const double factor = w.rho * (sk - w.un) / (sk - sm);
+    Cons us;
+    us.rho = factor;
+    us.mn = factor * sm;
+    us.mt1 = factor * w.ut1;
+    us.mt2 = factor * w.ut2;
+    us.e = factor * (u.e / w.rho +
+                     (sm - w.un) * (sm + w.p / (w.rho * (sk - w.un))));
+    return {f.rho + sk * (us.rho - u.rho), f.mn + sk * (us.mn - u.mn),
+            f.mt1 + sk * (us.mt1 - u.mt1), f.mt2 + sk * (us.mt2 - u.mt2),
+            f.e + sk * (us.e - u.e)};
+  };
+  if (sm >= 0.0) return star_flux(wl, ul, fl, sl);
+  return star_flux(wr, ur, fr, sr);
+}
+
+}  // namespace
+
+double HydroSolver::compute_dt(BlockMesh& mesh) const {
+  const double dx = mesh.dx();
+  // Per-block max signal speed, then a global min over dt. Serial over
+  // blocks is fine (compute per cell dominates and blocks are visited in a
+  // parallel loop).
+  double max_speed = 1e-30;
+  std::vector<double> block_speed(mesh.block_count(), 0.0);
+  mesh.for_each_block([&](std::size_t b) {
+    const Block& blk = mesh.block(b);
+    double s = 0.0;
+    for (std::size_t k = blk.lo(); k < blk.hi(); ++k) {
+      for (std::size_t j = blk.lo(); j < blk.hi(); ++j) {
+        for (std::size_t i = blk.lo(); i < blk.hi(); ++i) {
+          const double rho =
+              std::max(blk.at(kRho, i, j, k), eos_.config().density_floor);
+          const double ux = blk.at(kMomX, i, j, k) / rho;
+          const double uy = blk.at(kMomY, i, j, k) / rho;
+          const double uz = blk.at(kMomZ, i, j, k) / rho;
+          const double kin = 0.5 * rho * (ux * ux + uy * uy + uz * uz);
+          const double eint =
+              std::max(blk.at(kEner, i, j, k) - kin, 0.0) / rho;
+          const double p = eos_.pressure(rho, eint);
+          const double c = eos_.sound_speed(rho, p);
+          const double v =
+              std::max({std::abs(ux), std::abs(uy), std::abs(uz)}) + c;
+          s = std::max(s, v);
+        }
+      }
+    }
+    block_speed[b] = s;
+  });
+  for (double s : block_speed) max_speed = std::max(max_speed, s);
+  return cfg_.cfl * dx / max_speed;
+}
+
+void HydroSolver::step(BlockMesh& mesh, double dt, bool parity) {
+  static constexpr int kOrderA[3] = {0, 1, 2};
+  static constexpr int kOrderB[3] = {2, 1, 0};
+  const int* order = parity ? kOrderB : kOrderA;
+  for (int s = 0; s < 3; ++s) {
+    mesh.fill_guards();
+    sweep(mesh, order[s], dt);
+  }
+}
+
+void HydroSolver::sweep(BlockMesh& mesh, int axis, double dt) {
+  const double r = dt / mesh.dx();
+  mesh.for_each_block([this, &mesh, axis, r](std::size_t b) {
+    sweep_block(mesh.block(b), axis, r);
+    apply_floors(mesh.block(b));
+  });
+}
+
+void HydroSolver::sweep_block(Block& blk, int axis, double dt_over_dx) const {
+  const std::size_t nt = blk.total();
+  const std::size_t lo = blk.lo();
+  const std::size_t hi = blk.hi();
+  // Momentum field of the normal and the two transverse directions.
+  const ConsField mom_n = static_cast<ConsField>(kMomX + axis);
+  const ConsField mom_t1 = static_cast<ConsField>(kMomX + (axis + 1) % 3);
+  const ConsField mom_t2 = static_cast<ConsField>(kMomX + (axis + 2) % 3);
+
+  auto cell = [axis](std::size_t a, std::size_t t1,
+                     std::size_t t2) -> std::array<std::size_t, 3> {
+    switch (axis) {
+      case 0:
+        return {a, t1, t2};
+      case 1:
+        return {t1, a, t2};
+      default:
+        return {t1, t2, a};
+    }
+  };
+
+  std::vector<Prim> w(nt);
+  std::vector<Prim> slope(nt);
+  std::vector<Flux> face(nt);  // face[a] = flux at the a-1/2 interface
+  std::vector<Prim> minus(nt), plus(nt);  // per-cell face states
+
+  const double rho_floor = eos_.config().density_floor;
+  for (std::size_t t2 = lo; t2 < hi; ++t2) {
+    for (std::size_t t1 = lo; t1 < hi; ++t1) {
+      // Load primitives along the pencil (full padded range).
+      for (std::size_t a = 0; a < nt; ++a) {
+        const auto c = cell(a, t1, t2);
+        const double rho = std::max(blk.at(kRho, c[0], c[1], c[2]), rho_floor);
+        const double un = blk.at(mom_n, c[0], c[1], c[2]) / rho;
+        const double ut1 = blk.at(mom_t1, c[0], c[1], c[2]) / rho;
+        const double ut2 = blk.at(mom_t2, c[0], c[1], c[2]) / rho;
+        const double kin = 0.5 * rho * (un * un + ut1 * ut1 + ut2 * ut2);
+        const double eint =
+            std::max(blk.at(kEner, c[0], c[1], c[2]) - kin, 0.0) / rho;
+        w[a] = {rho, un, ut1, ut2, eos_.pressure(rho, eint)};
+      }
+      // Minmod slopes on primitives.
+      slope[0] = slope[nt - 1] = Prim{0, 0, 0, 0, 0};
+      for (std::size_t a = 1; a + 1 < nt; ++a) {
+        slope[a] = {
+            minmod(w[a].rho - w[a - 1].rho, w[a + 1].rho - w[a].rho),
+            minmod(w[a].un - w[a - 1].un, w[a + 1].un - w[a].un),
+            minmod(w[a].ut1 - w[a - 1].ut1, w[a + 1].ut1 - w[a].ut1),
+            minmod(w[a].ut2 - w[a - 1].ut2, w[a + 1].ut2 - w[a].ut2),
+            minmod(w[a].p - w[a - 1].p, w[a + 1].p - w[a].p)};
+      }
+      // Boundary-extrapolated states of every cell (minus = left face,
+      // plus = right face), optionally evolved by dt/2 with the local flux
+      // difference (MUSCL-Hancock predictor).
+      const double p_floor = eos_.config().pressure_floor;
+      const double rho_floor2 = eos_.config().density_floor;
+      auto clamp_prim = [&](Prim p) {
+        p.rho = std::max(p.rho, rho_floor2);
+        p.p = std::max(p.p, p_floor);
+        return p;
+      };
+      for (std::size_t a = lo - 1; a <= hi; ++a) {
+        Prim wm = clamp_prim({w[a].rho - 0.5 * slope[a].rho,
+                              w[a].un - 0.5 * slope[a].un,
+                              w[a].ut1 - 0.5 * slope[a].ut1,
+                              w[a].ut2 - 0.5 * slope[a].ut2,
+                              w[a].p - 0.5 * slope[a].p});
+        Prim wp = clamp_prim({w[a].rho + 0.5 * slope[a].rho,
+                              w[a].un + 0.5 * slope[a].un,
+                              w[a].ut1 + 0.5 * slope[a].ut1,
+                              w[a].ut2 + 0.5 * slope[a].ut2,
+                              w[a].p + 0.5 * slope[a].p});
+        if (cfg_.integrator == TimeIntegrator::kMusclHancock) {
+          const Cons um = to_cons(wm, eos_);
+          const Cons up = to_cons(wp, eos_);
+          const Flux fm = physical_flux(wm, um);
+          const Flux fp = physical_flux(wp, up);
+          const double half = 0.5 * dt_over_dx;
+          auto advance = [&](Cons u) {
+            u.rho += half * (fm.rho - fp.rho);
+            u.mn += half * (fm.mn - fp.mn);
+            u.mt1 += half * (fm.mt1 - fp.mt1);
+            u.mt2 += half * (fm.mt2 - fp.mt2);
+            u.e += half * (fm.e - fp.e);
+            return u;
+          };
+          wm = clamp_prim(to_prim(advance(um), eos_));
+          wp = clamp_prim(to_prim(advance(up), eos_));
+        }
+        minus[a] = wm;
+        plus[a] = wp;
+      }
+      // Fluxes at interfaces lo-1/2 .. hi+1/2 → face indices lo .. hi.
+      for (std::size_t a = lo; a <= hi; ++a) {
+        const Prim& wl = plus[a - 1];
+        const Prim& wr = minus[a];
+        face[a] = cfg_.flux == RiemannFlux::kHllc ? hllc_flux(wl, wr, eos_)
+                                                  : hll_flux(wl, wr, eos_);
+      }
+      // Conservative update of interior cells.
+      for (std::size_t a = lo; a < hi; ++a) {
+        const auto c = cell(a, t1, t2);
+        blk.at(kRho, c[0], c[1], c[2]) +=
+            dt_over_dx * (face[a].rho - face[a + 1].rho);
+        blk.at(mom_n, c[0], c[1], c[2]) +=
+            dt_over_dx * (face[a].mn - face[a + 1].mn);
+        blk.at(mom_t1, c[0], c[1], c[2]) +=
+            dt_over_dx * (face[a].mt1 - face[a + 1].mt1);
+        blk.at(mom_t2, c[0], c[1], c[2]) +=
+            dt_over_dx * (face[a].mt2 - face[a + 1].mt2);
+        blk.at(kEner, c[0], c[1], c[2]) +=
+            dt_over_dx * (face[a].e - face[a + 1].e);
+      }
+    }
+  }
+}
+
+void HydroSolver::apply_floors(Block& blk) const {
+  const double rho_floor = eos_.config().density_floor;
+  const double p_floor = eos_.config().pressure_floor;
+  for (std::size_t k = blk.lo(); k < blk.hi(); ++k) {
+    for (std::size_t j = blk.lo(); j < blk.hi(); ++j) {
+      for (std::size_t i = blk.lo(); i < blk.hi(); ++i) {
+        double& rho = blk.at(kRho, i, j, k);
+        if (rho < rho_floor) rho = rho_floor;
+        const double ux = blk.at(kMomX, i, j, k) / rho;
+        const double uy = blk.at(kMomY, i, j, k) / rho;
+        const double uz = blk.at(kMomZ, i, j, k) / rho;
+        const double kin = 0.5 * rho * (ux * ux + uy * uy + uz * uz);
+        double& ener = blk.at(kEner, i, j, k);
+        const double eint = (ener - kin) / rho;
+        const double min_eint = eos_.internal_energy(rho, p_floor);
+        if (eint < min_eint) ener = kin + rho * min_eint;
+      }
+    }
+  }
+}
+
+}  // namespace numarck::sim::flash

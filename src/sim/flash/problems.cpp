@@ -1,0 +1,136 @@
+#include "numarck/sim/flash/problems.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "numarck/util/rng.hpp"
+
+namespace numarck::sim::flash {
+
+const char* to_string(Problem p) noexcept {
+  switch (p) {
+    case Problem::kSod:
+      return "sod";
+    case Problem::kSedov:
+      return "sedov";
+    case Problem::kSmoothWaves:
+      return "smooth-waves";
+    case Problem::kGaussianAdvection:
+      return "gaussian-advection";
+  }
+  return "?";
+}
+
+namespace {
+
+struct PrimXyz {
+  double rho, ux, uy, uz, p;
+};
+
+void set_cell(Block& blk, std::size_t i, std::size_t j, std::size_t k,
+              const PrimXyz& w, const Eos& eos) {
+  const double eint = eos.internal_energy(w.rho, w.p);
+  const double kin = 0.5 * (w.ux * w.ux + w.uy * w.uy + w.uz * w.uz);
+  blk.at(kRho, i, j, k) = w.rho;
+  blk.at(kMomX, i, j, k) = w.rho * w.ux;
+  blk.at(kMomY, i, j, k) = w.rho * w.uy;
+  blk.at(kMomZ, i, j, k) = w.rho * w.uz;
+  blk.at(kEner, i, j, k) = w.rho * (eint + kin);
+}
+
+/// A deterministic multi-mode field: sum of sines with seeded phases.
+struct WaveBank {
+  std::vector<double> kx, ky, kz, phase, amp;
+
+  WaveBank(const ProblemConfig& cfg, double domain) {
+    numarck::util::Pcg32 rng(cfg.seed);
+    const double two_pi = 2.0 * std::numbers::pi;
+    for (int m = 1; m <= cfg.wave_modes; ++m) {
+      for (int axis = 0; axis < 3; ++axis) {
+        const double k0 = two_pi * static_cast<double>(m) / domain;
+        kx.push_back(axis == 0 ? k0 : k0 * 0.5);
+        ky.push_back(axis == 1 ? k0 : k0 * 0.5);
+        kz.push_back(axis == 2 ? k0 : k0 * 0.5);
+        phase.push_back(rng.uniform(0.0, two_pi));
+        amp.push_back(1.0 / static_cast<double>(m));
+      }
+    }
+    double norm = 0.0;
+    for (double a : amp) norm += a;
+    for (double& a : amp) a /= norm;
+  }
+
+  [[nodiscard]] double eval(double x, double y, double z, double shift) const {
+    double s = 0.0;
+    for (std::size_t m = 0; m < amp.size(); ++m) {
+      s += amp[m] * std::sin(kx[m] * x + ky[m] * y + kz[m] * z + phase[m] + shift);
+    }
+    return s;
+  }
+};
+
+}  // namespace
+
+void initialize_problem(BlockMesh& mesh, const ProblemConfig& cfg,
+                        const Eos& eos) {
+  const double L = mesh.config().domain_length;
+  const double half = 0.5 * L;
+  const WaveBank waves(cfg, L);
+  const double c0 = eos.sound_speed(1.0, 1.0);
+
+  for (std::size_t b = 0; b < mesh.block_count(); ++b) {
+    Block& blk = mesh.block(b);
+    for (std::size_t k = blk.lo(); k < blk.hi(); ++k) {
+      for (std::size_t j = blk.lo(); j < blk.hi(); ++j) {
+        for (std::size_t i = blk.lo(); i < blk.hi(); ++i) {
+          const auto [x, y, z] = mesh.cell_center(b, i, j, k);
+          PrimXyz w{1.0, 0.0, 0.0, 0.0, 1.0};
+          switch (cfg.problem) {
+            case Problem::kSod:
+              if (x < half) {
+                w = {cfg.sod_rho_l, 0.0, 0.0, 0.0, cfg.sod_p_l};
+              } else {
+                w = {cfg.sod_rho_r, 0.0, 0.0, 0.0, cfg.sod_p_r};
+              }
+              break;
+            case Problem::kSedov: {
+              const double dx2 = x - half, dy2 = y - half, dz2 = z - half;
+              const double r = std::sqrt(dx2 * dx2 + dy2 * dy2 + dz2 * dz2);
+              w.rho = cfg.sedov_ambient_rho;
+              w.p = r < cfg.sedov_radius * L ? cfg.sedov_pressure
+                                             : cfg.sedov_ambient_p;
+              break;
+            }
+            case Problem::kGaussianAdvection: {
+              // Contact advection: uniform pressure and velocity, a density
+              // pulse along x. The exact solution is rigid translation —
+              // everything else the scheme does to it is truncation error.
+              const double dx0 = x - 0.3 * L;
+              const double s = cfg.advect_sigma * L;
+              w.rho = 1.0 + cfg.advect_amplitude *
+                                std::exp(-dx0 * dx0 / (2.0 * s * s));
+              w.ux = cfg.advect_mach * c0;
+              w.p = 1.0;
+              break;
+            }
+            case Problem::kSmoothWaves: {
+              const double bulk = cfg.wave_bulk_mach * c0;
+              w.rho = 1.0 + cfg.wave_density_contrast * waves.eval(x, y, z, 0.0);
+              w.ux = bulk + cfg.wave_mach * c0 * waves.eval(x, y, z, 1.1);
+              w.uy = bulk + cfg.wave_mach * c0 * waves.eval(x, y, z, 2.3);
+              w.uz = bulk + cfg.wave_mach * c0 * waves.eval(x, y, z, 3.7);
+              w.p = 1.0 + 0.5 * cfg.wave_density_contrast *
+                              waves.eval(x, y, z, 4.9);
+              break;
+            }
+          }
+          set_cell(blk, i, j, k, w, eos);
+        }
+      }
+    }
+  }
+  mesh.fill_guards();
+}
+
+}  // namespace numarck::sim::flash

@@ -1,0 +1,144 @@
+#include "numarck/sim/flash/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::sim::flash {
+
+Simulator::Simulator(const SimulatorConfig& cfg, numarck::util::ThreadPool* pool)
+    : cfg_(cfg), mesh_(cfg.mesh, pool), solver_(cfg.hydro) {
+  initialize();
+}
+
+void Simulator::initialize() {
+  initialize_problem(mesh_, cfg_.problem, solver_.eos());
+  time_ = 0.0;
+  steps_ = 0;
+}
+
+void Simulator::step() {
+  const double dt = solver_.compute_dt(mesh_);
+  solver_.step(mesh_, dt, steps_ % 2 == 1);
+  time_ += dt;
+  ++steps_;
+}
+
+void Simulator::advance_checkpoint() {
+  for (unsigned s = 0; s < cfg_.steps_per_checkpoint; ++s) step();
+}
+
+const std::vector<std::string>& Simulator::variable_names() {
+  static const std::vector<std::string> names = {
+      "dens", "eint", "ener", "gamc", "game",
+      "pres", "temp", "velx", "vely", "velz"};
+  return names;
+}
+
+std::vector<double> Simulator::snapshot(const std::string& variable) const {
+  const Eos& eos = solver_.eos();
+  std::vector<double> out(mesh_.interior_cells());
+  mesh_.for_each_interior([&](std::size_t b, std::size_t i, std::size_t j,
+                              std::size_t k, std::size_t flat) {
+    const Block& blk = mesh_.block(b);
+    const double rho =
+        std::max(blk.at(kRho, i, j, k), eos.config().density_floor);
+    const double ux = blk.at(kMomX, i, j, k) / rho;
+    const double uy = blk.at(kMomY, i, j, k) / rho;
+    const double uz = blk.at(kMomZ, i, j, k) / rho;
+    const double kin = 0.5 * (ux * ux + uy * uy + uz * uz);
+    const double eint =
+        std::max(blk.at(kEner, i, j, k) / rho - kin, 1e-300);
+    const double p = eos.pressure(rho, eint);
+
+    double v = 0.0;
+    if (variable == "dens") {
+      v = rho;
+    } else if (variable == "eint") {
+      v = eint;
+    } else if (variable == "ener") {
+      v = eint + kin;  // FLASH's ener: specific total energy
+    } else if (variable == "gamc") {
+      v = eos.gamc(rho, p);
+    } else if (variable == "game") {
+      v = eos.game(rho, p);
+    } else if (variable == "pres") {
+      v = p;
+    } else if (variable == "temp") {
+      v = eos.temperature(rho, p);
+    } else if (variable == "velx") {
+      v = ux;
+    } else if (variable == "vely") {
+      v = uy;
+    } else if (variable == "velz") {
+      v = uz;
+    } else {
+      NUMARCK_EXPECT(false, "unknown FLASH variable: " + variable);
+    }
+    out[flat] = v;
+  });
+  return out;
+}
+
+std::map<std::string, std::vector<double>> Simulator::snapshot_all() const {
+  std::map<std::string, std::vector<double>> all;
+  for (const auto& name : variable_names()) all[name] = snapshot(name);
+  return all;
+}
+
+void Simulator::restore(
+    const std::map<std::string, std::vector<double>>& snapshot, double time,
+    std::size_t steps) {
+  for (const char* key : {"dens", "velx", "vely", "velz", "pres"}) {
+    NUMARCK_EXPECT(snapshot.count(key) == 1,
+                   std::string("restore: missing variable ") + key);
+    NUMARCK_EXPECT(snapshot.at(key).size() == mesh_.interior_cells(),
+                   "restore: snapshot length mismatch");
+  }
+  const Eos& eos = solver_.eos();
+  const auto& dens = snapshot.at("dens");
+  const auto& velx = snapshot.at("velx");
+  const auto& vely = snapshot.at("vely");
+  const auto& velz = snapshot.at("velz");
+  const auto& pres = snapshot.at("pres");
+  mesh_.for_each_interior([&](std::size_t b, std::size_t i, std::size_t j,
+                              std::size_t k, std::size_t flat) {
+    Block& blk = mesh_.block(b);
+    const double rho = std::max(dens[flat], eos.config().density_floor);
+    const double p = std::max(pres[flat], eos.config().pressure_floor);
+    const double eint = eos.internal_energy(rho, p);
+    const double kin = 0.5 * (velx[flat] * velx[flat] + vely[flat] * vely[flat] +
+                              velz[flat] * velz[flat]);
+    blk.at(kRho, i, j, k) = rho;
+    blk.at(kMomX, i, j, k) = rho * velx[flat];
+    blk.at(kMomY, i, j, k) = rho * vely[flat];
+    blk.at(kMomZ, i, j, k) = rho * velz[flat];
+    blk.at(kEner, i, j, k) = rho * (eint + kin);
+  });
+  mesh_.fill_guards();
+  time_ = time;
+  steps_ = steps;
+}
+
+double Simulator::total_mass() const {
+  const double cell_volume = mesh_.dx() * mesh_.dx() * mesh_.dx();
+  double m = 0.0;
+  mesh_.for_each_interior([&](std::size_t b, std::size_t i, std::size_t j,
+                              std::size_t k, std::size_t) {
+    m += mesh_.block(b).at(kRho, i, j, k);
+  });
+  return m * cell_volume;
+}
+
+double Simulator::total_energy() const {
+  const double cell_volume = mesh_.dx() * mesh_.dx() * mesh_.dx();
+  double e = 0.0;
+  mesh_.for_each_interior([&](std::size_t b, std::size_t i, std::size_t j,
+                              std::size_t k, std::size_t) {
+    e += mesh_.block(b).at(kEner, i, j, k);
+  });
+  return e * cell_volume;
+}
+
+}  // namespace numarck::sim::flash

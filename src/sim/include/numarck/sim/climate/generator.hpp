@@ -1,0 +1,90 @@
+// CMIP5-like climate variable generator (§III-A substitution; see DESIGN.md).
+//
+// Each variable is produced by a small physical process model on a 2.5°x2°
+// lat-lon grid, driven by spatially correlated AR(1) "weather" plus a
+// seasonal cycle. The models are calibrated so that the *change-ratio
+// distributions* reproduce the properties the paper reports for the real
+// CMIP5 archive:
+//   rlus  — Stefan–Boltzmann emission of a slowly varying surface
+//           temperature: >75 % of day-to-day changes below 0.5 % (Fig. 1);
+//   rlds  — downwelling longwave modulated by fast-moving cloudiness:
+//           heavier tails, the challenging case of the Fig. 6 B-sweep;
+//   mrsos — soil moisture on land with a shared exponential drydown (a sharp
+//           spike in the change distribution that favours clustering) and
+//           episodic precipitation recharge; CMIP-style 1e20 fill over ocean;
+//   mrro  — surface runoff: mostly exact zeros (exercises the
+//           zero-denominator exact-storage path) with episodic events;
+//   mc    — monthly convective mass flux concentrated at the ITCZ with
+//           log-normal month-to-month variability (large absolute values,
+//           large RMSE scale in Table II);
+//   abs550aer — aerosol optical depth with multiplicative volatility and
+//           dust outbreaks: the "most challenging" variable of Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "numarck/sim/climate/noise.hpp"
+
+namespace numarck::sim::climate {
+
+enum class Variable : std::uint8_t {
+  kRlus = 0,
+  kRlds = 1,
+  kMrsos = 2,
+  kMrro = 3,
+  kMc = 4,
+  kAbs550aer = 5,
+  // Beyond the paper's five + abs550aer — more of the "dozens of variables
+  // available in CMIP5" it sampled from:
+  kTas = 6,   ///< near-surface air temperature (K): the easy, smooth case
+  kPr = 7,    ///< precipitation flux: intermittent, exact zeros, storm cells
+  kHuss = 8,  ///< specific humidity: Clausius–Clapeyron response to tas
+};
+
+const char* to_string(Variable v) noexcept;
+Variable variable_from_name(const std::string& name);
+
+/// CMIP missing-data fill value used over ocean for land-only variables.
+inline constexpr double kFillValue = 1.0e20;
+
+struct GeneratorConfig {
+  GridShape grid;
+  std::uint64_t seed = 42;
+  /// When true, land-only variables (mrsos, mrro) carry kFillValue over
+  /// ocean, like raw CMIP NetCDF files. When false (default, and what the
+  /// paper evidently evaluated — its baselines' RMSE would be astronomically
+  /// large otherwise), ocean cells hold 0.0; NUMARCK's small-value rule
+  /// keeps them compressible either way.
+  bool use_fill_values = false;
+};
+
+class Generator {
+ public:
+  Generator(Variable variable, const GeneratorConfig& cfg = {});
+  ~Generator();
+  Generator(Generator&&) noexcept;
+  Generator& operator=(Generator&&) noexcept;
+
+  /// Current snapshot (time step 0 right after construction).
+  [[nodiscard]] const std::vector<double>& current() const noexcept;
+
+  /// Advances one time step (a day; a month for mc) and returns the new field.
+  const std::vector<double>& advance();
+
+  [[nodiscard]] Variable variable() const noexcept;
+  [[nodiscard]] std::size_t point_count() const noexcept;
+  [[nodiscard]] const GridShape& grid() const noexcept;
+
+  /// Deterministic land mask shared by all variables of the same grid/seed
+  /// (1 = land).
+  [[nodiscard]] const std::vector<std::uint8_t>& land_mask() const noexcept;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace numarck::sim::climate

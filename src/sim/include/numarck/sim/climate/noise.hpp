@@ -1,0 +1,67 @@
+// Spatially correlated random fields on a lat-lon grid.
+//
+// The climate generator needs weather-like perturbations: smooth in space,
+// AR(1) in time. We synthesize them by smoothing white noise with a few
+// passes of a separable box kernel (periodic in longitude, clamped in
+// latitude) and rescaling to unit variance. This is the standard cheap
+// surrogate for a Gaussian random field with a short correlation length.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "numarck/util/rng.hpp"
+
+namespace numarck::sim::climate {
+
+struct GridShape {
+  std::size_t nlat = 90;   ///< 2° latitude bands (paper: 2.5° x 2°)
+  std::size_t nlon = 144;  ///< 2.5° longitude bands
+
+  [[nodiscard]] std::size_t cells() const noexcept { return nlat * nlon; }
+  [[nodiscard]] std::size_t idx(std::size_t lat, std::size_t lon) const noexcept {
+    return lat * nlon + lon;
+  }
+  /// Latitude of band center in degrees, from -90+δ to +90-δ.
+  [[nodiscard]] double latitude_deg(std::size_t lat) const noexcept {
+    return -90.0 + (static_cast<double>(lat) + 0.5) * 180.0 /
+                       static_cast<double>(nlat);
+  }
+};
+
+/// Draws one unit-variance, zero-mean, spatially smooth field.
+/// `smooth_passes` box-blur passes with the given `radius` (cells).
+std::vector<double> smooth_noise_field(const GridShape& grid,
+                                       numarck::util::Pcg32& rng,
+                                       int smooth_passes = 3, int radius = 3);
+
+/// Smooths an arbitrary field in place (same kernel as smooth_noise_field)
+/// without the variance rescale — used to spatially correlate event masks.
+void smooth_in_place(const GridShape& grid, std::vector<double>& field,
+                     int smooth_passes = 3, int radius = 3);
+
+/// AR(1) evolution of a spatially smooth field:
+///   W_t = ρ W_{t-1} + sqrt(1-ρ²) · fresh smooth noise.
+/// Keeps marginal variance at 1 for any ρ in [0,1).
+class Ar1Field {
+ public:
+  Ar1Field(const GridShape& grid, double rho, std::uint64_t seed,
+           int smooth_passes = 3, int radius = 3);
+
+  /// Advances one time step and returns the new state.
+  const std::vector<double>& step();
+
+  [[nodiscard]] const std::vector<double>& state() const noexcept {
+    return state_;
+  }
+
+ private:
+  GridShape grid_;
+  double rho_;
+  int passes_, radius_;
+  numarck::util::Pcg32 rng_;
+  std::vector<double> state_;
+};
+
+}  // namespace numarck::sim::climate

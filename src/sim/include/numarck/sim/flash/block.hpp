@@ -1,0 +1,76 @@
+// A FLASH-style mesh block: a 3-D array of cells with guard-cell padding on
+// every face (§III-A of the paper: "a block is a three-dimensional array with
+// an additional 4 elements as guard cells in each dimension on both sides").
+//
+// State is stored as structure-of-arrays over the conserved variables
+// (density, momentum, total energy density) so the hydro sweeps stream
+// contiguously in the x direction.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::sim::flash {
+
+/// Conserved-variable field indices.
+enum ConsField : std::size_t {
+  kRho = 0,
+  kMomX = 1,
+  kMomY = 2,
+  kMomZ = 3,
+  kEner = 4,  // total energy density
+  kNumCons = 5,
+};
+
+class Block {
+ public:
+  /// `interior` cells per edge; `guard` guard cells per side (FLASH uses 4).
+  Block(std::size_t interior, std::size_t guard)
+      : ni_(interior), ng_(guard), ntot_(interior + 2 * guard) {
+    NUMARCK_EXPECT(interior >= 2, "block interior must be >= 2 cells");
+    NUMARCK_EXPECT(guard >= 2, "need >= 2 guard cells for MUSCL stencils");
+    const std::size_t cells = ntot_ * ntot_ * ntot_;
+    for (auto& f : u_) f.assign(cells, 0.0);
+  }
+
+  [[nodiscard]] std::size_t interior() const noexcept { return ni_; }
+  [[nodiscard]] std::size_t guard() const noexcept { return ng_; }
+  [[nodiscard]] std::size_t total() const noexcept { return ntot_; }
+  [[nodiscard]] std::size_t interior_cells() const noexcept {
+    return ni_ * ni_ * ni_;
+  }
+
+  /// Flat index of cell (i,j,k) in padded coordinates (0 .. total-1 each).
+  [[nodiscard]] std::size_t idx(std::size_t i, std::size_t j,
+                                std::size_t k) const noexcept {
+    return (k * ntot_ + j) * ntot_ + i;
+  }
+
+  /// Padded coordinate of the first interior cell.
+  [[nodiscard]] std::size_t lo() const noexcept { return ng_; }
+  /// One past the last interior cell (padded coordinates).
+  [[nodiscard]] std::size_t hi() const noexcept { return ng_ + ni_; }
+
+  [[nodiscard]] double& at(ConsField f, std::size_t i, std::size_t j,
+                           std::size_t k) noexcept {
+    return u_[f][idx(i, j, k)];
+  }
+  [[nodiscard]] double at(ConsField f, std::size_t i, std::size_t j,
+                          std::size_t k) const noexcept {
+    return u_[f][idx(i, j, k)];
+  }
+
+  [[nodiscard]] std::vector<double>& field(ConsField f) noexcept { return u_[f]; }
+  [[nodiscard]] const std::vector<double>& field(ConsField f) const noexcept {
+    return u_[f];
+  }
+
+ private:
+  std::size_t ni_, ng_, ntot_;
+  std::array<std::vector<double>, kNumCons> u_;
+};
+
+}  // namespace numarck::sim::flash

@@ -1,0 +1,97 @@
+// Equation of state for the FLASH-like hydro code.
+//
+// FLASH checkpoints carry two adiabatic indices per cell: gamc (used in the
+// sound speed) and game (defined by p = (game-1)·ρ·eint). For a pure
+// gamma-law gas both are the constant γ, which would make two of the ten
+// checkpoint variables trivially compressible. Real FLASH runs use tabulated
+// or multi-species EOS where both vary; we emulate that with a smooth
+// temperature dependence γ(T) = γ0 - γ_drop·T/(T + T_ref), which keeps the
+// solver thermodynamically consistent while giving gamc/game genuine (small,
+// smooth) temporal variation — exactly the regime NUMARCK exploits.
+#pragma once
+
+#include <cmath>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::sim::flash {
+
+struct EosConfig {
+  double gamma0 = 1.4;     ///< cold-gas adiabatic index
+  double gamma_drop = 0.08;///< asymptotic reduction at high temperature
+  double t_ref = 10.0;     ///< temperature scale of the transition
+  double gas_constant = 1.0;  ///< specific gas constant (T = p / (R rho))
+  double pressure_floor = 1e-10;
+  double density_floor = 1e-10;
+};
+
+/// Point-wise EOS evaluations. All functions are pure and inlineable; the
+/// hydro kernel calls them per cell.
+class Eos {
+ public:
+  explicit Eos(const EosConfig& cfg = {}) : cfg_(cfg) {
+    // γ must stay safely above 1 at every temperature, or the internal
+    // energy diverges and the p(ρ,e) fixed point loses contraction.
+    NUMARCK_EXPECT(cfg.gamma0 - cfg.gamma_drop > 1.05,
+                   "EOS degenerate: gamma0 - gamma_drop must exceed 1.05");
+    NUMARCK_EXPECT(cfg.gamma_drop >= 0.0, "gamma_drop must be non-negative");
+    NUMARCK_EXPECT(cfg.t_ref > 0.0, "t_ref must be positive");
+    NUMARCK_EXPECT(cfg.gas_constant > 0.0, "gas constant must be positive");
+  }
+
+  [[nodiscard]] const EosConfig& config() const noexcept { return cfg_; }
+
+  /// Effective gamma at temperature T.
+  [[nodiscard]] double gamma_of_temperature(double t) const noexcept {
+    return cfg_.gamma0 - cfg_.gamma_drop * t / (t + cfg_.t_ref);
+  }
+
+  /// Temperature from density and pressure (ideal gas).
+  [[nodiscard]] double temperature(double rho, double p) const noexcept {
+    return p / (cfg_.gas_constant * rho);
+  }
+
+  /// Pressure from density and specific internal energy.
+  /// Solves p = (γ(T)-1) ρ e with T = p/(Rρ) by fixed-point iteration; γ
+  /// varies slowly in T so the map is a strong contraction. Iterated to
+  /// near machine precision so pressure() and internal_energy() are exact
+  /// inverses (the snapshot/restore path relies on that).
+  [[nodiscard]] double pressure(double rho, double eint) const noexcept {
+    double p = (cfg_.gamma0 - 1.0) * rho * eint;
+    for (int it = 0; it < 40; ++it) {
+      const double t = temperature(rho, p);
+      const double next = (gamma_of_temperature(t) - 1.0) * rho * eint;
+      const double shift = std::abs(next - p);
+      p = next;
+      if (shift <= 1e-15 * std::abs(p)) break;
+    }
+    return p > cfg_.pressure_floor ? p : cfg_.pressure_floor;
+  }
+
+  /// Specific internal energy from density and pressure.
+  [[nodiscard]] double internal_energy(double rho, double p) const noexcept {
+    const double t = temperature(rho, p);
+    return p / ((gamma_of_temperature(t) - 1.0) * rho);
+  }
+
+  /// game = p/(ρ eint) + 1 (FLASH definition).
+  [[nodiscard]] double game(double rho, double p) const noexcept {
+    return p / (rho * internal_energy(rho, p)) + 1.0;
+  }
+
+  /// gamc: adiabatic index entering the sound speed; for our EOS we use the
+  /// local γ(T) (the d ln p / d ln ρ |_s of the gamma-law branch).
+  [[nodiscard]] double gamc(double rho, double p) const noexcept {
+    return gamma_of_temperature(temperature(rho, p));
+  }
+
+  /// Adiabatic sound speed.
+  [[nodiscard]] double sound_speed(double rho, double p) const noexcept {
+    return std::sqrt(gamc(rho, p) * p / rho);
+  }
+
+ private:
+  EosConfig cfg_;
+};
+
+}  // namespace numarck::sim::flash

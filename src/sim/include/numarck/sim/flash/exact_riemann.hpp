@@ -1,0 +1,43 @@
+// Exact Riemann solver for the 1-D Euler equations with a gamma-law gas
+// (Toro, "Riemann Solvers and Numerical Methods for Fluid Dynamics", ch. 4).
+//
+// Used as the *analytic reference* for validating the hydro solver: the Sod
+// shock tube's exact profile at time t lets the tests measure the scheme's
+// L1 error and verify first-order convergence — the credibility anchor for
+// the FLASH-like substrate that generates the compression workloads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace numarck::sim::flash {
+
+struct RiemannState {
+  double rho = 1.0;
+  double u = 0.0;
+  double p = 1.0;
+};
+
+struct RiemannSolution {
+  double p_star = 0.0;  ///< pressure in the star region
+  double u_star = 0.0;  ///< velocity in the star region
+  int iterations = 0;   ///< Newton iterations used
+};
+
+/// Solves for the star-region state between `left` and `right`.
+/// Throws on vacuum-generating input.
+RiemannSolution solve_riemann_star(const RiemannState& left,
+                                   const RiemannState& right, double gamma);
+
+/// Samples the self-similar solution at speed s = x/t.
+RiemannState sample_riemann(const RiemannState& left, const RiemannState& right,
+                            double gamma, double s);
+
+/// Exact Sod-tube profile: densities at `x` positions (diaphragm at x0) and
+/// time t. Convenience for the validation tests.
+std::vector<double> sod_exact_density(const RiemannState& left,
+                                      const RiemannState& right, double gamma,
+                                      const std::vector<double>& x, double x0,
+                                      double t);
+
+}  // namespace numarck::sim::flash

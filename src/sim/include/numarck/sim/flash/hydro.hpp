@@ -1,0 +1,57 @@
+// Dimensionally-split finite-volume solver for the 3-D compressible Euler
+// equations: MUSCL (piecewise-linear, minmod-limited) reconstruction of
+// primitives and an HLL approximate Riemann solver, i.e. the same family of
+// scheme FLASH's PPM solver belongs to, at the fidelity a compression study
+// needs (shocks, rarefactions, contact surfaces, smooth advection).
+#pragma once
+
+#include "numarck/sim/flash/eos.hpp"
+#include "numarck/sim/flash/mesh.hpp"
+
+namespace numarck::sim::flash {
+
+/// Approximate Riemann solver used at cell faces. HLL merges the contact
+/// wave into a single average state (diffusive on contacts); HLLC restores
+/// it (Toro ch. 10) and resolves density/temperature discontinuities
+/// markedly better at the same cost class — the validation tests measure
+/// the gap against the exact Sod solution.
+enum class RiemannFlux : int { kHll = 0, kHllc = 1 };
+
+/// Time integration of each directional sweep. Godunov is first order in
+/// time; MUSCL-Hancock advances the reconstructed face states by dt/2 with
+/// the local flux difference before solving the Riemann problems, giving
+/// second-order accuracy in smooth flow for one extra flux evaluation per
+/// cell (Toro ch. 14).
+enum class TimeIntegrator : int { kGodunov = 0, kMusclHancock = 1 };
+
+struct HydroConfig {
+  double cfl = 0.4;
+  RiemannFlux flux = RiemannFlux::kHllc;
+  TimeIntegrator integrator = TimeIntegrator::kMusclHancock;
+  EosConfig eos;
+};
+
+class HydroSolver {
+ public:
+  explicit HydroSolver(const HydroConfig& cfg) : cfg_(cfg), eos_(cfg.eos) {}
+
+  [[nodiscard]] const Eos& eos() const noexcept { return eos_; }
+  [[nodiscard]] const HydroConfig& config() const noexcept { return cfg_; }
+
+  /// Global CFL-limited timestep (parallel min-reduce over blocks).
+  [[nodiscard]] double compute_dt(BlockMesh& mesh) const;
+
+  /// Advances the mesh by dt with Strang-alternated x/y/z sweeps.
+  /// `parity` flips the sweep order step to step for second-order splitting.
+  void step(BlockMesh& mesh, double dt, bool parity);
+
+ private:
+  void sweep(BlockMesh& mesh, int axis, double dt);
+  void sweep_block(Block& blk, int axis, double dt_over_dx) const;
+  void apply_floors(Block& blk) const;
+
+  HydroConfig cfg_;
+  Eos eos_;
+};
+
+}  // namespace numarck::sim::flash

@@ -1,0 +1,55 @@
+// Initial conditions for the FLASH-like simulator. Sod and Sedov are FLASH's
+// canonical verification problems; kSmoothWaves is a smooth multi-mode
+// acoustic field whose gentle per-step evolution matches the change-ratio
+// regime the paper reports for production checkpoints.
+#pragma once
+
+#include <cstdint>
+
+#include "numarck/sim/flash/eos.hpp"
+#include "numarck/sim/flash/mesh.hpp"
+
+namespace numarck::sim::flash {
+
+enum class Problem : std::uint8_t {
+  kSod = 0,         ///< shock tube along x (diaphragm at mid-domain)
+  kSedov = 1,       ///< central point blast in a cold uniform medium
+  kSmoothWaves = 2, ///< superposed low-Mach acoustic/entropy modes
+  kGaussianAdvection = 3,  ///< density Gaussian advected at constant speed —
+                           ///< exact solution is the translated profile
+                           ///< (convergence/dissipation benchmark)
+};
+
+const char* to_string(Problem p) noexcept;
+
+struct ProblemConfig {
+  Problem problem = Problem::kSmoothWaves;
+  std::uint64_t seed = 0x5EEDull;  ///< phases of the kSmoothWaves modes
+  // Sod states.
+  double sod_rho_l = 1.0, sod_p_l = 1.0;
+  double sod_rho_r = 0.125, sod_p_r = 0.1;
+  // Sedov blast.
+  double sedov_radius = 0.1;        ///< in units of the domain length
+  double sedov_pressure = 100.0;
+  double sedov_ambient_rho = 1.0;
+  double sedov_ambient_p = 0.01;
+  // Smooth waves.
+  double wave_mach = 0.2;           ///< velocity amplitude / sound speed
+  double wave_bulk_mach = 0.4;      ///< uniform background advection speed;
+                                    ///< keeps velocities away from zero so
+                                    ///< relative change ratios stay bounded,
+                                    ///< like the paper's production FLASH
+                                    ///< checkpoints (see DESIGN.md)
+  double wave_density_contrast = 0.15;
+  int wave_modes = 3;               ///< modes per axis
+  // Gaussian advection.
+  double advect_mach = 0.5;         ///< advection speed / sound speed
+  double advect_sigma = 0.08;       ///< Gaussian width / domain length
+  double advect_amplitude = 0.5;    ///< density contrast of the pulse
+};
+
+/// Fills the mesh's conserved fields from the configured problem.
+void initialize_problem(BlockMesh& mesh, const ProblemConfig& cfg,
+                        const Eos& eos);
+
+}  // namespace numarck::sim::flash

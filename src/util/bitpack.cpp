@@ -1,0 +1,21 @@
+#include "numarck/util/bitpack.hpp"
+
+namespace numarck::util {
+
+std::vector<std::uint8_t> pack_indices(const std::vector<std::uint32_t>& values,
+                                       unsigned width) {
+  BitWriter w;
+  for (std::uint32_t v : values) w.put(v, width);
+  return w.finish();
+}
+
+std::vector<std::uint32_t> unpack_indices(const std::vector<std::uint8_t>& bytes,
+                                          unsigned width, std::size_t count) {
+  BitReader r(bytes);
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(r.get(width));
+  return out;
+}
+
+}  // namespace numarck::util

@@ -1,0 +1,38 @@
+#include "numarck/util/crc32.hpp"
+
+#include <array>
+
+namespace numarck::util {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = crc ^ 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+  return crc32_update(kCrc32Init, data, size);
+}
+
+}  // namespace numarck::util

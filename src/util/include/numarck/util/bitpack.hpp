@@ -1,0 +1,107 @@
+// Dense bit-level packing for the NUMARCK index stream.
+//
+// The encoded checkpoint stores one B-bit index (1 <= B <= 32) per
+// compressible point plus a 1-bit compressibility bitmap. BitWriter/BitReader
+// implement LSB-first packing into a byte vector so that a stream written with
+// width B is readable with the same width regardless of endianness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::util {
+
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `width` bits of `value` (LSB first).
+  void put(std::uint32_t value, unsigned width) {
+    NUMARCK_EXPECT(width >= 1 && width <= 32, "bit width must be in [1,32]");
+    if (width < 32) {
+      NUMARCK_EXPECT(value < (1u << width), "value does not fit in width");
+    }
+    acc_ |= static_cast<std::uint64_t>(value) << nbits_;
+    nbits_ += width;
+    while (nbits_ >= 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(acc_ & 0xffu));
+      acc_ >>= 8;
+      nbits_ -= 8;
+    }
+  }
+
+  /// Appends a single bit.
+  void put_bit(bool b) { put(b ? 1u : 0u, 1); }
+
+  /// Flushes the partial byte (zero-padded) and returns the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish() {
+    if (nbits_ > 0) {
+      bytes_.push_back(static_cast<std::uint8_t>(acc_ & 0xffu));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+    return std::move(bytes_);
+  }
+
+  /// Number of whole bits written so far.
+  [[nodiscard]] std::size_t bit_count() const noexcept {
+    return bytes_.size() * 8 + nbits_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;
+  unsigned nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size_bytes)
+      : data_(data), size_(size_bytes) {}
+
+  explicit BitReader(const std::vector<std::uint8_t>& v)
+      : BitReader(v.data(), v.size()) {}
+
+  /// Reads `width` bits (LSB first). Throws if the stream is exhausted.
+  [[nodiscard]] std::uint32_t get(unsigned width) {
+    NUMARCK_EXPECT(width >= 1 && width <= 32, "bit width must be in [1,32]");
+    while (nbits_ < width) {
+      NUMARCK_EXPECT(pos_ < size_, "BitReader: read past end of stream");
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << nbits_;
+      nbits_ += 8;
+    }
+    const std::uint32_t v =
+        static_cast<std::uint32_t>(acc_ & ((width == 32) ? 0xffffffffull
+                                                          : ((1ull << width) - 1)));
+    acc_ >>= width;
+    nbits_ -= width;
+    return v;
+  }
+
+  [[nodiscard]] bool get_bit() { return get(1) != 0; }
+
+  /// Bits remaining (counting buffered and unread bytes).
+  [[nodiscard]] std::size_t bits_remaining() const noexcept {
+    return (size_ - pos_) * 8 + nbits_;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  unsigned nbits_ = 0;
+};
+
+/// Packs `values[i] & (2^width-1)` for all i into a fresh byte vector.
+std::vector<std::uint8_t> pack_indices(const std::vector<std::uint32_t>& values,
+                                       unsigned width);
+
+/// Unpacks `count` width-bit values from `bytes`.
+std::vector<std::uint32_t> unpack_indices(const std::vector<std::uint8_t>& bytes,
+                                          unsigned width, std::size_t count);
+
+}  // namespace numarck::util

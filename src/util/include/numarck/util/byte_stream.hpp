@@ -1,0 +1,135 @@
+// Little-endian byte serialization used by the checkpoint container format
+// and the FPC compressor. ByteWriter/ByteReader provide fixed-width and
+// LEB128 varint primitives with explicit bounds checks on the read side.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::util {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &v, sizeof(T));
+  }
+
+  void put_u8(std::uint8_t v) { put(v); }
+  void put_u16(std::uint16_t v) { put(v); }
+  void put_u32(std::uint32_t v) { put(v); }
+  void put_u64(std::uint64_t v) { put(v); }
+  void put_f64(double v) { put(v); }
+
+  /// Unsigned LEB128.
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void put_bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+
+  void put_string(const std::string& s) {
+    put_varint(s.size());
+    put_bytes(s.data(), s.size());
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_varint(v.size());
+    put_bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    NUMARCK_EXPECT(pos_ + sizeof(T) <= data_.size(), "ByteReader: truncated stream");
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::uint8_t get_u8() { return get<std::uint8_t>(); }
+  [[nodiscard]] std::uint16_t get_u16() { return get<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t get_u32() { return get<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t get_u64() { return get<std::uint64_t>(); }
+  [[nodiscard]] double get_f64() { return get<double>(); }
+
+  [[nodiscard]] std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+      NUMARCK_EXPECT(pos_ < data_.size(), "ByteReader: truncated varint");
+      NUMARCK_EXPECT(shift < 64, "ByteReader: varint overflow");
+      const std::uint8_t b = data_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7fu) << shift;
+      if (!(b & 0x80u)) return v;
+      shift += 7;
+    }
+  }
+
+  void get_bytes(void* out, std::size_t size) {
+    NUMARCK_EXPECT(pos_ + size <= data_.size(), "ByteReader: truncated stream");
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  [[nodiscard]] std::string get_string() {
+    const std::size_t n = get_varint();
+    std::string s(n, '\0');
+    get_bytes(s.data(), n);
+    return s;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t n = get_varint();
+    NUMARCK_EXPECT(pos_ + n * sizeof(T) <= data_.size(), "ByteReader: truncated vector");
+    std::vector<T> v(n);
+    get_bytes(v.data(), n * sizeof(T));
+    return v;
+  }
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace numarck::util

@@ -1,0 +1,41 @@
+// Contract-checking helpers used across the NUMARCK libraries.
+//
+// NUMARCK_EXPECT is an always-on precondition check (cheap comparisons on API
+// boundaries); NUMARCK_ASSERT is compiled out in release builds and guards
+// internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace numarck {
+
+/// Thrown when a precondition on a public API is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace numarck
+
+#define NUMARCK_EXPECT(cond, msg)                                              \
+  do {                                                                         \
+    if (!(cond)) ::numarck::detail::contract_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#if defined(NDEBUG)
+#define NUMARCK_ASSERT(cond, msg) ((void)0)
+#else
+#define NUMARCK_ASSERT(cond, msg) NUMARCK_EXPECT(cond, msg)
+#endif

@@ -1,0 +1,80 @@
+// Data-parallel loop decomposition over a ThreadPool.
+//
+// parallel_for splits [begin, end) into contiguous chunks (one per worker,
+// MPI-style block decomposition) and blocks until every chunk finished.
+// parallel_reduce additionally combines per-chunk partial results with a
+// user-supplied binary op — the shared-memory analogue of MPI_Allreduce.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "numarck/util/thread_pool.hpp"
+
+namespace numarck::util {
+
+/// Minimum work per chunk before the loop bothers going parallel. Tuned so the
+/// pool is not invoked for ranges where task overhead dominates.
+inline constexpr std::size_t kParallelGrainSize = 4096;
+
+/// Invokes body(i0, i1) on disjoint subranges covering [begin, end).
+/// Runs inline when the range is small or the pool has one worker.
+template <typename Body>
+void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          Body&& body) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.size();
+  if (workers <= 1 || n < 2 * kParallelGrainSize) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t chunks = std::min(workers, (n + kParallelGrainSize - 1) / kParallelGrainSize);
+  const std::size_t step = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t i0 = begin + c * step;
+    const std::size_t i1 = std::min(end, i0 + step);
+    if (i0 >= i1) break;
+    futs.push_back(pool.submit([i0, i1, &body] { body(i0, i1); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+/// Element-wise convenience wrapper: body(i) per index.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body) {
+  parallel_for_chunked(pool, begin, end, [&body](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) body(i);
+  });
+}
+
+/// Chunked reduction: `partial(i0, i1) -> T` computed per chunk, combined with
+/// `combine(T, T) -> T` in chunk order (deterministic for a fixed pool size).
+template <typename T, typename Partial, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end, T init,
+                  Partial&& partial, Combine&& combine) {
+  if (end <= begin) return init;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.size();
+  if (workers <= 1 || n < 2 * kParallelGrainSize) {
+    return combine(std::move(init), partial(begin, end));
+  }
+  const std::size_t chunks = std::min(workers, (n + kParallelGrainSize - 1) / kParallelGrainSize);
+  const std::size_t step = (n + chunks - 1) / chunks;
+  std::vector<std::future<T>> futs;
+  futs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t i0 = begin + c * step;
+    const std::size_t i1 = std::min(end, i0 + step);
+    if (i0 >= i1) break;
+    futs.push_back(pool.submit([i0, i1, &partial] { return partial(i0, i1); }));
+  }
+  T acc = std::move(init);
+  for (auto& f : futs) acc = combine(std::move(acc), f.get());
+  return acc;
+}
+
+}  // namespace numarck::util

@@ -1,0 +1,85 @@
+// Deterministic, seedable PRNGs for the synthetic data generators and tests.
+//
+// Pcg32 is the minimal PCG-XSH-RR generator; SplitMix64 is used for seed
+// expansion. Both are tiny, fast, and reproducible across platforms — every
+// experiment binary in bench/ derives all randomness from a fixed master seed
+// so the reproduced tables are bit-stable run to run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace numarck::util {
+
+/// splitmix64: good avalanche, used to derive independent stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG-XSH-RR 64/32. Satisfies UniformRandomBitGenerator.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bull,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbull) noexcept {
+    state_ = 0u;
+    inc_ = (stream << 1u) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  result_type next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return next() * (1.0 / 4294967296.0); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Standard normal via Box–Muller (one value per call; caches the pair).
+  double normal() noexcept;
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias.
+  std::uint32_t bounded(std::uint32_t bound) noexcept;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  double cached_normal_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace numarck::util

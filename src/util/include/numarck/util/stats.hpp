@@ -1,0 +1,69 @@
+// Numerically stable streaming statistics (Welford) and small helpers used by
+// the metrics library and the experiment harnesses.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace numarck::util {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+/// Two accumulators can be merged (Chan et al.) which makes it usable as the
+/// reduction type in parallel_reduce.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Parallel merge of two partial accumulators.
+  void merge(const RunningStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(o.n_);
+    const double nab = na + nb;
+    m2_ += o.m2_ + delta * delta * na * nb / nab;
+    mean_ += delta * nb / nab;
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stats over a span in one call.
+RunningStats summarize(std::span<const double> xs) noexcept;
+
+/// p-th percentile (p in [0,100]) by nearest-rank on a copy; convenience for
+/// reporting, not for hot paths.
+double percentile(std::span<const double> xs, double p);
+
+}  // namespace numarck::util

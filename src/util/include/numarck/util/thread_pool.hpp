@@ -1,0 +1,77 @@
+// A fixed-size work-stealing-free thread pool with a shared task queue.
+//
+// The pool is the shared-memory analogue of the MPI process group the paper's
+// parallel K-means ran on: every data-parallel kernel in this repository
+// (K-means assignment, histogram builds, guard-cell exchange, per-block hydro
+// sweeps) decomposes its index range over the pool via parallel_for.
+//
+// Design notes (C++ Core Guidelines CP.*):
+//  * tasks are type-erased std::function<void()>; submit() returns a
+//    std::future so callers can propagate exceptions;
+//  * the destructor drains the queue and joins all workers (RAII, no detach);
+//  * a process-wide default pool sized to the hardware concurrency is provided
+//    for convenience, but every parallel API also accepts an explicit pool so
+//    tests can pin determinism with a single-thread pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace numarck::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (always >= 1).
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable; the returned future carries its result or exception.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f),
+         tup = std::make_tuple(std::forward<Args>(args)...)]() mutable {
+          return std::apply(std::move(fn), std::move(tup));
+        });
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Process-wide pool sized to hardware concurrency. Never destroyed before
+  /// static teardown; safe to use from any library in this repo.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace numarck::util

@@ -1,0 +1,34 @@
+#include "numarck/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace numarck::util {
+
+double Pcg32::normal() noexcept {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller on two uniforms; guard u1 away from zero for the log.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_ = true;
+  return r * std::cos(theta);
+}
+
+std::uint32_t Pcg32::bounded(std::uint32_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire-style rejection: threshold = 2^32 mod bound.
+  const std::uint32_t threshold = static_cast<std::uint32_t>(-bound) % bound;
+  for (;;) {
+    const std::uint32_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace numarck::util

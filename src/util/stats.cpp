@@ -1,0 +1,26 @@
+#include "numarck/util/stats.hpp"
+
+#include <algorithm>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::util {
+
+RunningStats summarize(std::span<const double> xs) noexcept {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  NUMARCK_EXPECT(!xs.empty(), "percentile of empty range");
+  NUMARCK_EXPECT(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  std::vector<double> v(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(v.size()) - 1.0,
+                       p / 100.0 * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(rank), v.end());
+  return v[rank];
+}
+
+}  // namespace numarck::util

@@ -1,0 +1,104 @@
+#include "numarck/vis/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::vis {
+
+namespace {
+
+void check_size(std::size_t field, std::size_t w, std::size_t h) {
+  NUMARCK_EXPECT(w >= 1 && h >= 1, "image dimensions must be positive");
+  NUMARCK_EXPECT(field == w * h, "field length must equal width*height");
+}
+
+std::uint8_t quantize(double t) {
+  return static_cast<std::uint8_t>(
+      std::clamp(t, 0.0, 1.0) * 255.0 + 0.5);
+}
+
+}  // namespace
+
+void GrayImage::write_pgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  NUMARCK_EXPECT(out.good(), "cannot open image file: " + path);
+  out << "P5\n" << width << " " << height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels.data()),
+            static_cast<std::streamsize>(pixels.size()));
+  NUMARCK_EXPECT(out.good(), "image write failed: " + path);
+}
+
+void RgbImage::write_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  NUMARCK_EXPECT(out.good(), "cannot open image file: " + path);
+  out << "P6\n" << width << " " << height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels.data()),
+            static_cast<std::streamsize>(pixels.size()));
+  NUMARCK_EXPECT(out.good(), "image write failed: " + path);
+}
+
+GrayImage grayscale(std::span<const double> field, std::size_t width,
+                    std::size_t height, double lo, double hi) {
+  check_size(field.size(), width, height);
+  NUMARCK_EXPECT(lo <= hi, "grayscale: invalid range");
+  GrayImage img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(field.size());
+  const double span = hi - lo;
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    img.pixels[i] =
+        span > 0.0 ? quantize((field[i] - lo) / span) : std::uint8_t{128};
+  }
+  return img;
+}
+
+GrayImage grayscale_auto(std::span<const double> field, std::size_t width,
+                         std::size_t height) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : field) {
+    if (!std::isfinite(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(lo <= hi)) {
+    lo = 0.0;
+    hi = 0.0;
+  }
+  return grayscale(field, width, height, lo, hi);
+}
+
+RgbImage diverging(std::span<const double> field, std::size_t width,
+                   std::size_t height, double limit) {
+  check_size(field.size(), width, height);
+  NUMARCK_EXPECT(limit > 0.0, "diverging: limit must be positive");
+  RgbImage img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(3 * field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    const double t = std::clamp(field[i] / limit, -1.0, 1.0);
+    // Blue-white-red: negative fades red+green, positive fades green+blue.
+    std::uint8_t r, g, b;
+    if (t < 0.0) {
+      r = quantize(1.0 + t);
+      g = quantize(1.0 + t);
+      b = 255;
+    } else {
+      r = 255;
+      g = quantize(1.0 - t);
+      b = quantize(1.0 - t);
+    }
+    img.pixels[3 * i] = r;
+    img.pixels[3 * i + 1] = g;
+    img.pixels[3 * i + 2] = b;
+  }
+  return img;
+}
+
+}  // namespace numarck::vis

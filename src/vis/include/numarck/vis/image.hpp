@@ -1,0 +1,46 @@
+// Minimal dependency-free image export for field slices — the Fig. 1 heat
+// maps (raw snapshots and the change-percentage map) as PGM/PPM files any
+// viewer opens. Not a plotting library: two fixed mappings, scalar->gray and
+// signed->diverging (blue-white-red), chosen for the paper's two panel types.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace numarck::vis {
+
+struct GrayImage {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::uint8_t> pixels;  ///< row-major, width*height
+
+  /// Binary PGM (P5).
+  void write_pgm(const std::string& path) const;
+};
+
+struct RgbImage {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::uint8_t> pixels;  ///< row-major RGB, 3*width*height
+
+  /// Binary PPM (P6).
+  void write_ppm(const std::string& path) const;
+};
+
+/// Linear scalar -> gray mapping over [lo, hi] (values clamped). When
+/// lo == hi the image is mid-gray.
+GrayImage grayscale(std::span<const double> field, std::size_t width,
+                    std::size_t height, double lo, double hi);
+
+/// Convenience: range taken from the data.
+GrayImage grayscale_auto(std::span<const double> field, std::size_t width,
+                         std::size_t height);
+
+/// Signed diverging map: -limit -> blue, 0 -> white, +limit -> red
+/// (values clamped). Used for change-percentage panels.
+RgbImage diverging(std::span<const double> field, std::size_t width,
+                   std::size_t height, double limit);
+
+}  // namespace numarck::vis

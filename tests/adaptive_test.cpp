@@ -1,0 +1,195 @@
+// Tests for the adaptive checkpoint-frequency controller (§V extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "numarck/adaptive/checkpointer.hpp"
+#include "numarck/core/compressor.hpp"
+#include "numarck/util/expect.hpp"
+#include "numarck/util/rng.hpp"
+
+namespace nd = numarck::adaptive;
+namespace nk = numarck::core;
+
+namespace {
+
+std::vector<double> drifting_snapshot(std::size_t n, double drift) {
+  std::vector<double> v(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    v[j] = 2.0 + 0.5 * std::sin(0.01 * static_cast<double>(j)) + drift;
+  }
+  return v;
+}
+
+nd::AdaptiveOptions quick_options() {
+  nd::AdaptiveOptions o;
+  o.codec.error_bound = 0.001;
+  o.drift_budget = 0.01;
+  o.max_interval = 5;
+  return o;
+}
+
+}  // namespace
+
+TEST(Adaptive, FirstSnapshotIsAlwaysFull) {
+  nd::AdaptiveCheckpointer cp(quick_options());
+  const auto d = cp.push(drifting_snapshot(4096, 0.0));
+  EXPECT_EQ(d.action, nd::Action::kFull);
+  EXPECT_GT(d.bytes_written, 0u);
+}
+
+TEST(Adaptive, StaticDataOnlyWritesAtMaxInterval) {
+  auto opts = quick_options();
+  opts.max_interval = 4;
+  nd::AdaptiveCheckpointer cp(opts);
+  const auto snap = drifting_snapshot(4096, 0.0);
+  (void)cp.push(snap);  // full
+  int writes = 0;
+  for (int it = 0; it < 12; ++it) {
+    const auto d = cp.push(snap);
+    if (d.action != nd::Action::kSkip) ++writes;
+  }
+  // Exactly every 4th snapshot is forced out.
+  EXPECT_EQ(writes, 3);
+  EXPECT_EQ(cp.stats().skips, 9u);
+}
+
+TEST(Adaptive, FastDriftWritesEveryStep) {
+  nd::AdaptiveCheckpointer cp(quick_options());
+  double drift = 0.0;
+  (void)cp.push(drifting_snapshot(4096, drift));
+  for (int it = 0; it < 6; ++it) {
+    drift += 0.2;  // 10 %-ish change per step, way over the 1 % budget
+    const auto d = cp.push(drifting_snapshot(4096, drift));
+    EXPECT_NE(d.action, nd::Action::kSkip) << "iteration " << it;
+  }
+  EXPECT_EQ(cp.stats().skips, 0u);
+}
+
+TEST(Adaptive, SlowDriftAccumulatesThenWrites) {
+  nd::AdaptiveCheckpointer cp(quick_options());
+  double drift = 0.0;
+  (void)cp.push(drifting_snapshot(4096, drift));
+  std::vector<nd::Action> actions;
+  for (int it = 0; it < 8; ++it) {
+    drift += 0.008;  // ~0.4 % per step against a 1 % budget
+    actions.push_back(cp.push(drifting_snapshot(4096, drift)).action);
+  }
+  // The first write happens once the accumulated drift crosses the budget
+  // (about every 3 steps), not every step and not only at max_interval.
+  int writes = 0;
+  for (auto a : actions) {
+    if (a != nd::Action::kSkip) ++writes;
+  }
+  EXPECT_GE(writes, 2);
+  EXPECT_LE(writes, 4);
+}
+
+TEST(Adaptive, DistributionCollapseTriggersRebase) {
+  auto opts = quick_options();
+  opts.gamma_rebase = 0.3;
+  nd::AdaptiveCheckpointer cp(opts);
+  numarck::util::Pcg32 rng(3);
+  std::vector<double> base(8192);
+  for (auto& x : base) x = rng.uniform(1.0, 2.0);
+  (void)cp.push(base);
+  // Scramble: every point changes by an independent large random ratio —
+  // incompressible under any 255-bin table.
+  std::vector<double> scrambled(base.size());
+  for (std::size_t j = 0; j < base.size(); ++j) {
+    scrambled[j] = base[j] * rng.uniform(0.2, 5.0);
+  }
+  const auto d = cp.push(scrambled);
+  EXPECT_EQ(d.action, nd::Action::kFull) << "degraded delta must rebase";
+  EXPECT_EQ(cp.stats().fulls, 2u);
+}
+
+TEST(Adaptive, RebaseIntervalForcesPeriodicFulls) {
+  auto opts = quick_options();
+  opts.rebase_interval = 3;
+  opts.drift_budget = 1e-9;  // write every step
+  nd::AdaptiveCheckpointer cp(opts);
+  double drift = 0.0;
+  (void)cp.push(drifting_snapshot(2048, drift));
+  std::size_t fulls = 0;
+  for (int it = 0; it < 9; ++it) {
+    drift += 0.05;
+    if (cp.push(drifting_snapshot(2048, drift)).action == nd::Action::kFull) {
+      ++fulls;
+    }
+  }
+  EXPECT_GE(fulls, 2u);  // every 3rd write rebases
+}
+
+TEST(Adaptive, MinIntervalSuppressesWrites) {
+  auto opts = quick_options();
+  opts.min_interval = 3;
+  opts.max_interval = 10;
+  nd::AdaptiveCheckpointer cp(opts);
+  double drift = 0.0;
+  (void)cp.push(drifting_snapshot(2048, drift));
+  drift += 0.5;  // massive drift immediately
+  EXPECT_EQ(cp.push(drifting_snapshot(2048, drift)).action, nd::Action::kSkip);
+  EXPECT_EQ(cp.push(drifting_snapshot(2048, drift)).action, nd::Action::kSkip);
+  EXPECT_NE(cp.push(drifting_snapshot(2048, drift)).action, nd::Action::kSkip);
+}
+
+TEST(Adaptive, WrittenStreamReconstructs) {
+  // The records a controller emits must replay exactly like a plain
+  // compressor stream (skips simply do not appear).
+  nd::AdaptiveCheckpointer cp(quick_options());
+  nk::VariableReconstructor rec;
+  double drift = 0.0;
+  std::vector<double> last_written;
+  for (int it = 0; it < 10; ++it) {
+    drift += (it % 3 == 0) ? 0.05 : 0.001;
+    const auto snap = drifting_snapshot(4096, drift);
+    const auto d = cp.push(snap);
+    if (d.action == nd::Action::kFull) {
+      rec = nk::VariableReconstructor{};
+      rec.push(d.step);
+      last_written = snap;
+    } else if (d.action == nd::Action::kDelta) {
+      rec.push(d.step);
+      last_written = snap;
+    }
+  }
+  ASSERT_FALSE(last_written.empty());
+  const auto& state = rec.state();
+  for (std::size_t j = 0; j < state.size(); ++j) {
+    EXPECT_NEAR(state[j], last_written[j],
+                std::abs(last_written[j]) * 0.002 + 1e-12);
+  }
+}
+
+TEST(Adaptive, StalenessTracksSkips) {
+  nd::AdaptiveCheckpointer cp(quick_options());
+  const auto snap = drifting_snapshot(1024, 0.0);
+  (void)cp.push(snap);
+  EXPECT_EQ(cp.staleness(), 0u);
+  (void)cp.push(snap);
+  EXPECT_EQ(cp.staleness(), 1u);
+  (void)cp.push(snap);
+  EXPECT_EQ(cp.staleness(), 2u);
+}
+
+TEST(Adaptive, InvalidOptionsThrow) {
+  nd::AdaptiveOptions o;
+  o.drift_budget = 0.0;
+  EXPECT_THROW(nd::AdaptiveCheckpointer{o}, numarck::ContractViolation);
+  o = {};
+  o.min_interval = 5;
+  o.max_interval = 2;
+  EXPECT_THROW(nd::AdaptiveCheckpointer{o}, numarck::ContractViolation);
+  o = {};
+  o.sample_stride = 0;
+  EXPECT_THROW(nd::AdaptiveCheckpointer{o}, numarck::ContractViolation);
+}
+
+TEST(Adaptive, LengthChangeThrows) {
+  nd::AdaptiveCheckpointer cp(quick_options());
+  (void)cp.push(drifting_snapshot(1024, 0.0));
+  EXPECT_THROW(cp.push(drifting_snapshot(512, 0.0)),
+               numarck::ContractViolation);
+}

@@ -1,0 +1,282 @@
+// Anomaly-detection tests: distribution summaries, Jensen–Shannon
+// properties, drift detection against injected soft errors, and point-level
+// localization of corrupted values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "numarck/anomaly/detector.hpp"
+#include "numarck/core/codec.hpp"
+#include "numarck/util/expect.hpp"
+#include "numarck/util/rng.hpp"
+
+namespace na = numarck::anomaly;
+
+namespace {
+
+std::vector<double> smooth_snapshot(std::size_t n, double t,
+                                    std::uint64_t seed = 17) {
+  numarck::util::Pcg32 rng(seed);
+  std::vector<double> v(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    v[j] = 2.0 + std::sin(0.001 * j + 0.3 * t) + rng.normal() * 1e-4;
+  }
+  return v;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- summary --
+
+TEST(Summary, ProbabilitiesSumToOne) {
+  const auto prev = smooth_snapshot(5000, 0.0);
+  const auto curr = smooth_snapshot(5000, 1.0);
+  const auto s = na::DistributionSummary::from_snapshots(prev, curr);
+  double total = 0.0;
+  for (double p : s.probabilities()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(s.sample_count(), 5000u);
+}
+
+TEST(Summary, UndefinedBinCountsZeroPrevious) {
+  std::vector<double> prev{0.0, 1.0};
+  std::vector<double> curr{5.0, 1.0};
+  const auto s = na::DistributionSummary::from_snapshots(prev, curr);
+  EXPECT_NEAR(s.probabilities()[0], 0.5, 1e-12);
+}
+
+TEST(Summary, UnchangedBinCountsStaticPoints) {
+  std::vector<double> prev(100, 3.0);
+  const auto s = na::DistributionSummary::from_snapshots(prev, prev);
+  EXPECT_NEAR(s.probabilities()[1], 1.0, 1e-12);
+}
+
+TEST(Summary, SignsLandInDifferentBins) {
+  std::vector<double> prev(200, 1.0);
+  std::vector<double> up(200, 1.01);
+  std::vector<double> down(200, 0.99);
+  const auto a = na::DistributionSummary::from_snapshots(prev, up);
+  const auto b = na::DistributionSummary::from_snapshots(prev, down);
+  EXPECT_GT(na::jensen_shannon(a.probabilities(), b.probabilities()), 0.5);
+}
+
+TEST(Summary, MismatchedSizesThrow) {
+  std::vector<double> a{1.0};
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(na::DistributionSummary::from_snapshots(a, b),
+               numarck::ContractViolation);
+}
+
+// --------------------------------------------------------- jensen-shannon --
+
+TEST(JensenShannon, ZeroForIdentical) {
+  std::vector<double> p{0.25, 0.25, 0.5};
+  EXPECT_NEAR(na::jensen_shannon(p, p), 0.0, 1e-15);
+}
+
+TEST(JensenShannon, SymmetricAndBounded) {
+  std::vector<double> p{1.0, 0.0};
+  std::vector<double> q{0.0, 1.0};
+  const double js = na::jensen_shannon(p, q);
+  EXPECT_NEAR(js, na::jensen_shannon(q, p), 1e-15);
+  EXPECT_NEAR(js, std::log(2.0), 1e-12);  // maximum for disjoint support
+}
+
+TEST(JensenShannon, MonotoneInSeparation) {
+  std::vector<double> p{0.5, 0.5, 0.0};
+  std::vector<double> q1{0.4, 0.6, 0.0};
+  std::vector<double> q2{0.1, 0.9, 0.0};
+  EXPECT_LT(na::jensen_shannon(p, q1), na::jensen_shannon(p, q2));
+}
+
+// ----------------------------------------------------------------- drift --
+
+TEST(Drift, QuietSeriesNeverAlarms) {
+  na::DriftDetector det;
+  std::vector<double> prev = smooth_snapshot(8000, 0.0);
+  for (int it = 1; it < 20; ++it) {
+    auto curr = smooth_snapshot(8000, it * 0.5);
+    const auto r = det.observe(prev, curr);
+    EXPECT_FALSE(r.anomalous) << "iteration " << it;
+    prev = curr;
+  }
+}
+
+TEST(Drift, ExponentBitFlipStormRaisesAlarm) {
+  // A burst of exponent-bit corruption (e.g. a failing memory bank) visibly
+  // shifts the change distribution. One corrupt snapshot perturbs the pair
+  // summaries entering, within, and leaving the event — alarms are expected
+  // exactly on iterations 12, 13, 14 (see the header note).
+  na::DriftDetector det;
+  std::vector<double> prev = smooth_snapshot(8000, 0.0);
+  for (int it = 1; it < 16; ++it) {
+    auto curr = smooth_snapshot(8000, it * 0.5);
+    if (it == 12) {
+      for (std::size_t k = 0; k < 200; ++k) {
+        na::inject_bit_flip(curr, 40 * k, 62);  // top exponent bit
+      }
+    }
+    const auto r = det.observe(prev, curr);
+    const bool expect_alarm = it >= 12 && it <= 14;
+    EXPECT_EQ(r.anomalous, expect_alarm) << "iteration " << it;
+    if (it == 12) EXPECT_GT(r.zscore, 6.0);
+    prev = curr;
+  }
+}
+
+TEST(Drift, FirstIterationIsNeutral) {
+  na::DriftDetector det;
+  const auto s = na::DistributionSummary::from_snapshots(
+      smooth_snapshot(100, 0.0), smooth_snapshot(100, 0.5));
+  const auto r = det.observe(s);
+  EXPECT_FALSE(r.anomalous);
+  EXPECT_EQ(r.divergence, 0.0);
+}
+
+// ------------------------------------------------------------ point scan --
+
+TEST(PointScan, LocatesSingleFlippedValue) {
+  std::vector<double> prev = smooth_snapshot(10000, 0.0);
+  std::vector<double> curr = smooth_snapshot(10000, 0.5);
+  na::inject_bit_flip(curr, 4321, 60);  // high exponent bit: huge value jump
+  const auto hits = na::scan_points(prev, curr);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits.front().index, 4321u);
+}
+
+TEST(PointScan, CleanDataHasNoHits) {
+  const auto prev = smooth_snapshot(10000, 0.0);
+  const auto curr = smooth_snapshot(10000, 0.5);
+  EXPECT_TRUE(na::scan_points(prev, curr).empty());
+}
+
+TEST(PointScan, MultipleCorruptionsAllFound) {
+  std::vector<double> prev = smooth_snapshot(20000, 0.0);
+  std::vector<double> curr = smooth_snapshot(20000, 0.5);
+  const std::size_t targets[] = {100, 5000, 19999};
+  for (std::size_t t : targets) na::inject_bit_flip(curr, t, 61);
+  const auto hits = na::scan_points(prev, curr);
+  ASSERT_GE(hits.size(), 3u);
+  for (std::size_t t : targets) {
+    const bool found = std::any_of(hits.begin(), hits.end(),
+                                   [&](const na::PointAnomaly& a) {
+                                     return a.index == t;
+                                   });
+    EXPECT_TRUE(found) << "missed corrupted index " << t;
+  }
+}
+
+TEST(PointScan, LowMantissaBitIsInvisible) {
+  // A bit flip in the low mantissa changes the value by ~1e-16 relative —
+  // indistinguishable from rounding; the scanner must NOT flag it (the
+  // detection-rate bench quantifies this boundary).
+  std::vector<double> prev = smooth_snapshot(10000, 0.0);
+  std::vector<double> curr = smooth_snapshot(10000, 0.5);
+  na::inject_bit_flip(curr, 777, 2);
+  EXPECT_TRUE(na::scan_points(prev, curr).empty());
+}
+
+TEST(PointScan, NanCorruptionIsFlaggedFirst) {
+  std::vector<double> prev = smooth_snapshot(5000, 0.0);
+  std::vector<double> curr = smooth_snapshot(5000, 0.5);
+  curr[123] = std::nan("");
+  const auto hits = na::scan_points(prev, curr);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits.front().index, 123u);
+}
+
+TEST(PointScan, ReportCapRespected) {
+  std::vector<double> prev = smooth_snapshot(10000, 0.0);
+  std::vector<double> curr = smooth_snapshot(10000, 0.5);
+  for (std::size_t j = 0; j < 200; ++j) na::inject_bit_flip(curr, j * 50, 61);
+  na::ScanOptions opts;
+  opts.max_reports = 16;
+  EXPECT_EQ(na::scan_points(prev, curr, opts).size(), 16u);
+}
+
+// --------------------------------------------- compressed-domain summary --
+
+TEST(CompressedSummary, MatchesRawSummaryOnCompressibleData) {
+  // gamma ~ 0: the encoded-record summary must be close to the raw one.
+  const auto prev = smooth_snapshot(20000, 0.0);
+  const auto curr = smooth_snapshot(20000, 0.8);
+  numarck::core::Options opts;
+  opts.error_bound = 0.001;
+  const auto enc = numarck::core::encode_iteration(prev, curr, opts);
+  ASSERT_LT(enc.stats.incompressible_ratio(), 0.01);
+
+  const auto raw = na::DistributionSummary::from_snapshots(prev, curr);
+  const auto packed = na::summary_from_encoded(enc);
+  EXPECT_EQ(packed.sample_count(), raw.sample_count());
+  // Centers quantize ratios to within E, which can shift borderline points
+  // across magnitude-bin edges — the divergence stays small, not zero.
+  EXPECT_LT(na::jensen_shannon(raw.probabilities(), packed.probabilities()),
+            0.05);
+}
+
+TEST(CompressedSummary, ProbabilitiesSumToOne) {
+  const auto prev = smooth_snapshot(5000, 0.0);
+  const auto curr = smooth_snapshot(5000, 0.5);
+  numarck::core::Options opts;
+  const auto enc = numarck::core::encode_iteration(prev, curr, opts);
+  const auto s = na::summary_from_encoded(enc);
+  double total = 0.0;
+  for (double p : s.probabilities()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(CompressedSummary, DriftDetectorWorksOnEncodedStream) {
+  // The monitoring daemon scenario: watch only the encoded records.
+  na::DriftDetector det;
+  numarck::core::Options opts;
+  opts.error_bound = 0.001;
+  std::vector<double> prev = smooth_snapshot(8000, 0.0);
+  bool alarmed_in_window = false;
+  for (int it = 1; it < 16; ++it) {
+    auto curr = smooth_snapshot(8000, it * 0.5);
+    if (it == 12) {
+      for (std::size_t k = 0; k < 200; ++k) {
+        na::inject_bit_flip(curr, 40 * k, 62);
+      }
+    }
+    const auto enc = numarck::core::encode_iteration(prev, curr, opts);
+    const auto r = det.observe(na::summary_from_encoded(enc));
+    if (it >= 12 && it <= 14 && r.anomalous) alarmed_in_window = true;
+    if (it < 12) EXPECT_FALSE(r.anomalous) << "iteration " << it;
+    prev = curr;
+  }
+  EXPECT_TRUE(alarmed_in_window);
+}
+
+TEST(CompressedSummary, ExactPointsLandInUndefinedBin) {
+  std::vector<double> prev(1000, 0.0);  // all undefined ratios
+  std::vector<double> curr(1000, 5.0);
+  numarck::core::Options opts;
+  const auto enc = numarck::core::encode_iteration(prev, curr, opts);
+  const auto s = na::summary_from_encoded(enc);
+  EXPECT_NEAR(s.probabilities()[0], 1.0, 1e-12);
+}
+
+// -------------------------------------------------------------- injector --
+
+TEST(Inject, FlipIsAnInvolution) {
+  std::vector<double> v{1.5, -2.25};
+  const double orig = v[1];
+  na::inject_bit_flip(v, 1, 51);
+  EXPECT_NE(v[1], orig);
+  na::inject_bit_flip(v, 1, 51);
+  EXPECT_EQ(v[1], orig);
+}
+
+TEST(Inject, SignBitNegates) {
+  std::vector<double> v{3.0};
+  na::inject_bit_flip(v, 0, 63);
+  EXPECT_EQ(v[0], -3.0);
+}
+
+TEST(Inject, OutOfRangeThrows) {
+  std::vector<double> v{1.0};
+  EXPECT_THROW(na::inject_bit_flip(v, 1, 0), numarck::ContractViolation);
+  EXPECT_THROW(na::inject_bit_flip(v, 0, 64), numarck::ContractViolation);
+}

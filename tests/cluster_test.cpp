@@ -1,0 +1,291 @@
+// Tests for histogram construction and the parallel 1-D K-means engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "numarck/cluster/histogram.hpp"
+#include "numarck/cluster/kmeans1d.hpp"
+#include "numarck/util/expect.hpp"
+#include "numarck/util/rng.hpp"
+
+namespace nc = numarck::cluster;
+
+// ------------------------------------------------------------- histogram --
+
+TEST(Histogram, UniformDataFillsBinsEvenly) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(i / 999.0);
+  const auto h = nc::equal_width_histogram(xs, 10);
+  EXPECT_EQ(h.bins(), 10u);
+  EXPECT_EQ(h.total, 1000u);
+  for (auto c : h.counts) EXPECT_NEAR(static_cast<double>(c), 100.0, 1.0);
+}
+
+TEST(Histogram, EdgesSpanDataRange) {
+  std::vector<double> xs{-3.0, 7.0, 1.0};
+  const auto h = nc::equal_width_histogram(xs, 5);
+  EXPECT_DOUBLE_EQ(h.edges.front(), -3.0);
+  EXPECT_DOUBLE_EQ(h.edges.back(), 7.0);
+  EXPECT_EQ(h.total, 3u);
+}
+
+TEST(Histogram, MaxValueLandsInLastBin) {
+  std::vector<double> xs{0.0, 1.0};
+  const auto h = nc::equal_width_histogram(xs, 4);
+  EXPECT_EQ(h.bin_of(1.0), 3u);
+  EXPECT_EQ(h.bin_of(0.0), 0u);
+}
+
+TEST(Histogram, OutOfRangeReturnsNpos) {
+  std::vector<double> xs{0.0, 1.0};
+  const auto h = nc::equal_width_histogram(xs, 4);
+  EXPECT_EQ(h.bin_of(-0.1), nc::Histogram::npos);
+  EXPECT_EQ(h.bin_of(1.1), nc::Histogram::npos);
+}
+
+TEST(Histogram, DegenerateConstantData) {
+  std::vector<double> xs(100, 5.0);
+  const auto h = nc::equal_width_histogram(xs, 8);
+  EXPECT_EQ(h.total, 100u);  // all values binned despite zero range
+}
+
+TEST(Histogram, EmptyInput) {
+  std::vector<double> xs;
+  const auto h = nc::equal_width_histogram(xs, 4);
+  EXPECT_EQ(h.total, 0u);
+  EXPECT_EQ(h.bins(), 4u);
+}
+
+TEST(Histogram, CentersAreMidpoints) {
+  std::vector<double> xs{0.0, 10.0};
+  const auto h = nc::equal_width_histogram(xs, 5);
+  for (std::size_t b = 0; b < 5; ++b) {
+    EXPECT_DOUBLE_EQ(h.centers[b], 0.5 * (h.edges[b] + h.edges[b + 1]));
+  }
+}
+
+TEST(Histogram, ExplicitRangeExcludesOutliers) {
+  std::vector<double> xs{-100.0, 0.2, 0.4, 0.6, 100.0};
+  const auto h = nc::equal_width_histogram_range(xs, 4, 0.0, 1.0);
+  EXPECT_EQ(h.total, 3u);
+}
+
+TEST(Histogram, CountsSumToTotal) {
+  numarck::util::Pcg32 rng(3);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.normal();
+  const auto h = nc::equal_width_histogram(xs, 64);
+  std::uint64_t sum = 0;
+  for (auto c : h.counts) sum += c;
+  EXPECT_EQ(sum, h.total);
+  EXPECT_EQ(h.total, xs.size());
+}
+
+// ------------------------------------------------------ nearest_centroid --
+
+TEST(NearestCentroid, PicksClosest) {
+  std::vector<double> c{0.0, 1.0, 10.0};
+  EXPECT_EQ(nc::nearest_centroid(c, -5.0), 0u);
+  EXPECT_EQ(nc::nearest_centroid(c, 0.4), 0u);
+  EXPECT_EQ(nc::nearest_centroid(c, 0.6), 1u);
+  EXPECT_EQ(nc::nearest_centroid(c, 4.0), 1u);
+  EXPECT_EQ(nc::nearest_centroid(c, 8.0), 2u);
+  EXPECT_EQ(nc::nearest_centroid(c, 100.0), 2u);
+}
+
+TEST(NearestCentroid, TieGoesToLower) {
+  std::vector<double> c{0.0, 2.0};
+  EXPECT_EQ(nc::nearest_centroid(c, 1.0), 0u);
+}
+
+TEST(NearestCentroid, SingleCentroid) {
+  std::vector<double> c{5.0};
+  EXPECT_EQ(nc::nearest_centroid(c, -1e9), 0u);
+}
+
+TEST(NearestCentroid, MatchesLinearScan) {
+  numarck::util::Pcg32 rng(17);
+  std::vector<double> cents(50);
+  for (auto& c : cents) c = rng.uniform(-10, 10);
+  std::sort(cents.begin(), cents.end());
+  for (int t = 0; t < 1000; ++t) {
+    const double x = rng.uniform(-12, 12);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < cents.size(); ++i) {
+      if (std::abs(cents[i] - x) < std::abs(cents[best] - x)) best = i;
+    }
+    EXPECT_NEAR(std::abs(cents[nc::nearest_centroid(cents, x)] - x),
+                std::abs(cents[best] - x), 1e-15);
+  }
+}
+
+// ---------------------------------------------------------------- kmeans --
+
+namespace {
+
+std::vector<double> three_blob_data(std::size_t per_blob) {
+  numarck::util::Pcg32 rng(99);
+  std::vector<double> xs;
+  for (double center : {-10.0, 0.0, 10.0}) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      xs.push_back(rng.normal(center, 0.3));
+    }
+  }
+  return xs;
+}
+
+}  // namespace
+
+class KMeansEngineTest : public ::testing::TestWithParam<nc::KMeansEngine> {};
+
+TEST_P(KMeansEngineTest, RecoversWellSeparatedClusters) {
+  const auto xs = three_blob_data(500);
+  nc::KMeansOptions o;
+  o.k = 3;
+  o.engine = GetParam();
+  const auto r = nc::kmeans1d(xs, o);
+  ASSERT_EQ(r.centroids.size(), 3u);
+  EXPECT_NEAR(r.centroids[0], -10.0, 0.1);
+  EXPECT_NEAR(r.centroids[1], 0.0, 0.1);
+  EXPECT_NEAR(r.centroids[2], 10.0, 0.1);
+  for (auto c : r.counts) EXPECT_NEAR(static_cast<double>(c), 500.0, 5.0);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST_P(KMeansEngineTest, CentroidsAreSorted) {
+  numarck::util::Pcg32 rng(4);
+  std::vector<double> xs(3000);
+  for (auto& x : xs) x = rng.normal();
+  nc::KMeansOptions o;
+  o.k = 16;
+  o.engine = GetParam();
+  const auto r = nc::kmeans1d(xs, o);
+  EXPECT_TRUE(std::is_sorted(r.centroids.begin(), r.centroids.end()));
+}
+
+TEST_P(KMeansEngineTest, CountsSumToN) {
+  numarck::util::Pcg32 rng(6);
+  std::vector<double> xs(2777);
+  for (auto& x : xs) x = rng.uniform(0, 1);
+  nc::KMeansOptions o;
+  o.k = 31;
+  o.engine = GetParam();
+  const auto r = nc::kmeans1d(xs, o);
+  std::uint64_t n = 0;
+  for (auto c : r.counts) n += c;
+  EXPECT_EQ(n, xs.size());
+}
+
+TEST_P(KMeansEngineTest, FewerPointsThanClusters) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  nc::KMeansOptions o;
+  o.k = 10;
+  o.engine = GetParam();
+  const auto r = nc::kmeans1d(xs, o);
+  EXPECT_LE(r.centroids.size(), 3u);
+  std::uint64_t n = 0;
+  for (auto c : r.counts) n += c;
+  EXPECT_EQ(n, 3u);
+}
+
+TEST_P(KMeansEngineTest, ConstantDataCollapsesToOneCentroid) {
+  std::vector<double> xs(500, 7.5);
+  nc::KMeansOptions o;
+  o.k = 8;
+  o.engine = GetParam();
+  const auto r = nc::kmeans1d(xs, o);
+  ASSERT_GE(r.centroids.size(), 1u);
+  for (auto c : r.centroids) EXPECT_DOUBLE_EQ(c, 7.5);
+}
+
+TEST_P(KMeansEngineTest, EmptyInputGivesEmptyResult) {
+  std::vector<double> xs;
+  nc::KMeansOptions o;
+  o.k = 4;
+  o.engine = GetParam();
+  const auto r = nc::kmeans1d(xs, o);
+  EXPECT_TRUE(r.centroids.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, KMeansEngineTest,
+                         ::testing::Values(nc::KMeansEngine::kLloydParallel,
+                                           nc::KMeansEngine::kSortedBoundary));
+
+TEST(KMeans, EnginesConvergeToSameInertia) {
+  numarck::util::Pcg32 rng(21);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) {
+    x = rng.uniform() < 0.7 ? rng.normal(0.0, 0.01) : rng.normal(0.3, 0.1);
+  }
+  nc::KMeansOptions o;
+  o.k = 63;
+  o.max_iterations = 60;
+  o.engine = nc::KMeansEngine::kLloydParallel;
+  const auto a = nc::kmeans1d(xs, o);
+  o.engine = nc::KMeansEngine::kSortedBoundary;
+  const auto b = nc::kmeans1d(xs, o);
+  // Same seeding and same update rule: the fixpoints must agree closely.
+  EXPECT_NEAR(a.inertia, b.inertia, 0.02 * std::max(a.inertia, b.inertia));
+}
+
+TEST(KMeans, DensityAdaptiveSeedingResolvesDenseCore) {
+  // 90 % of the mass in a tight core, 10 % spread over wide tails: seeds
+  // must concentrate where the mass is (this is what makes the clustering
+  // strategy beat equal-width binning in the paper).
+  numarck::util::Pcg32 rng(8);
+  std::vector<double> xs(30000);
+  for (auto& x : xs) {
+    x = rng.uniform() < 0.9 ? rng.normal(0.0, 0.005) : rng.uniform(-1.0, 1.0);
+  }
+  nc::KMeansOptions o;
+  o.k = 100;
+  const auto r = nc::kmeans1d(xs, o);
+  std::size_t in_core = 0;
+  for (auto c : r.centroids) {
+    if (std::abs(c) < 0.02) ++in_core;
+  }
+  EXPECT_GT(in_core, 50u);  // majority of centroids in the 2 %-wide core
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  numarck::util::Pcg32 rng(12);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.normal();
+  double prev = 1e300;
+  for (std::size_t k : {2u, 4u, 8u, 16u, 32u}) {
+    nc::KMeansOptions o;
+    o.k = k;
+    const auto r = nc::kmeans1d(xs, o);
+    EXPECT_LT(r.inertia, prev);
+    prev = r.inertia;
+  }
+}
+
+TEST(KMeans, QuantileInitAlsoWorks) {
+  const auto xs = three_blob_data(200);
+  nc::KMeansOptions o;
+  o.k = 3;
+  o.init = nc::KMeansInit::kQuantile;
+  const auto r = nc::kmeans1d(xs, o);
+  ASSERT_EQ(r.centroids.size(), 3u);
+  EXPECT_NEAR(r.centroids[1], 0.0, 0.2);
+}
+
+TEST(KMeans, InvalidKThrows) {
+  std::vector<double> xs{1.0};
+  nc::KMeansOptions o;
+  o.k = 0;
+  EXPECT_THROW(nc::kmeans1d(xs, o), numarck::ContractViolation);
+}
+
+TEST(KMeans, RespectsExplicitPool) {
+  numarck::util::ThreadPool pool(1);  // deterministic single-thread
+  const auto xs = three_blob_data(100);
+  nc::KMeansOptions o;
+  o.k = 3;
+  o.pool = &pool;
+  const auto r = nc::kmeans1d(xs, o);
+  EXPECT_EQ(r.centroids.size(), 3u);
+}

@@ -1,0 +1,180 @@
+// Cross-module integration tests: the full paper workflow — simulate,
+// compress, persist, restart, resume — plus NUMARCK-vs-baseline sanity on
+// realistic data from both simulators.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "numarck/baselines/isabela.hpp"
+#include "numarck/core/compressor.hpp"
+#include "numarck/io/checkpoint_file.hpp"
+#include "numarck/metrics/metrics.hpp"
+#include "numarck/sim/climate/generator.hpp"
+#include "numarck/sim/flash/simulator.hpp"
+
+namespace nk = numarck::core;
+namespace nio = numarck::io;
+namespace nm = numarck::metrics;
+namespace nf = numarck::sim::flash;
+namespace ncl = numarck::sim::climate;
+
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string("/tmp/numarck_it_") + name + ".ckpt") {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+nf::SimulatorConfig flash_config() {
+  nf::SimulatorConfig cfg;
+  cfg.mesh.blocks_per_dim = 2;
+  cfg.mesh.block_interior = 8;
+  cfg.problem.problem = nf::Problem::kSmoothWaves;
+  cfg.steps_per_checkpoint = 2;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Integration, FullFlashCheckpointRestartResume) {
+  TempFile tmp("full_loop");
+  auto cfg = flash_config();
+  nf::Simulator sim(cfg);
+  const auto& vars = nf::Simulator::variable_names();
+
+  nk::Options opts;
+  opts.error_bound = 0.001;
+  opts.strategy = nk::Strategy::kClustering;
+
+  std::map<std::string, nk::VariableCompressor> comps;
+  for (const auto& v : vars) comps.emplace(v, nk::VariableCompressor(opts));
+  {
+    nio::CheckpointWriter w(tmp.path, vars);
+    for (int it = 0; it < 4; ++it) {
+      if (it > 0) sim.advance_checkpoint();
+      for (const auto& v : vars) {
+        w.append(v, it, sim.time(), comps.at(v).push(sim.snapshot(v)));
+      }
+    }
+  }
+
+  nio::CheckpointReader reader(tmp.path);
+  EXPECT_EQ(reader.iteration_count(), 4u);
+  nio::RestartEngine engine(reader);
+  const auto state = engine.reconstruct(3);
+
+  // Reconstructed state is within the bound of the live truth.
+  for (const char* v : {"dens", "pres", "temp"}) {
+    const auto truth = sim.snapshot(v);
+    EXPECT_LT(nm::max_relative_error(truth, state.at(v)), 0.01) << v;
+    EXPECT_GT(nm::pearson(truth, state.at(v)), 0.999) << v;
+  }
+
+  // And a fresh simulator resumes from it without blowing up.
+  nf::Simulator resumed(cfg);
+  resumed.restore(state, reader.sim_time(3), 0);
+  resumed.advance_checkpoint();
+  for (double d : resumed.snapshot("dens")) {
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_GT(d, 0.0);
+  }
+}
+
+TEST(Integration, AllStrategiesHoldBoundOnFlashData) {
+  auto cfg = flash_config();
+  nf::Simulator sim(cfg);
+  const auto prev = sim.snapshot("pres");
+  sim.advance_checkpoint();
+  const auto curr = sim.snapshot("pres");
+  for (auto s : {nk::Strategy::kEqualWidth, nk::Strategy::kLogScale,
+                 nk::Strategy::kClustering}) {
+    nk::Options opts;
+    opts.strategy = s;
+    opts.error_bound = 0.001;
+    const auto enc = nk::encode_iteration(prev, curr, opts);
+    EXPECT_LE(enc.stats.max_ratio_error, 0.001 * 1.0001)
+        << nk::to_string(s);
+    const auto dec = nk::decode_iteration(prev, enc);
+    EXPECT_LE(nm::max_relative_error(curr, dec), 0.0011) << nk::to_string(s);
+  }
+}
+
+TEST(Integration, ClimateDataCompressesWithinBound) {
+  ncl::Generator gen(ncl::Variable::kRlus, {});
+  const auto prev = gen.current();
+  const auto curr = gen.advance();
+  nk::Options opts;
+  opts.error_bound = 0.001;
+  opts.strategy = nk::Strategy::kClustering;
+  const auto enc = nk::encode_iteration(prev, curr, opts);
+  EXPECT_LE(enc.stats.max_ratio_error, 0.001 * 1.0001);
+  EXPECT_GT(enc.paper_compression_ratio(), 70.0);  // rlus is the easy case
+}
+
+TEST(Integration, NumarckBeatsIsabelaOnFlashData) {
+  // The Table I headline on FLASH variables: NUMARCK (B=8, E=0.5 %,
+  // clustering) exceeds ISABELA's fixed 75.781 %.
+  auto cfg = flash_config();
+  nf::Simulator sim(cfg);
+  const auto prev = sim.snapshot("dens");
+  sim.advance_checkpoint();
+  const auto curr = sim.snapshot("dens");
+
+  nk::Options opts;
+  opts.error_bound = 0.005;
+  opts.index_bits = 8;
+  opts.strategy = nk::Strategy::kClustering;
+  const auto enc = nk::encode_iteration(prev, curr, opts);
+
+  numarck::baselines::Isabela isa({256, 30});
+  const auto isac = isa.compress(curr);
+
+  EXPECT_GT(enc.paper_compression_ratio(), isac.compression_ratio_percent());
+}
+
+TEST(Integration, RestartErrorGrowsWithDistanceFromFullCheckpoint) {
+  // Fig. 8 property: reconstructing at a later checkpoint accumulates more
+  // error (open-loop coding).
+  auto cfg = flash_config();
+  nf::Simulator sim(cfg);
+  nk::Options opts;
+  opts.error_bound = 0.002;
+  nk::VariableCompressor comp(opts);
+  nk::VariableReconstructor rec;
+
+  std::vector<double> err;
+  std::vector<double> truth;
+  for (int it = 0; it < 6; ++it) {
+    if (it > 0) sim.advance_checkpoint();
+    truth = sim.snapshot("dens");
+    rec.push(comp.push(truth));
+    err.push_back(nm::mean_relative_error(truth, rec.state()));
+  }
+  // Not strictly monotone step to step, but the tail must exceed the head.
+  EXPECT_GE(err.back(), err[1] * 0.5);
+  EXPECT_EQ(err[0], 0.0);  // full checkpoint is lossless
+}
+
+TEST(Integration, TenFlashVariablesAllCompress) {
+  auto cfg = flash_config();
+  nf::Simulator sim(cfg);
+  std::map<std::string, std::vector<double>> prev;
+  for (const auto& v : nf::Simulator::variable_names()) {
+    prev[v] = sim.snapshot(v);
+  }
+  sim.advance_checkpoint();
+  nk::Options opts;
+  opts.error_bound = 0.001;
+  opts.strategy = nk::Strategy::kClustering;
+  for (const auto& v : nf::Simulator::variable_names()) {
+    const auto curr = sim.snapshot(v);
+    const auto enc = nk::encode_iteration(prev[v], curr, opts);
+    // FLASH is the easy dataset: clustering keeps gamma below ~10 %
+    // (paper: < 7 % on all FLASH variables).
+    EXPECT_LT(enc.stats.incompressible_ratio(), 0.12) << v;
+  }
+}

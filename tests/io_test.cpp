@@ -1,0 +1,217 @@
+// Checkpoint container and restart-engine tests, including corruption
+// detection (CRC) and equivalence with in-memory reconstruction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <unistd.h>
+#include <string>
+#include <vector>
+
+#include "numarck/core/compressor.hpp"
+#include "numarck/io/checkpoint_file.hpp"
+#include "numarck/util/expect.hpp"
+#include "numarck/util/rng.hpp"
+
+namespace nio = numarck::io;
+namespace nk = numarck::core;
+
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_("/tmp/numarck_test_" + name + "_" +
+              std::to_string(::getpid()) + ".ckpt") {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<double> snap(std::size_t n, double t, std::uint64_t seed) {
+  numarck::util::Pcg32 rng(seed);
+  std::vector<double> v(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    v[j] = 1.0 + 0.1 * std::sin(0.01 * j + t) + rng.normal() * 1e-4;
+  }
+  return v;
+}
+
+}  // namespace
+
+TEST(CheckpointFile, WriteReadRoundTrip) {
+  TempFile tmp("roundtrip");
+  nk::Options opts;
+  nk::VariableCompressor ca(opts), cb(opts);
+  {
+    nio::CheckpointWriter w(tmp.path(), {"alpha", "beta"});
+    for (int it = 0; it < 4; ++it) {
+      w.append("alpha", it, it * 0.5, ca.push(snap(2048, it * 0.3, 1)));
+      w.append("beta", it, it * 0.5, cb.push(snap(2048, it * 0.7, 2)));
+    }
+  }
+  nio::CheckpointReader r(tmp.path());
+  EXPECT_EQ(r.variables(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(r.iteration_count(), 4u);
+  EXPECT_DOUBLE_EQ(r.sim_time(3), 1.5);
+  const auto info = r.info("alpha", 0);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->type, nio::RecordType::kFull);
+  EXPECT_EQ(r.info("alpha", 1)->type, nio::RecordType::kDelta);
+  EXPECT_FALSE(r.info("alpha", 9).has_value());
+}
+
+TEST(CheckpointFile, RestartMatchesInMemoryReconstruction) {
+  TempFile tmp("equiv");
+  nk::Options opts;
+  opts.strategy = nk::Strategy::kClustering;
+  nk::VariableCompressor comp(opts);
+  nk::VariableReconstructor mem;
+  {
+    nio::CheckpointWriter w(tmp.path(), {"v"});
+    for (int it = 0; it < 5; ++it) {
+      const auto step = comp.push(snap(4096, it * 0.4, 3));
+      mem.push(step);
+      w.append("v", it, it * 1.0, step);
+    }
+  }
+  nio::CheckpointReader r(tmp.path());
+  nio::RestartEngine eng(r);
+  EXPECT_EQ(eng.reconstruct_variable("v", 4), mem.state());
+  const auto all = eng.reconstruct(4);
+  EXPECT_EQ(all.at("v"), mem.state());
+}
+
+TEST(CheckpointFile, IntermediateIterationReconstructs) {
+  TempFile tmp("mid");
+  nk::Options opts;
+  nk::VariableCompressor comp(opts);
+  std::vector<std::vector<double>> truths;
+  {
+    nio::CheckpointWriter w(tmp.path(), {"v"});
+    for (int it = 0; it < 6; ++it) {
+      truths.push_back(snap(1024, it * 0.5, 4));
+      w.append("v", it, 0.0, comp.push(truths.back()));
+    }
+  }
+  nio::CheckpointReader r(tmp.path());
+  nio::RestartEngine eng(r);
+  const auto mid = eng.reconstruct_variable("v", 2);
+  // Within the error bound of the truth at iteration 2 (small accumulation).
+  for (std::size_t j = 0; j < mid.size(); ++j) {
+    EXPECT_NEAR(mid[j], truths[2][j], std::abs(truths[2][j]) * 0.01);
+  }
+}
+
+TEST(CheckpointFile, CrcDetectsCorruption) {
+  TempFile tmp("crc");
+  nk::Options opts;
+  nk::VariableCompressor comp(opts);
+  {
+    nio::CheckpointWriter w(tmp.path(), {"v"});
+    w.append("v", 0, 0.0, comp.push(snap(1024, 0.0, 5)));
+    w.append("v", 1, 1.0, comp.push(snap(1024, 0.5, 5)));
+  }
+  // Flip one byte inside the second record's payload.
+  {
+    std::fstream f(tmp.path(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<long>(f.tellg());
+    f.seekp(size - 100);
+    char c;
+    f.seekg(size - 100);
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x55);
+    f.seekp(size - 100);
+    f.write(&c, 1);
+  }
+  nio::CheckpointReader r(tmp.path());
+  EXPECT_THROW((void)r.load("v", 1), numarck::ContractViolation);
+  // The first record is untouched and still loads.
+  EXPECT_NO_THROW((void)r.load("v", 0));
+}
+
+TEST(CheckpointFile, UnknownVariableThrows) {
+  TempFile tmp("unknown");
+  nk::Options opts;
+  nk::VariableCompressor comp(opts);
+  {
+    nio::CheckpointWriter w(tmp.path(), {"v"});
+    EXPECT_THROW(w.append("nope", 0, 0.0, comp.push(snap(64, 0, 6))),
+                 numarck::ContractViolation);
+    w.append("v", 0, 0.0, comp.push(snap(64, 0, 6)));
+  }
+  nio::CheckpointReader r(tmp.path());
+  EXPECT_THROW((void)r.load("nope", 0), numarck::ContractViolation);
+}
+
+TEST(CheckpointFile, MissingFileThrows) {
+  EXPECT_THROW(nio::CheckpointReader("/tmp/definitely_not_here.ckpt"),
+               numarck::ContractViolation);
+}
+
+TEST(CheckpointFile, GarbageFileThrows) {
+  TempFile tmp("garbage");
+  {
+    std::ofstream f(tmp.path(), std::ios::binary);
+    f << "this is not a checkpoint";
+  }
+  EXPECT_THROW(nio::CheckpointReader{tmp.path()}, numarck::ContractViolation);
+}
+
+TEST(CheckpointFile, RestartBeyondHistoryThrows) {
+  TempFile tmp("beyond");
+  nk::Options opts;
+  nk::VariableCompressor comp(opts);
+  {
+    nio::CheckpointWriter w(tmp.path(), {"v"});
+    w.append("v", 0, 0.0, comp.push(snap(64, 0, 7)));
+  }
+  nio::CheckpointReader r(tmp.path());
+  nio::RestartEngine eng(r);
+  EXPECT_THROW((void)eng.reconstruct_variable("v", 5),
+               numarck::ContractViolation);
+}
+
+TEST(CheckpointFile, BytesWrittenGrows) {
+  TempFile tmp("bytes");
+  nk::Options opts;
+  nk::VariableCompressor comp(opts);
+  nio::CheckpointWriter w(tmp.path(), {"v"});
+  const auto before = w.bytes_written();
+  w.append("v", 0, 0.0, comp.push(snap(1024, 0, 8)));
+  EXPECT_GT(w.bytes_written(), before);
+}
+
+TEST(CheckpointFile, RestartReplaysFromLatestFullRebase) {
+  // Containers produced by the adaptive controller contain mid-stream full
+  // records; restart must start from the latest full at or before the
+  // target, not from record 0.
+  TempFile tmp("rebase");
+  nk::Options opts;
+  {
+    nio::CheckpointWriter w(tmp.path(), {"v"});
+    nk::VariableCompressor c1(opts);
+    w.append("v", 0, 0.0, c1.push(snap(512, 0.0, 9)));
+    w.append("v", 1, 1.0, c1.push(snap(512, 0.3, 9)));
+    // Rebase: a fresh compressor emits a full at iteration 2.
+    nk::VariableCompressor c2(opts);
+    const auto truth2 = snap(512, 7.0, 10);
+    w.append("v", 2, 2.0, c2.push(truth2));
+    w.append("v", 3, 3.0, c2.push(snap(512, 7.3, 10)));
+  }
+  nio::CheckpointReader r(tmp.path());
+  nio::RestartEngine eng(r);
+  // Iteration 2 is bit-exact (it IS the rebase full).
+  EXPECT_EQ(eng.reconstruct_variable("v", 2), snap(512, 7.0, 10));
+  // Iteration 3 decodes against the rebase, not the original chain.
+  const auto s3 = eng.reconstruct_variable("v", 3);
+  const auto truth3 = snap(512, 7.3, 10);
+  for (std::size_t j = 0; j < s3.size(); ++j) {
+    EXPECT_NEAR(s3[j], truth3[j], std::abs(truth3[j]) * 0.002);
+  }
+}

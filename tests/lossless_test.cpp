@@ -1,0 +1,134 @@
+// FPC lossless compressor tests: the one invariant that matters is bit-exact
+// round-tripping on *every* input, including the pathological ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "numarck/lossless/fpc.hpp"
+#include "numarck/util/expect.hpp"
+#include "numarck/util/rng.hpp"
+
+namespace nl = numarck::lossless;
+
+namespace {
+
+bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+TEST(Fpc, EmptyInput) {
+  const auto s = nl::fpc_compress({});
+  const auto d = nl::fpc_decompress(s);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Fpc, SingleValue) {
+  std::vector<double> v{3.14159265358979};
+  EXPECT_TRUE(bit_identical(nl::fpc_decompress(nl::fpc_compress(v)), v));
+}
+
+TEST(Fpc, SmoothDataCompressesWell) {
+  std::vector<double> v(100000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::sin(static_cast<double>(i) * 1e-4);
+  }
+  const auto s = nl::fpc_compress(v);
+  EXPECT_TRUE(bit_identical(nl::fpc_decompress(s), v));
+  // Predictable data must beat raw storage comfortably.
+  EXPECT_LT(s.size(), v.size() * sizeof(double) * 8 / 10);
+}
+
+TEST(Fpc, ConstantDataCompressesExtremely) {
+  std::vector<double> v(50000, 42.0);
+  const auto s = nl::fpc_compress(v);
+  EXPECT_TRUE(bit_identical(nl::fpc_decompress(s), v));
+  EXPECT_LT(s.size(), v.size());  // way below 1 byte per double
+}
+
+TEST(Fpc, RandomDataStillRoundTrips) {
+  numarck::util::Pcg32 rng(5);
+  std::vector<double> v(20000);
+  for (auto& x : v) x = rng.normal() * std::pow(10.0, rng.uniform(-300, 300));
+  const auto s = nl::fpc_compress(v);
+  EXPECT_TRUE(bit_identical(nl::fpc_decompress(s), v));
+  // Incompressible data may expand slightly (½ byte header per value).
+  EXPECT_LT(s.size(), v.size() * sizeof(double) * 11 / 10);
+}
+
+TEST(Fpc, SpecialValuesRoundTrip) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> v{0.0,
+                        -0.0,
+                        inf,
+                        -inf,
+                        std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::denorm_min(),
+                        -std::numeric_limits<double>::denorm_min(),
+                        std::numeric_limits<double>::max(),
+                        std::numeric_limits<double>::lowest(),
+                        std::numeric_limits<double>::epsilon()};
+  EXPECT_TRUE(bit_identical(nl::fpc_decompress(nl::fpc_compress(v)), v));
+}
+
+TEST(Fpc, PreservesNegativeZeroSign) {
+  std::vector<double> v{-0.0};
+  const auto d = nl::fpc_decompress(nl::fpc_compress(v));
+  EXPECT_TRUE(std::signbit(d[0]));
+}
+
+class FpcTableSizeTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FpcTableSizeTest, RoundTripsAtEveryTableSize) {
+  nl::FpcOptions opts;
+  opts.table_log2 = GetParam();
+  numarck::util::Pcg32 rng(GetParam());
+  std::vector<double> v(5000);
+  double walk = 100.0;
+  for (auto& x : v) {
+    walk += rng.normal() * 0.01;
+    x = walk;
+  }
+  const auto s = nl::fpc_compress(v, opts);
+  EXPECT_TRUE(bit_identical(nl::fpc_decompress(s), v));
+}
+
+INSTANTIATE_TEST_SUITE_P(TableSizes, FpcTableSizeTest,
+                         ::testing::Values(4u, 8u, 12u, 16u, 20u));
+
+TEST(Fpc, InvalidTableSizeThrows) {
+  nl::FpcOptions opts;
+  opts.table_log2 = 30;
+  EXPECT_THROW(nl::fpc_compress(std::vector<double>{1.0}, opts),
+               numarck::ContractViolation);
+}
+
+TEST(Fpc, BadMagicThrows) {
+  auto s = nl::fpc_compress(std::vector<double>{1.0, 2.0});
+  s[0] ^= 0xFF;
+  EXPECT_THROW(nl::fpc_decompress(s), numarck::ContractViolation);
+}
+
+TEST(Fpc, TruncatedStreamThrows) {
+  auto s = nl::fpc_compress(std::vector<double>(100, 1.5));
+  s.resize(s.size() / 2);
+  EXPECT_THROW(nl::fpc_decompress(s), numarck::ContractViolation);
+}
+
+TEST(Fpc, CheckpointLikeDataFromPaperWorkload) {
+  // Density-like field: smooth spatial structure, the FLASH D0 use case.
+  std::vector<double> v(65536);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double x = static_cast<double>(i % 256) / 256.0;
+    const double y = static_cast<double>(i / 256) / 256.0;
+    v[i] = 1.0 + 0.5 * std::sin(6.28 * x) * std::cos(6.28 * y);
+  }
+  const auto s = nl::fpc_compress(v);
+  EXPECT_TRUE(bit_identical(nl::fpc_decompress(s), v));
+  EXPECT_LT(s.size(), v.size() * sizeof(double));
+}

@@ -1,0 +1,226 @@
+// Tests for the lossless post-pass codecs (Huffman, bit-RLE) and their
+// integration into EncodedIteration serialization (§III-B extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "numarck/core/codec.hpp"
+#include "numarck/lossless/huffman.hpp"
+#include "numarck/lossless/rle.hpp"
+#include "numarck/util/bitpack.hpp"
+#include "numarck/util/expect.hpp"
+#include "numarck/util/rng.hpp"
+
+namespace nl = numarck::lossless;
+namespace nk = numarck::core;
+
+// --------------------------------------------------------------- huffman --
+
+TEST(Huffman, EmptyInput) {
+  const auto s = nl::huffman_encode({}, 16);
+  EXPECT_TRUE(nl::huffman_decode(s).empty());
+}
+
+TEST(Huffman, SingleSymbolAlphabetOfOne) {
+  std::vector<std::uint32_t> syms(100, 0);
+  const auto s = nl::huffman_encode(syms, 1);
+  EXPECT_EQ(nl::huffman_decode(s), syms);
+}
+
+TEST(Huffman, SingleUsedSymbolInLargeAlphabet) {
+  std::vector<std::uint32_t> syms(500, 42);
+  const auto s = nl::huffman_encode(syms, 256);
+  EXPECT_EQ(nl::huffman_decode(s), syms);
+  // 1 bit per symbol + table: way below a byte each.
+  EXPECT_LT(s.size(), 300u);
+}
+
+TEST(Huffman, UniformSymbolsRoundTrip) {
+  numarck::util::Pcg32 rng(3);
+  std::vector<std::uint32_t> syms(10000);
+  for (auto& s : syms) s = rng.bounded(256);
+  const auto enc = nl::huffman_encode(syms, 256);
+  EXPECT_EQ(nl::huffman_decode(enc), syms);
+}
+
+TEST(Huffman, SkewedSymbolsCompressTowardEntropy) {
+  // 95 % zeros: entropy ~0.3 bits/symbol, vs 8 bits raw.
+  numarck::util::Pcg32 rng(5);
+  std::vector<std::uint32_t> syms(50000);
+  for (auto& s : syms) s = rng.uniform() < 0.95 ? 0 : rng.bounded(255) + 0;
+  const double h = nl::symbol_entropy_bits(syms, 256);
+  const auto enc = nl::huffman_encode(syms, 256);
+  const double bits_per_symbol =
+      8.0 * static_cast<double>(enc.size()) / static_cast<double>(syms.size());
+  EXPECT_LT(bits_per_symbol, h + 1.2);  // within ~1 bit of entropy + table
+  EXPECT_LT(bits_per_symbol, 2.0);      // far below the raw 8 bits
+  EXPECT_EQ(nl::huffman_decode(enc), syms);
+}
+
+TEST(Huffman, TwoSymbols) {
+  std::vector<std::uint32_t> syms{0, 1, 0, 0, 1, 1, 0, 1, 1, 1};
+  const auto enc = nl::huffman_encode(syms, 2);
+  EXPECT_EQ(nl::huffman_decode(enc), syms);
+}
+
+TEST(Huffman, LargeAlphabetRoundTrip) {
+  numarck::util::Pcg32 rng(7);
+  std::vector<std::uint32_t> syms(5000);
+  for (auto& s : syms) s = rng.bounded(1024);  // B = 10
+  const auto enc = nl::huffman_encode(syms, 1024);
+  EXPECT_EQ(nl::huffman_decode(enc), syms);
+}
+
+TEST(Huffman, ExtremeSkewStillBounded) {
+  // One symbol appears once in a million-ish: depth capping must kick in
+  // gracefully (no crash, exact round-trip).
+  std::vector<std::uint32_t> syms(100000, 0);
+  for (std::size_t i = 0; i < 40; ++i) syms[i * 2500] = (i % 63) + 1;
+  const auto enc = nl::huffman_encode(syms, 64);
+  EXPECT_EQ(nl::huffman_decode(enc), syms);
+}
+
+TEST(Huffman, SymbolOutOfAlphabetThrows) {
+  std::vector<std::uint32_t> syms{5};
+  EXPECT_THROW(nl::huffman_encode(syms, 4), numarck::ContractViolation);
+}
+
+TEST(Huffman, CorruptStreamThrows) {
+  std::vector<std::uint32_t> syms(100, 1);
+  auto enc = nl::huffman_encode(syms, 4);
+  enc[0] ^= 0xFF;
+  EXPECT_THROW(nl::huffman_decode(enc), numarck::ContractViolation);
+}
+
+TEST(Huffman, EntropyHelperKnownValues) {
+  std::vector<std::uint32_t> uniform{0, 1, 2, 3};
+  EXPECT_NEAR(nl::symbol_entropy_bits(uniform, 4), 2.0, 1e-12);
+  std::vector<std::uint32_t> constant(10, 0);
+  EXPECT_NEAR(nl::symbol_entropy_bits(constant, 4), 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------------- rle --
+
+TEST(Rle, EmptyBitmap) {
+  const auto enc = nl::rle_encode_bits({}, 0);
+  const auto dec = nl::rle_decode_bits(enc, 0);
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(Rle, AllOnesCompressesToAFewBytes) {
+  numarck::util::BitWriter w;
+  for (int i = 0; i < 100000; ++i) w.put_bit(true);
+  const auto packed = w.finish();
+  const auto enc = nl::rle_encode_bits(packed, 100000);
+  EXPECT_LT(enc.size(), 8u);
+  EXPECT_EQ(nl::rle_decode_bits(enc, 100000), packed);
+}
+
+TEST(Rle, AlternatingBitsExpand) {
+  numarck::util::BitWriter w;
+  for (int i = 0; i < 800; ++i) w.put_bit(i % 2 == 0);
+  const auto packed = w.finish();
+  const auto enc = nl::rle_encode_bits(packed, 800);
+  EXPECT_GT(enc.size(), packed.size());  // worst case grows — flags handle it
+  EXPECT_EQ(nl::rle_decode_bits(enc, 800), packed);
+}
+
+TEST(Rle, RandomBitsRoundTrip) {
+  numarck::util::Pcg32 rng(9);
+  for (std::size_t bits : {1u, 7u, 8u, 9u, 1000u, 4097u}) {
+    numarck::util::BitWriter w;
+    for (std::size_t i = 0; i < bits; ++i) w.put_bit(rng.uniform() < 0.9);
+    const auto packed = w.finish();
+    const auto enc = nl::rle_encode_bits(packed, bits);
+    EXPECT_EQ(nl::rle_decode_bits(enc, bits), packed) << bits;
+  }
+}
+
+TEST(Rle, WrongBitCountThrows) {
+  numarck::util::BitWriter w;
+  for (int i = 0; i < 16; ++i) w.put_bit(true);
+  const auto packed = w.finish();
+  const auto enc = nl::rle_encode_bits(packed, 16);
+  EXPECT_THROW(nl::rle_decode_bits(enc, 32), numarck::ContractViolation);
+}
+
+// -------------------------------------------------------------- postpass --
+
+namespace {
+
+nk::EncodedIteration sample_encoded(std::size_t n, double exact_fraction) {
+  numarck::util::Pcg32 rng(11);
+  std::vector<double> prev(n), curr(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    prev[j] = rng.uniform(1.0, 3.0);
+    const bool outlier = rng.uniform() < exact_fraction;
+    const double ratio = outlier ? rng.uniform(-5.0, 5.0) : rng.normal() * 0.0005;
+    curr[j] = prev[j] * (1.0 + ratio);
+  }
+  nk::Options opts;
+  opts.error_bound = 0.001;
+  opts.index_bits = 8;
+  return nk::encode_iteration(prev, curr, opts);
+}
+
+}  // namespace
+
+TEST(Postpass, RoundTripWithAllCodersEnabled) {
+  const auto enc = sample_encoded(20000, 0.02);
+  const auto plain = enc.serialize();
+  const auto packed = enc.serialize(nk::Postpass::all());
+  const auto back = nk::EncodedIteration::deserialize(packed);
+  EXPECT_EQ(back.zeta, enc.zeta);
+  EXPECT_EQ(back.indices, enc.indices);
+  EXPECT_EQ(back.exact_values, enc.exact_values);
+  EXPECT_EQ(back.centers, enc.centers);
+  EXPECT_EQ(back.point_count, enc.point_count);
+  // This workload is dominated by index 0, so the post-pass must win big.
+  EXPECT_LT(packed.size(), plain.size() * 6 / 10);
+}
+
+TEST(Postpass, PlainAndPackedDecodeIdentically) {
+  numarck::util::Pcg32 rng(13);
+  std::vector<double> prev(5000), curr(5000);
+  for (std::size_t j = 0; j < prev.size(); ++j) {
+    prev[j] = rng.uniform(1.0, 2.0);
+    curr[j] = prev[j] * (1.0 + rng.normal() * 0.01);
+  }
+  nk::Options opts;
+  const auto enc = nk::encode_iteration(prev, curr, opts);
+  const auto a = nk::EncodedIteration::deserialize(enc.serialize());
+  const auto b =
+      nk::EncodedIteration::deserialize(enc.serialize(nk::Postpass::all()));
+  EXPECT_EQ(nk::decode_iteration(prev, a), nk::decode_iteration(prev, b));
+}
+
+TEST(Postpass, CodersOnlyApplyWhenTheyWin) {
+  // Near-uniform indices: Huffman gains ~nothing, so the plain stream must
+  // be kept (flags say so implicitly: sizes stay close to plain).
+  const auto enc = sample_encoded(3000, 0.0);
+  const auto plain = enc.serialize();
+  const auto packed = enc.serialize(nk::Postpass::all());
+  EXPECT_LE(packed.size(), plain.size() + 16);
+}
+
+TEST(Postpass, IndividualFlagsWork) {
+  const auto enc = sample_encoded(10000, 0.05);
+  for (auto pp : {nk::Postpass{true, false, false},
+                  nk::Postpass{false, true, false},
+                  nk::Postpass{false, false, true}}) {
+    const auto bytes = enc.serialize(pp);
+    const auto back = nk::EncodedIteration::deserialize(bytes);
+    EXPECT_EQ(back.indices, enc.indices);
+    EXPECT_EQ(back.zeta, enc.zeta);
+    EXPECT_EQ(back.exact_values, enc.exact_values);
+  }
+}
+
+TEST(Postpass, EmptyIterationSerializes) {
+  nk::Options opts;
+  const auto enc = nk::encode_iteration({}, {}, opts);
+  const auto back =
+      nk::EncodedIteration::deserialize(enc.serialize(nk::Postpass::all()));
+  EXPECT_EQ(back.point_count, 0u);
+}

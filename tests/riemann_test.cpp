@@ -1,0 +1,303 @@
+// Exact Riemann solver tests plus end-to-end hydro validation: the simulated
+// Sod tube must converge to the analytic profile, and HLLC must beat HLL on
+// the contact discontinuity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "numarck/sim/flash/exact_riemann.hpp"
+#include "numarck/sim/flash/simulator.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace nf = numarck::sim::flash;
+
+namespace {
+constexpr double kGamma = 1.4;
+
+const nf::RiemannState kSodLeft{1.0, 0.0, 1.0};
+const nf::RiemannState kSodRight{0.125, 0.0, 0.1};
+}  // namespace
+
+// -------------------------------------------------------------- star state --
+
+TEST(ExactRiemann, SodStarStateMatchesLiterature) {
+  // Toro, Table 4.1 test 1: p* = 0.30313, u* = 0.92745.
+  const auto sol = nf::solve_riemann_star(kSodLeft, kSodRight, kGamma);
+  EXPECT_NEAR(sol.p_star, 0.30313, 1e-4);
+  EXPECT_NEAR(sol.u_star, 0.92745, 1e-4);
+}
+
+TEST(ExactRiemann, Toro123ProblemStarState) {
+  // Toro test 2 ("123 problem"): strong double rarefaction.
+  const nf::RiemannState l{1.0, -2.0, 0.4};
+  const nf::RiemannState r{1.0, 2.0, 0.4};
+  const auto sol = nf::solve_riemann_star(l, r, kGamma);
+  EXPECT_NEAR(sol.p_star, 0.00189, 1e-4);
+  EXPECT_NEAR(sol.u_star, 0.0, 1e-9);  // symmetric
+}
+
+TEST(ExactRiemann, StrongShockStarState) {
+  // Toro test 3: left blast, p* = 460.894, u* = 19.5975.
+  const nf::RiemannState l{1.0, 0.0, 1000.0};
+  const nf::RiemannState r{1.0, 0.0, 0.01};
+  const auto sol = nf::solve_riemann_star(l, r, kGamma);
+  EXPECT_NEAR(sol.p_star, 460.894, 0.01);
+  EXPECT_NEAR(sol.u_star, 19.5975, 1e-3);
+}
+
+TEST(ExactRiemann, IdenticalStatesAreInvariant) {
+  const nf::RiemannState s{2.0, 0.5, 3.0};
+  const auto sol = nf::solve_riemann_star(s, s, kGamma);
+  EXPECT_NEAR(sol.p_star, 3.0, 1e-10);
+  EXPECT_NEAR(sol.u_star, 0.5, 1e-10);
+  // Sampling anywhere gives the same state back.
+  for (double speed : {-2.0, 0.0, 0.5, 3.0}) {
+    const auto w = nf::sample_riemann(s, s, kGamma, speed);
+    EXPECT_NEAR(w.rho, 2.0, 1e-9);
+    EXPECT_NEAR(w.p, 3.0, 1e-9);
+  }
+}
+
+TEST(ExactRiemann, VacuumInputThrows) {
+  const nf::RiemannState l{1.0, -10.0, 0.01};
+  const nf::RiemannState r{1.0, 10.0, 0.01};
+  EXPECT_THROW(nf::solve_riemann_star(l, r, kGamma),
+               numarck::ContractViolation);
+}
+
+TEST(ExactRiemann, SampledProfileIsPiecewiseSensible) {
+  // Far left is undisturbed, far right is undisturbed, the contact carries
+  // a density jump at constant pressure.
+  const auto far_left = nf::sample_riemann(kSodLeft, kSodRight, kGamma, -5.0);
+  EXPECT_NEAR(far_left.rho, 1.0, 1e-12);
+  const auto far_right = nf::sample_riemann(kSodLeft, kSodRight, kGamma, 5.0);
+  EXPECT_NEAR(far_right.rho, 0.125, 1e-12);
+  const auto sol = nf::solve_riemann_star(kSodLeft, kSodRight, kGamma);
+  const auto just_left =
+      nf::sample_riemann(kSodLeft, kSodRight, kGamma, sol.u_star - 1e-6);
+  const auto just_right =
+      nf::sample_riemann(kSodLeft, kSodRight, kGamma, sol.u_star + 1e-6);
+  EXPECT_NEAR(just_left.p, just_right.p, 1e-6);   // pressure continuous
+  EXPECT_GT(just_left.rho, just_right.rho + 0.1);  // density jumps
+}
+
+// ------------------------------------------------- hydro validation (Sod) --
+
+namespace {
+
+/// Runs the 3-D solver on the Sod problem and returns the x-profile of dens
+/// through the domain center plus the elapsed time.
+std::pair<std::vector<double>, double> run_sod(std::size_t interior,
+                                               nf::RiemannFlux flux,
+                                               double t_end) {
+  nf::SimulatorConfig cfg;
+  cfg.mesh.blocks_per_dim = 2;
+  cfg.mesh.block_interior = interior;
+  cfg.problem.problem = nf::Problem::kSod;
+  cfg.hydro.flux = flux;
+  cfg.hydro.eos.gamma_drop = 0.0;  // pure gamma-law for the analytic compare
+  nf::Simulator sim(cfg);
+  while (sim.time() < t_end) sim.step();
+
+  // Profile along x at the y/z center: flat index layout is documented as
+  // blocks in order, cells k-major; easiest is to rebuild from snapshots via
+  // cell positions. We average dens over all (y,z) for each global x index,
+  // which also smooths block-boundary noise.
+  const std::size_t nx = 2 * interior;
+  std::vector<double> profile(nx, 0.0);
+  std::vector<double> counts(nx, 0.0);
+  const auto dens = sim.snapshot("dens");
+  std::size_t flat = 0;
+  auto& mesh = sim.mesh();
+  mesh.for_each_interior([&](std::size_t b, std::size_t i, std::size_t j,
+                             std::size_t k, std::size_t) {
+    (void)j;
+    (void)k;
+    const auto pos = mesh.cell_center(b, i, j, k);
+    const auto xi = static_cast<std::size_t>(pos[0] / mesh.dx());
+    profile[std::min(xi, nx - 1)] += dens[flat];
+    counts[std::min(xi, nx - 1)] += 1.0;
+    ++flat;
+  });
+  for (std::size_t i = 0; i < nx; ++i) profile[i] /= counts[i];
+  return {profile, sim.time()};
+}
+
+double sod_l1_error(std::size_t interior, nf::RiemannFlux flux) {
+  const double t_end = 0.15;
+  const auto [profile, t] = run_sod(interior, flux, t_end);
+  const std::size_t nx = profile.size();
+  std::vector<double> x(nx);
+  for (std::size_t i = 0; i < nx; ++i) {
+    x[i] = (static_cast<double>(i) + 0.5) / static_cast<double>(nx);
+  }
+  const auto exact =
+      nf::sod_exact_density(kSodLeft, kSodRight, kGamma, x, 0.5, t);
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < nx; ++i) l1 += std::abs(profile[i] - exact[i]);
+  return l1 / static_cast<double>(nx);
+}
+
+}  // namespace
+
+TEST(SodValidation, SolverTracksExactSolution) {
+  // 32 cells across the tube: a MUSCL/HLLC scheme lands within a few percent
+  // mean absolute density error of the analytic profile.
+  const double err = sod_l1_error(16, nf::RiemannFlux::kHllc);
+  EXPECT_LT(err, 0.03);
+}
+
+TEST(SodValidation, ErrorShrinksWithResolution) {
+  const double coarse = sod_l1_error(8, nf::RiemannFlux::kHllc);
+  const double fine = sod_l1_error(16, nf::RiemannFlux::kHllc);
+  EXPECT_LT(fine, coarse);
+}
+
+TEST(SodValidation, HllcNoWorseThanHll) {
+  // HLLC restores the contact; on Sod its L1 error must not exceed HLL's.
+  const double hll = sod_l1_error(16, nf::RiemannFlux::kHll);
+  const double hllc = sod_l1_error(16, nf::RiemannFlux::kHllc);
+  EXPECT_LE(hllc, hll * 1.02);
+}
+
+TEST(SodValidation, BothFluxesConserveMass) {
+  for (auto flux : {nf::RiemannFlux::kHll, nf::RiemannFlux::kHllc}) {
+    nf::SimulatorConfig cfg;
+    cfg.mesh.blocks_per_dim = 2;
+    cfg.mesh.block_interior = 8;
+    cfg.mesh.boundary = nf::Boundary::kPeriodic;
+    cfg.problem.problem = nf::Problem::kSmoothWaves;
+    cfg.hydro.flux = flux;
+    nf::Simulator sim(cfg);
+    const double m0 = sim.total_mass();
+    for (int s = 0; s < 8; ++s) sim.step();
+    EXPECT_NEAR(sim.total_mass(), m0, std::abs(m0) * 1e-12);
+  }
+}
+
+TEST(SodValidation, MusclHancockMatchesGodunovOnShocks) {
+  // On a discontinuity-dominated problem the slope limiter controls the
+  // error and the second-order-in-time predictor buys little (and may smear
+  // a hair more): the two must agree within 10 %. The smooth-flow advantage
+  // is asserted separately by MusclHancockDissipatesLessInSmoothFlow.
+  auto run = [](nf::TimeIntegrator ti) {
+    nf::SimulatorConfig cfg;
+    cfg.mesh.blocks_per_dim = 2;
+    cfg.mesh.block_interior = 16;
+    cfg.problem.problem = nf::Problem::kSod;
+    cfg.hydro.integrator = ti;
+    cfg.hydro.eos.gamma_drop = 0.0;
+    nf::Simulator sim(cfg);
+    while (sim.time() < 0.15) sim.step();
+
+    const std::size_t nx = 32;
+    std::vector<double> profile(nx, 0.0), counts(nx, 0.0);
+    const auto dens = sim.snapshot("dens");
+    std::size_t flat = 0;
+    auto& mesh = sim.mesh();
+    mesh.for_each_interior([&](std::size_t b, std::size_t i, std::size_t j,
+                               std::size_t k, std::size_t) {
+      const auto pos = mesh.cell_center(b, i, j, k);
+      const auto xi = static_cast<std::size_t>(pos[0] / mesh.dx());
+      profile[std::min(xi, nx - 1)] += dens[flat];
+      counts[std::min(xi, nx - 1)] += 1.0;
+      ++flat;
+    });
+    std::vector<double> x(nx);
+    for (std::size_t i = 0; i < nx; ++i) {
+      profile[i] /= counts[i];
+      x[i] = (static_cast<double>(i) + 0.5) / static_cast<double>(nx);
+    }
+    const auto exact =
+        nf::sod_exact_density(kSodLeft, kSodRight, kGamma, x, 0.5, sim.time());
+    double l1 = 0.0;
+    for (std::size_t i = 0; i < nx; ++i) l1 += std::abs(profile[i] - exact[i]);
+    return l1 / static_cast<double>(nx);
+  };
+  const double godunov = run(nf::TimeIntegrator::kGodunov);
+  const double mh = run(nf::TimeIntegrator::kMusclHancock);
+  EXPECT_LT(mh, godunov * 1.10);
+  EXPECT_GT(mh, godunov * 0.5);  // sanity: same regime
+}
+
+namespace {
+
+/// L1 error of an advected density Gaussian against the exact translated
+/// profile — the canonical dissipation benchmark (the exact solution is
+/// rigid translation; everything else is truncation error).
+double advection_l1(nf::TimeIntegrator ti, std::size_t interior) {
+  nf::SimulatorConfig cfg;
+  cfg.mesh.blocks_per_dim = 2;
+  cfg.mesh.block_interior = interior;
+  cfg.mesh.boundary = nf::Boundary::kPeriodic;
+  cfg.problem.problem = nf::Problem::kGaussianAdvection;
+  cfg.hydro.integrator = ti;
+  cfg.hydro.eos.gamma_drop = 0.0;
+  nf::Simulator sim(cfg);
+  const double speed =
+      cfg.problem.advect_mach * std::sqrt(kGamma * 1.0 / 1.0);
+  const double t_end = 0.3;
+  while (sim.time() < t_end) sim.step();
+
+  const std::size_t nx = 2 * interior;
+  std::vector<double> profile(nx, 0.0), counts(nx, 0.0);
+  const auto dens = sim.snapshot("dens");
+  std::size_t flat = 0;
+  auto& mesh = sim.mesh();
+  mesh.for_each_interior([&](std::size_t b, std::size_t i, std::size_t j,
+                             std::size_t k, std::size_t) {
+    (void)j;
+    (void)k;
+    const auto pos = mesh.cell_center(b, i, j, k);
+    const auto xi = static_cast<std::size_t>(pos[0] / mesh.dx());
+    profile[std::min(xi, nx - 1)] += dens[flat];
+    counts[std::min(xi, nx - 1)] += 1.0;
+    ++flat;
+  });
+  const double sigma = cfg.problem.advect_sigma;
+  const double amp = cfg.problem.advect_amplitude;
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < nx; ++i) {
+    profile[i] /= counts[i];
+    const double x = (static_cast<double>(i) + 0.5) / static_cast<double>(nx);
+    // Exact: the pulse translated by speed * t, wrapped periodically.
+    double dx0 = x - (0.3 + speed * sim.time());
+    dx0 -= std::round(dx0);  // periodic wrap to [-0.5, 0.5)
+    const double exact = 1.0 + amp * std::exp(-dx0 * dx0 / (2 * sigma * sigma));
+    l1 += std::abs(profile[i] - exact);
+  }
+  return l1 / static_cast<double>(nx);
+}
+
+}  // namespace
+
+TEST(Advection, MusclHancockBeatsGodunovOnceResolved) {
+  // At 64 cells the Gaussian spans ~5 cells and the schemes are in their
+  // asymptotic regimes: the second-order predictor must win. At coarser
+  // resolution both are dominated by minmod peak clipping and the constants
+  // can swap, so the comparison is only meaningful once resolved.
+  const double godunov = advection_l1(nf::TimeIntegrator::kGodunov, 32);
+  const double mh = advection_l1(nf::TimeIntegrator::kMusclHancock, 32);
+  EXPECT_LT(mh, godunov);
+}
+
+TEST(Advection, MusclHancockConvergesFasterThanFirstOrder) {
+  const double coarse = advection_l1(nf::TimeIntegrator::kMusclHancock, 16);
+  const double fine = advection_l1(nf::TimeIntegrator::kMusclHancock, 32);
+  // Halving dx must cut the error by clearly more than the first-order 2x.
+  EXPECT_LT(fine, coarse / 2.4);
+}
+
+TEST(SodValidation, MusclHancockConservesMass) {
+  nf::SimulatorConfig cfg;
+  cfg.mesh.blocks_per_dim = 2;
+  cfg.mesh.block_interior = 8;
+  cfg.mesh.boundary = nf::Boundary::kPeriodic;
+  cfg.problem.problem = nf::Problem::kSmoothWaves;
+  cfg.hydro.integrator = nf::TimeIntegrator::kMusclHancock;
+  nf::Simulator sim(cfg);
+  const double m0 = sim.total_mass();
+  for (int s = 0; s < 8; ++s) sim.step();
+  EXPECT_NEAR(sim.total_mass(), m0, std::abs(m0) * 1e-12);
+}

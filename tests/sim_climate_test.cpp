@@ -1,0 +1,357 @@
+// Climate generator tests: determinism, physical plausibility, and — because
+// the generator is our stand-in for the real CMIP5 archive — assertions on
+// the *change-ratio distributions* that the paper's observations depend on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numarck/core/change_ratio.hpp"
+#include "numarck/core/codec.hpp"
+#include "numarck/sim/climate/generator.hpp"
+#include "numarck/util/expect.hpp"
+#include "numarck/util/stats.hpp"
+
+namespace ncl = numarck::sim::climate;
+
+// ----------------------------------------------------------------- noise --
+
+TEST(Noise, SmoothFieldIsUnitVariance) {
+  ncl::GridShape g;
+  numarck::util::Pcg32 rng(1);
+  const auto f = ncl::smooth_noise_field(g, rng);
+  const auto s = numarck::util::summarize(f);
+  EXPECT_NEAR(s.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-9);
+}
+
+TEST(Noise, SmoothFieldIsSpatiallyCorrelated) {
+  ncl::GridShape g;
+  numarck::util::Pcg32 rng(2);
+  const auto f = ncl::smooth_noise_field(g, rng);
+  // Neighbouring cells must be far more similar than random pairs.
+  double neighbor_diff = 0.0, random_diff = 0.0;
+  std::size_t n = 0;
+  for (std::size_t la = 0; la < g.nlat; ++la) {
+    for (std::size_t lo = 0; lo + 1 < g.nlon; ++lo) {
+      neighbor_diff += std::abs(f[g.idx(la, lo)] - f[g.idx(la, lo + 1)]);
+      random_diff += std::abs(f[g.idx(la, lo)] -
+                              f[g.idx((la + 37) % g.nlat, (lo + 71) % g.nlon)]);
+      ++n;
+    }
+  }
+  EXPECT_LT(neighbor_diff / n, 0.3 * random_diff / n);
+}
+
+TEST(Noise, Ar1StepKeepsVarianceStable) {
+  ncl::GridShape g;
+  ncl::Ar1Field f(g, 0.9, 7);
+  for (int t = 0; t < 20; ++t) f.step();
+  const auto s = numarck::util::summarize(f.state());
+  EXPECT_NEAR(s.stddev(), 1.0, 0.25);
+}
+
+TEST(Noise, Ar1HighRhoMovesSlowly) {
+  ncl::GridShape g;
+  ncl::Ar1Field slow(g, 0.98, 5);
+  ncl::Ar1Field fast(g, 0.2, 5);
+  const auto s0 = slow.state();
+  const auto f0 = fast.state();
+  slow.step();
+  fast.step();
+  double ds = 0, df = 0;
+  for (std::size_t i = 0; i < s0.size(); ++i) {
+    ds += std::abs(slow.state()[i] - s0[i]);
+    df += std::abs(fast.state()[i] - f0[i]);
+  }
+  EXPECT_LT(ds, df);
+}
+
+TEST(Noise, LatitudeBandsCoverPoles) {
+  ncl::GridShape g;
+  EXPECT_NEAR(g.latitude_deg(0), -89.0, 1e-12);
+  EXPECT_NEAR(g.latitude_deg(g.nlat - 1), 89.0, 1e-12);
+}
+
+// ------------------------------------------------------------- generator --
+
+TEST(Generator, DeterministicForSeed) {
+  ncl::Generator a(ncl::Variable::kRlus, {});
+  ncl::Generator b(ncl::Variable::kRlus, {});
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(a.current(), b.current());
+    a.advance();
+    b.advance();
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  ncl::GeneratorConfig c1, c2;
+  c2.seed = 999;
+  ncl::Generator a(ncl::Variable::kRlus, c1);
+  ncl::Generator b(ncl::Variable::kRlus, c2);
+  EXPECT_NE(a.current(), b.current());
+}
+
+TEST(Generator, GridMatchesPaperResolution) {
+  ncl::Generator g(ncl::Variable::kRlds, {});
+  EXPECT_EQ(g.point_count(), 144u * 90u);  // 2.5 deg x 2 deg
+}
+
+TEST(Generator, VariableNamesRoundTrip) {
+  for (auto v : {ncl::Variable::kRlus, ncl::Variable::kRlds,
+                 ncl::Variable::kMrsos, ncl::Variable::kMrro,
+                 ncl::Variable::kMc, ncl::Variable::kAbs550aer}) {
+    EXPECT_EQ(ncl::variable_from_name(ncl::to_string(v)), v);
+  }
+  EXPECT_THROW(ncl::variable_from_name("bogus"), numarck::ContractViolation);
+}
+
+TEST(Generator, RlusIsPhysicallyPlausible) {
+  ncl::Generator g(ncl::Variable::kRlus, {});
+  for (double v : g.current()) {
+    EXPECT_GT(v, 100.0);  // W/m^2, polar lower bound
+    EXPECT_LT(v, 600.0);  // tropical upper bound
+  }
+}
+
+TEST(Generator, MrsosOceanIsZeroByDefaultAndFillOnRequest) {
+  ncl::Generator g(ncl::Variable::kMrsos, {});
+  const auto& mask = g.land_mask();
+  const auto& f = g.current();
+  std::size_t land = 0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (mask[i]) {
+      ++land;
+      EXPECT_GE(f[i], 1.0);
+      EXPECT_LE(f[i], 50.0);
+    } else {
+      EXPECT_DOUBLE_EQ(f[i], 0.0);
+    }
+  }
+  // Earth-like land fraction.
+  EXPECT_GT(land, f.size() / 5);
+  EXPECT_LT(land, f.size() / 2);
+
+  ncl::GeneratorConfig cfg;
+  cfg.use_fill_values = true;
+  ncl::Generator gf(ncl::Variable::kMrsos, cfg);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (!mask[i]) EXPECT_DOUBLE_EQ(gf.current()[i], ncl::kFillValue);
+  }
+}
+
+TEST(Generator, MrroHasExactZeros) {
+  ncl::Generator g(ncl::Variable::kMrro, {});
+  g.advance();
+  const auto& mask = g.land_mask();
+  std::size_t land_zeros = 0;
+  for (std::size_t i = 0; i < g.current().size(); ++i) {
+    if (!mask[i]) {
+      EXPECT_DOUBLE_EQ(g.current()[i], 0.0);
+    } else if (g.current()[i] == 0.0) {
+      ++land_zeros;
+    }
+  }
+  EXPECT_GT(land_zeros, 0u) << "deserts must have exactly-zero runoff";
+}
+
+TEST(Generator, FillValuesAreConstantAcrossTime) {
+  // Constant fill -> change ratio 0 -> index 0: the fill path never hurts
+  // compressibility.
+  ncl::GeneratorConfig cfg;
+  cfg.use_fill_values = true;
+  ncl::Generator g(ncl::Variable::kMrro, cfg);
+  const auto prev = g.current();
+  const auto curr = g.advance();
+  const auto& mask = g.land_mask();
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    if (!mask[i]) {
+      EXPECT_DOUBLE_EQ(prev[i], ncl::kFillValue);
+      EXPECT_DOUBLE_EQ(curr[i], ncl::kFillValue);
+    }
+  }
+}
+
+TEST(Generator, McIsNonNegativeAndItczPeaked) {
+  ncl::Generator g(ncl::Variable::kMc, {});
+  const auto& f = g.current();
+  const auto& grid = g.grid();
+  double tropics = 0, poles = 0;
+  std::size_t nt = 0, np = 0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_GE(f[i], 0.0);
+    const double lat = grid.latitude_deg(i / grid.nlon);
+    if (std::abs(lat - 8.0) < 10.0) {
+      tropics += f[i];
+      ++nt;
+    } else if (std::abs(lat) > 60.0) {
+      poles += f[i];
+      ++np;
+    }
+  }
+  EXPECT_GT(tropics / nt, 3.0 * poles / np);
+}
+
+TEST(Generator, Abs550aerSmallPositive) {
+  ncl::Generator g(ncl::Variable::kAbs550aer, {});
+  for (double v : g.current()) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+// --------------------------- change-ratio distribution calibration ------
+
+TEST(Calibration, RlusMostChangesBelowHalfPercent) {
+  // Paper Fig. 1(D): "more than 75 % of climate rlus data remains unchanged
+  // or only changes with a percentage less than 0.5 %".
+  ncl::Generator g(ncl::Variable::kRlus, {});
+  auto prev = g.current();
+  std::size_t small = 0, total = 0;
+  for (int day = 0; day < 5; ++day) {
+    const auto curr = g.advance();
+    const auto cr = numarck::core::compute_change_ratios(prev, curr);
+    for (std::size_t j = 0; j < cr.ratio.size(); ++j) {
+      if (!cr.valid[j]) continue;
+      ++total;
+      if (std::abs(cr.ratio[j]) < 0.005) ++small;
+    }
+    prev = curr;
+  }
+  EXPECT_GT(static_cast<double>(small) / total, 0.75);
+}
+
+TEST(Calibration, RldsHasHeavyTails) {
+  // Fig. 6 requires the rlds range to be far wider than its bulk: the 99th
+  // percentile of |ratio| must dwarf the median.
+  ncl::Generator g(ncl::Variable::kRlds, {});
+  auto prev = g.current();
+  std::vector<double> mags;
+  for (int day = 0; day < 5; ++day) {
+    const auto curr = g.advance();
+    const auto cr = numarck::core::compute_change_ratios(prev, curr);
+    for (std::size_t j = 0; j < cr.ratio.size(); ++j) {
+      if (cr.valid[j]) mags.push_back(std::abs(cr.ratio[j]));
+    }
+    prev = curr;
+  }
+  const double med = numarck::util::percentile(mags, 50.0);
+  const double p999 = numarck::util::percentile(mags, 99.9);
+  EXPECT_GT(p999, 8.0 * med);
+  EXPECT_GT(p999, 0.08);  // real outliers exist
+}
+
+TEST(Calibration, MrsosOceanCellsNeverChange) {
+  // Constant ocean value -> always compressible at index 0 (via the ratio
+  // rule when fill is used, via the small-value rule when ocean is 0).
+  ncl::Generator g(ncl::Variable::kMrsos, {});
+  const auto prev = g.current();
+  const auto curr = g.advance();
+  const auto& mask = g.land_mask();
+  for (std::size_t j = 0; j < prev.size(); ++j) {
+    if (!mask[j]) EXPECT_DOUBLE_EQ(prev[j], curr[j]);
+  }
+}
+
+TEST(Calibration, Abs550aerIsHardestVariable) {
+  // Fig. 7's premise: abs550aer has much larger typical relative changes
+  // than rlus.
+  auto spread = [](ncl::Variable v) {
+    ncl::Generator g(v, {});
+    auto prev = g.current();
+    std::vector<double> mags;
+    for (int day = 0; day < 3; ++day) {
+      const auto curr = g.advance();
+      const auto cr = numarck::core::compute_change_ratios(prev, curr);
+      for (std::size_t j = 0; j < cr.ratio.size(); ++j) {
+        if (cr.valid[j]) mags.push_back(std::abs(cr.ratio[j]));
+      }
+      prev = curr;
+    }
+    return numarck::util::percentile(mags, 75.0);
+  };
+  EXPECT_GT(spread(ncl::Variable::kAbs550aer),
+            5.0 * spread(ncl::Variable::kRlus));
+}
+
+TEST(Calibration, LandMaskSharedAcrossVariables) {
+  ncl::Generator a(ncl::Variable::kMrsos, {});
+  ncl::Generator b(ncl::Variable::kMrro, {});
+  EXPECT_EQ(a.land_mask(), b.land_mask());
+}
+
+TEST(Generator, TasIsPlausibleTemperature) {
+  ncl::Generator g(ncl::Variable::kTas, {});
+  for (double v : g.current()) {
+    EXPECT_GT(v, 200.0);
+    EXPECT_LT(v, 330.0);
+  }
+}
+
+TEST(Generator, PrIsIntermittentWithExactZeros) {
+  ncl::Generator g(ncl::Variable::kPr, {});
+  std::size_t zeros = 0, positive = 0;
+  for (double v : g.current()) {
+    EXPECT_GE(v, 0.0);
+    if (v == 0.0) {
+      ++zeros;
+    } else {
+      ++positive;
+    }
+  }
+  // Dry regions and active storms must both exist.
+  EXPECT_GT(zeros, g.point_count() / 10);
+  EXPECT_GT(positive, g.point_count() / 10);
+}
+
+TEST(Generator, HussFollowsClausiusClapeyron) {
+  // Specific humidity must be strongly and positively tied to temperature:
+  // warm tropics wetter than cold poles.
+  ncl::Generator hg(ncl::Variable::kHuss, {});
+  const auto& grid = hg.grid();
+  double tropics = 0, poles = 0;
+  std::size_t nt = 0, np = 0;
+  for (std::size_t i = 0; i < hg.current().size(); ++i) {
+    EXPECT_GT(hg.current()[i], 0.0);
+    EXPECT_LT(hg.current()[i], 0.05);  // physical ceiling ~ 40 g/kg
+    const double lat = grid.latitude_deg(i / grid.nlon);
+    if (std::abs(lat) < 15.0) {
+      tropics += hg.current()[i];
+      ++nt;
+    } else if (std::abs(lat) > 65.0) {
+      poles += hg.current()[i];
+      ++np;
+    }
+  }
+  EXPECT_GT(tropics / nt, 4.0 * poles / np);
+}
+
+TEST(Calibration, PrNeedsScaleAwareSmallValueThreshold) {
+  // The small-value footgun: with the default threshold (= E = 1e-3) a
+  // precipitation field whose values are ~1e-5 is ENTIRELY classified as
+  // unchanged noise — zero "error" by the ratio metric, garbage physically.
+  // With the threshold at the field's noise floor the ratio bound applies
+  // to every active cell.
+  ncl::Generator g(ncl::Variable::kPr, {});
+  const auto prev = g.current();
+  const auto curr = g.advance();
+
+  numarck::core::Options naive;
+  naive.error_bound = 0.001;
+  const auto enc_naive = numarck::core::encode_iteration(prev, curr, naive);
+  EXPECT_EQ(enc_naive.stats.binned, 0u);  // the footgun: nothing is coded
+
+  numarck::core::Options tuned = naive;
+  tuned.small_value_threshold = 1e-9;
+  const auto enc = numarck::core::encode_iteration(prev, curr, tuned);
+  EXPECT_GT(enc.stats.binned + enc.stats.below_threshold, 0u);
+  EXPECT_LE(enc.stats.max_ratio_error, tuned.error_bound * 1.0001);
+  // Reconstruction now tracks active rain cells to within the ratio bound.
+  const auto dec = numarck::core::decode_iteration(prev, enc);
+  for (std::size_t j = 0; j < curr.size(); ++j) {
+    if (prev[j] > 1e-9 && curr[j] > 1e-9) {
+      EXPECT_LE(std::abs((dec[j] - curr[j]) / prev[j]),
+                tuned.error_bound * 1.0001);
+    }
+  }
+}

@@ -1,0 +1,169 @@
+// Parameterized sweep batteries: wide configuration coverage with one
+// invariant per suite. These are the "boring but load-bearing" tests — every
+// configuration a user can reach must hold the basic contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "numarck/core/codec.hpp"
+#include "numarck/sim/climate/generator.hpp"
+#include "numarck/sim/flash/simulator.hpp"
+#include "numarck/util/expect.hpp"
+#include "numarck/util/rng.hpp"
+
+namespace nf = numarck::sim::flash;
+namespace ncl = numarck::sim::climate;
+namespace nk = numarck::core;
+
+// ------------------------------------------------------------- EOS sweep --
+
+using EosCase = std::tuple<double, double>;  // gamma0, gamma_drop
+
+class EosSweep : public ::testing::TestWithParam<EosCase> {};
+
+TEST_P(EosSweep, ThermodynamicContracts) {
+  const auto [gamma0, drop] = GetParam();
+  nf::EosConfig cfg;
+  cfg.gamma0 = gamma0;
+  cfg.gamma_drop = drop;
+  nf::Eos eos(cfg);
+  numarck::util::Pcg32 rng(7);
+  for (int t = 0; t < 200; ++t) {
+    const double rho = rng.uniform(0.01, 100.0);
+    const double p = rng.uniform(1e-6, 1000.0);
+    // pressure/internal-energy inverse pair.
+    const double e = eos.internal_energy(rho, p);
+    EXPECT_GT(e, 0.0);
+    EXPECT_NEAR(eos.pressure(rho, e), p, p * 1e-8 + 1e-12);
+    // gamc within the configured band; game consistent with its definition.
+    const double gc = eos.gamc(rho, p);
+    EXPECT_LE(gc, gamma0 + 1e-12);
+    EXPECT_GE(gc, gamma0 - drop - 1e-12);
+    EXPECT_NEAR(eos.game(rho, p), p / (rho * e) + 1.0, 1e-10);
+    // Sound speed real and positive.
+    EXPECT_GT(eos.sound_speed(rho, p), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaGrid, EosSweep,
+    ::testing::Combine(::testing::Values(1.2, 1.4, 5.0 / 3.0),
+                       ::testing::Values(0.0, 0.05, 0.1)));
+
+TEST(EosSweepExtra, DegenerateGammaConfigThrows) {
+  nf::EosConfig cfg;
+  cfg.gamma0 = 1.2;
+  cfg.gamma_drop = 0.2;  // gamma(inf) = 1.0: internal energy diverges
+  EXPECT_THROW(nf::Eos{cfg}, numarck::ContractViolation);
+}
+
+// ----------------------------------------------------------- hydro sweep --
+
+using HydroCase = std::tuple<nf::Problem, nf::RiemannFlux, nf::Boundary>;
+
+class HydroSweep : public ::testing::TestWithParam<HydroCase> {};
+
+TEST_P(HydroSweep, StateStaysPhysicalAndFinite) {
+  const auto [problem, flux, boundary] = GetParam();
+  nf::SimulatorConfig cfg;
+  cfg.mesh.blocks_per_dim = 2;
+  cfg.mesh.block_interior = 6;
+  cfg.mesh.guard = 4;
+  cfg.mesh.boundary = boundary;
+  cfg.problem.problem = problem;
+  cfg.hydro.flux = flux;
+  nf::Simulator sim(cfg);
+  for (int s = 0; s < 6; ++s) sim.step();
+  for (const auto& var : nf::Simulator::variable_names()) {
+    for (double v : sim.snapshot(var)) {
+      EXPECT_TRUE(std::isfinite(v)) << var;
+    }
+  }
+  for (double d : sim.snapshot("dens")) EXPECT_GT(d, 0.0);
+  for (double p : sim.snapshot("pres")) EXPECT_GT(p, 0.0);
+  EXPECT_GT(sim.time(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, HydroSweep,
+    ::testing::Combine(::testing::Values(nf::Problem::kSod, nf::Problem::kSedov,
+                                         nf::Problem::kSmoothWaves),
+                       ::testing::Values(nf::RiemannFlux::kHll,
+                                         nf::RiemannFlux::kHllc),
+                       ::testing::Values(nf::Boundary::kOutflow,
+                                         nf::Boundary::kPeriodic,
+                                         nf::Boundary::kReflecting)));
+
+// --------------------------------------------------------- climate sweep --
+
+class ClimateSweep : public ::testing::TestWithParam<ncl::Variable> {};
+
+TEST_P(ClimateSweep, FiniteDeterministicAndCompressible) {
+  const auto var = GetParam();
+  ncl::Generator a(var, {}), b(var, {});
+  for (int day = 0; day < 3; ++day) {
+    for (double v : a.current()) EXPECT_TRUE(std::isfinite(v));
+    EXPECT_EQ(a.current(), b.current());  // determinism
+    a.advance();
+    b.advance();
+  }
+  // The compressor's bound holds on every variable (default small-value rule).
+  ncl::Generator g(var, {});
+  const auto prev = g.current();
+  const auto curr = g.advance();
+  nk::Options opts;
+  opts.error_bound = 0.002;
+  opts.strategy = nk::Strategy::kClustering;
+  const auto enc = nk::encode_iteration(prev, curr, opts);
+  EXPECT_LE(enc.stats.max_ratio_error, opts.error_bound * 1.0001);
+  const auto dec = nk::decode_iteration(prev, enc);
+  EXPECT_EQ(dec.size(), curr.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariables, ClimateSweep,
+    ::testing::Values(ncl::Variable::kRlus, ncl::Variable::kRlds,
+                      ncl::Variable::kMrsos, ncl::Variable::kMrro,
+                      ncl::Variable::kMc, ncl::Variable::kAbs550aer,
+                      ncl::Variable::kTas, ncl::Variable::kPr,
+                      ncl::Variable::kHuss),
+    [](const ::testing::TestParamInfo<ncl::Variable>& info) {
+      return std::string(ncl::to_string(info.param));
+    });
+
+// -------------------------------------------------- serialization sweep --
+
+using SerCase = std::tuple<unsigned, bool, bool, bool>;  // B, huff, rle, fpc
+
+class SerializationSweep : public ::testing::TestWithParam<SerCase> {};
+
+TEST_P(SerializationSweep, RoundTripAtEveryWidthAndPostpassCombo) {
+  const auto [bits, huff, rle, fpc] = GetParam();
+  numarck::util::Pcg32 rng(bits * 131 + huff * 7 + rle * 3 + fpc);
+  std::vector<double> prev(3000), curr(3000);
+  for (std::size_t j = 0; j < prev.size(); ++j) {
+    prev[j] = (j % 61 == 0) ? 0.0 : rng.uniform(0.5, 4.0);
+    curr[j] = prev[j] == 0.0 ? rng.uniform(-1.0, 1.0)
+                             : prev[j] * (1.0 + rng.normal() * 0.02);
+  }
+  nk::Options opts;
+  opts.index_bits = bits;
+  const auto enc = nk::encode_iteration(prev, curr, opts);
+  nk::Postpass pp;
+  pp.huffman_indices = huff;
+  pp.rle_bitmap = rle;
+  pp.fpc_exact = fpc;
+  const auto back = nk::EncodedIteration::deserialize(enc.serialize(pp));
+  EXPECT_EQ(back.indices, enc.indices);
+  EXPECT_EQ(back.zeta, enc.zeta);
+  EXPECT_EQ(back.exact_values, enc.exact_values);
+  EXPECT_EQ(nk::decode_iteration(prev, back), nk::decode_iteration(prev, enc));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndCoders, SerializationSweep,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u, 12u, 16u),
+                       ::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool()));

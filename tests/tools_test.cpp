@@ -1,0 +1,247 @@
+// Tests for the CLI implementation library (compress / inspect / restore on
+// raw float64 files) plus an end-to-end CLI-binary round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+#include <vector>
+
+#include "numarck/metrics/metrics.hpp"
+#include "numarck/tools/cli.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace nt = numarck::tools;
+
+namespace {
+
+class TempPath {
+ public:
+  explicit TempPath(const std::string& name)
+      : path_("/tmp/numarck_tool_" + name + "_" + std::to_string(::getpid())) {}
+  ~TempPath() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<double> make_series(std::size_t points, std::size_t iterations) {
+  std::vector<double> raw;
+  raw.reserve(points * iterations);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (std::size_t j = 0; j < points; ++j) {
+      raw.push_back(3.0 +
+                    std::sin(0.01 * static_cast<double>(j) + 0.2 * it));
+    }
+  }
+  return raw;
+}
+
+void write_raw(const std::string& path, const std::vector<double>& v) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+std::vector<double> read_raw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<double> v(size / sizeof(double));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size));
+  return v;
+}
+
+}  // namespace
+
+TEST(Tools, CompressInspectRestoreRoundTrip) {
+  TempPath input("in"), ckpt("ck"), output("out");
+  const std::size_t points = 4096, iterations = 5;
+  const auto raw = make_series(points, iterations);
+  write_raw(input.str(), raw);
+
+  nt::CompressJob job;
+  job.input_path = input.str();
+  job.output_path = ckpt.str();
+  job.points_per_iteration = points;
+  job.options.error_bound = 0.001;
+  const auto report = nt::compress_file(job);
+  EXPECT_EQ(report.iterations, iterations);
+  EXPECT_EQ(report.points_per_iteration, points);
+  EXPECT_LT(report.output_bytes, report.input_bytes);
+
+  std::ostringstream inspect;
+  nt::inspect_file(ckpt.str(), inspect);
+  EXPECT_NE(inspect.str().find("iterations: 5"), std::string::npos);
+  EXPECT_NE(inspect.str().find("full"), std::string::npos);
+  EXPECT_NE(inspect.str().find("delta"), std::string::npos);
+
+  nt::RestoreJob rjob;
+  rjob.checkpoint_path = ckpt.str();
+  rjob.output_path = output.str();
+  rjob.iteration = iterations - 1;
+  EXPECT_EQ(nt::restore_file(rjob), points);
+
+  const auto restored = read_raw(output.str());
+  const std::vector<double> truth(raw.end() - points, raw.end());
+  EXPECT_LT(numarck::metrics::max_relative_error(truth, restored), 0.01);
+}
+
+TEST(Tools, WholeFileAsSingleIteration) {
+  TempPath input("single"), ckpt("singleck");
+  write_raw(input.str(), make_series(1000, 1));
+  nt::CompressJob job;
+  job.input_path = input.str();
+  job.output_path = ckpt.str();
+  const auto report = nt::compress_file(job);
+  EXPECT_EQ(report.iterations, 1u);
+  EXPECT_EQ(report.points_per_iteration, 1000u);
+}
+
+TEST(Tools, PostpassShrinksOutput) {
+  TempPath input("pp"), with("ppw"), without("ppo");
+  write_raw(input.str(), make_series(8192, 6));
+  nt::CompressJob job;
+  job.input_path = input.str();
+  job.points_per_iteration = 8192;
+  job.output_path = with.str();
+  job.postpass = true;
+  const auto a = nt::compress_file(job);
+  job.output_path = without.str();
+  job.postpass = false;
+  const auto b = nt::compress_file(job);
+  EXPECT_LT(a.output_bytes, b.output_bytes);
+}
+
+TEST(Tools, MisalignedInputThrows) {
+  TempPath input("mis"), ckpt("misck");
+  write_raw(input.str(), make_series(100, 3));
+  nt::CompressJob job;
+  job.input_path = input.str();
+  job.output_path = ckpt.str();
+  job.points_per_iteration = 97;  // 300 % 97 != 0
+  EXPECT_THROW(nt::compress_file(job), numarck::ContractViolation);
+}
+
+TEST(Tools, MissingInputThrows) {
+  nt::CompressJob job;
+  job.input_path = "/tmp/definitely_not_here.f64";
+  job.output_path = "/tmp/never_written.ckpt";
+  EXPECT_THROW(nt::compress_file(job), numarck::ContractViolation);
+}
+
+TEST(Tools, RestoreNeedsVarWhenAmbiguous) {
+  // Single-variable containers resolve implicitly; requesting a bogus name
+  // fails loudly.
+  TempPath input("amb"), ckpt("ambck"), out("ambout");
+  write_raw(input.str(), make_series(500, 2));
+  nt::CompressJob job;
+  job.input_path = input.str();
+  job.output_path = ckpt.str();
+  job.points_per_iteration = 500;
+  (void)nt::compress_file(job);
+  nt::RestoreJob rjob;
+  rjob.checkpoint_path = ckpt.str();
+  rjob.output_path = out.str();
+  rjob.variable = "nope";
+  rjob.iteration = 1;
+  EXPECT_THROW(nt::restore_file(rjob), numarck::ContractViolation);
+}
+
+TEST(Tools, ParseStrategyNames) {
+  EXPECT_EQ(nt::parse_strategy("equal-width"),
+            numarck::core::Strategy::kEqualWidth);
+  EXPECT_EQ(nt::parse_strategy("log-scale"), numarck::core::Strategy::kLogScale);
+  EXPECT_EQ(nt::parse_strategy("clustering"),
+            numarck::core::Strategy::kClustering);
+  EXPECT_THROW(nt::parse_strategy("zfp"), numarck::ContractViolation);
+}
+
+TEST(Tools, CompactKeepsStrideAndShrinks) {
+  TempPath input("cin"), full("cfull"), thin("cthin");
+  const std::size_t points = 4096, iterations = 9;
+  write_raw(input.str(), make_series(points, iterations));
+  nt::CompressJob cjob;
+  cjob.input_path = input.str();
+  cjob.output_path = full.str();
+  cjob.points_per_iteration = points;
+  (void)nt::compress_file(cjob);
+
+  nt::CompactJob kjob;
+  kjob.input_path = full.str();
+  kjob.output_path = thin.str();
+  kjob.keep_stride = 4;
+  const auto r = nt::compact_file(kjob);
+  EXPECT_EQ(r.input_iterations, 9u);
+  EXPECT_EQ(r.kept_iterations, 3u);  // iterations 0, 4, 8
+  EXPECT_LT(r.output_bytes, r.input_bytes);
+
+  // The compacted container restores iteration 2 (originally 8) close to
+  // the original final snapshot (bounds compound: original + recompress).
+  nt::RestoreJob rjob;
+  rjob.checkpoint_path = thin.str();
+  rjob.output_path = input.str() + ".out";
+  rjob.iteration = 2;
+  EXPECT_EQ(nt::restore_file(rjob), points);
+  const auto restored = read_raw(input.str() + ".out");
+  const auto raw = make_series(points, iterations);
+  const std::vector<double> truth(raw.end() - points, raw.end());
+  EXPECT_LT(numarck::metrics::max_relative_error(truth, restored), 0.02);
+  std::remove((input.str() + ".out").c_str());
+}
+
+TEST(Tools, CompactStrideOneIsRecompression) {
+  TempPath input("sin"), full("sfull"), same("ssame");
+  write_raw(input.str(), make_series(1024, 3));
+  nt::CompressJob cjob;
+  cjob.input_path = input.str();
+  cjob.output_path = full.str();
+  cjob.points_per_iteration = 1024;
+  (void)nt::compress_file(cjob);
+  nt::CompactJob kjob;
+  kjob.input_path = full.str();
+  kjob.output_path = same.str();
+  kjob.keep_stride = 1;
+  const auto r = nt::compact_file(kjob);
+  EXPECT_EQ(r.kept_iterations, 3u);
+}
+
+TEST(Tools, CompactInvalidStrideThrows) {
+  nt::CompactJob kjob;
+  kjob.input_path = "/tmp/x";
+  kjob.output_path = "/tmp/y";
+  kjob.keep_stride = 0;
+  EXPECT_THROW(nt::compact_file(kjob), numarck::ContractViolation);
+}
+
+TEST(Tools, ParsePredictorNames) {
+  EXPECT_EQ(nt::parse_predictor("previous"),
+            numarck::core::Predictor::kPrevious);
+  EXPECT_EQ(nt::parse_predictor("linear"), numarck::core::Predictor::kLinear);
+  EXPECT_THROW(nt::parse_predictor("cubic"), numarck::ContractViolation);
+}
+
+TEST(Tools, CompressWithLinearPredictorRestores) {
+  TempPath input("lin"), ckpt("linck"), out("linout");
+  const std::size_t points = 2048, iterations = 6;
+  const auto raw = make_series(points, iterations);
+  write_raw(input.str(), raw);
+  nt::CompressJob job;
+  job.input_path = input.str();
+  job.output_path = ckpt.str();
+  job.points_per_iteration = points;
+  job.options.predictor = numarck::core::Predictor::kLinear;
+  (void)nt::compress_file(job);
+  nt::RestoreJob rjob;
+  rjob.checkpoint_path = ckpt.str();
+  rjob.output_path = out.str();
+  rjob.iteration = iterations - 1;
+  EXPECT_EQ(nt::restore_file(rjob), points);
+  const auto restored = read_raw(out.str());
+  const std::vector<double> truth(raw.end() - points, raw.end());
+  EXPECT_LT(numarck::metrics::max_relative_error(truth, restored), 0.01);
+}

@@ -1,0 +1,112 @@
+// Image-export tests: pixel mappings, file headers, and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "numarck/util/expect.hpp"
+#include "numarck/vis/image.hpp"
+
+namespace nv = numarck::vis;
+
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string("/tmp/numarck_vis_") + name + "_" +
+             std::to_string(::getpid())) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+TEST(Grayscale, LinearMapping) {
+  std::vector<double> f{0.0, 5.0, 10.0};
+  const auto img = nv::grayscale(f, 3, 1, 0.0, 10.0);
+  EXPECT_EQ(img.pixels[0], 0);
+  EXPECT_EQ(img.pixels[1], 128);
+  EXPECT_EQ(img.pixels[2], 255);
+}
+
+TEST(Grayscale, ClampsOutOfRange) {
+  std::vector<double> f{-100.0, 100.0};
+  const auto img = nv::grayscale(f, 2, 1, 0.0, 1.0);
+  EXPECT_EQ(img.pixels[0], 0);
+  EXPECT_EQ(img.pixels[1], 255);
+}
+
+TEST(Grayscale, DegenerateRangeIsMidGray) {
+  std::vector<double> f{7.0, 7.0};
+  const auto img = nv::grayscale(f, 2, 1, 7.0, 7.0);
+  EXPECT_EQ(img.pixels[0], 128);
+}
+
+TEST(Grayscale, AutoRangeIgnoresNonFinite) {
+  std::vector<double> f{1.0, std::nan(""), 3.0, 2.0};
+  const auto img = nv::grayscale_auto(f, 4, 1);
+  EXPECT_EQ(img.pixels[0], 0);
+  EXPECT_EQ(img.pixels[2], 255);
+}
+
+TEST(Grayscale, SizeMismatchThrows) {
+  std::vector<double> f{1.0, 2.0};
+  EXPECT_THROW(nv::grayscale(f, 3, 1, 0, 1), numarck::ContractViolation);
+}
+
+TEST(Diverging, EndpointsAndCenter) {
+  std::vector<double> f{-1.0, 0.0, 1.0};
+  const auto img = nv::diverging(f, 3, 1, 1.0);
+  // -limit -> blue.
+  EXPECT_EQ(img.pixels[0], 0);
+  EXPECT_EQ(img.pixels[2], 255);
+  // 0 -> white.
+  EXPECT_EQ(img.pixels[3], 255);
+  EXPECT_EQ(img.pixels[4], 255);
+  EXPECT_EQ(img.pixels[5], 255);
+  // +limit -> red.
+  EXPECT_EQ(img.pixels[6], 255);
+  EXPECT_EQ(img.pixels[8], 0);
+}
+
+TEST(Diverging, NonPositiveLimitThrows) {
+  std::vector<double> f{0.0};
+  EXPECT_THROW(nv::diverging(f, 1, 1, 0.0), numarck::ContractViolation);
+}
+
+TEST(ImageFiles, PgmHeaderAndSize) {
+  TempFile tmp("pgm");
+  std::vector<double> f(12, 0.5);
+  nv::grayscale(f, 4, 3, 0, 1).write_pgm(tmp.path);
+  std::ifstream in(tmp.path, std::ios::binary);
+  std::string magic, dims1, dims2, maxval;
+  in >> magic >> dims1 >> dims2 >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(dims1, "4");
+  EXPECT_EQ(dims2, "3");
+  EXPECT_EQ(maxval, "255");
+  in.get();  // the single whitespace after the header
+  std::vector<char> body((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(body.size(), 12u);
+}
+
+TEST(ImageFiles, PpmBodyIsRgbTriples) {
+  TempFile tmp("ppm");
+  std::vector<double> f(6, 0.0);
+  nv::diverging(f, 3, 2, 1.0).write_ppm(tmp.path);
+  std::ifstream in(tmp.path, std::ios::binary);
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+  in.ignore(32, '\n');
+  in.ignore(32, '\n');
+  in.ignore(32, '\n');
+  std::vector<char> body((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(body.size(), 18u);  // 6 pixels * 3 channels
+}

@@ -1,0 +1,161 @@
+#include "numarck/tools/cli.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "numarck/core/compressor.hpp"
+#include "numarck/io/checkpoint_file.hpp"
+#include "numarck/util/expect.hpp"
+#include "numarck/util/stats.hpp"
+
+namespace numarck::tools {
+
+namespace {
+
+std::vector<double> read_doubles(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  NUMARCK_EXPECT(in.good(), "cannot open input file: " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  NUMARCK_EXPECT(size % sizeof(double) == 0,
+                 "input size is not a multiple of 8 bytes: " + path);
+  in.seekg(0);
+  std::vector<double> values(size / sizeof(double));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(size));
+  NUMARCK_EXPECT(in.gcount() == static_cast<std::streamsize>(size),
+                 "short read on input file: " + path);
+  return values;
+}
+
+void write_doubles(const std::string& path, std::span<const double> values) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  NUMARCK_EXPECT(out.good(), "cannot open output file: " + path);
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+  NUMARCK_EXPECT(out.good(), "write failed: " + path);
+}
+
+}  // namespace
+
+core::Strategy parse_strategy(const std::string& name) {
+  for (auto s : {core::Strategy::kEqualWidth, core::Strategy::kLogScale,
+                 core::Strategy::kClustering}) {
+    if (name == core::to_string(s)) return s;
+  }
+  NUMARCK_EXPECT(false, "unknown strategy (want equal-width | log-scale | "
+                        "clustering): " + name);
+  return core::Strategy::kClustering;
+}
+
+core::Predictor parse_predictor(const std::string& name) {
+  for (auto p : {core::Predictor::kPrevious, core::Predictor::kLinear}) {
+    if (name == core::to_string(p)) return p;
+  }
+  NUMARCK_EXPECT(false, "unknown predictor (want previous | linear): " + name);
+  return core::Predictor::kPrevious;
+}
+
+CompressReport compress_file(const CompressJob& job) {
+  job.options.validate();
+  const std::vector<double> raw = read_doubles(job.input_path);
+  NUMARCK_EXPECT(!raw.empty(), "input file is empty: " + job.input_path);
+  const std::size_t n =
+      job.points_per_iteration == 0 ? raw.size() : job.points_per_iteration;
+  NUMARCK_EXPECT(raw.size() % n == 0,
+                 "input length is not a multiple of points-per-iteration");
+
+  CompressReport report;
+  report.points_per_iteration = n;
+  report.iterations = raw.size() / n;
+  report.input_bytes = raw.size() * sizeof(double);
+
+  core::VariableCompressor comp(job.options);
+  io::CheckpointWriter writer(job.output_path, {job.variable});
+  util::RunningStats gamma, ratio;
+  const core::Postpass pp =
+      job.postpass ? core::Postpass::all() : core::Postpass::none();
+  for (std::size_t it = 0; it < report.iterations; ++it) {
+    const std::span<const double> snap(raw.data() + it * n, n);
+    const auto step = comp.push(snap);
+    if (!step.is_full) {
+      gamma.add(step.delta.stats.incompressible_ratio());
+      ratio.add(step.delta.paper_compression_ratio());
+    }
+    writer.append(job.variable, it, static_cast<double>(it), step, pp);
+  }
+  writer.close();
+  report.output_bytes = writer.bytes_written();
+  report.mean_gamma = gamma.count() ? gamma.mean() : 0.0;
+  report.mean_paper_ratio = ratio.count() ? ratio.mean() : 0.0;
+  return report;
+}
+
+void inspect_file(const std::string& checkpoint_path, std::ostream& out) {
+  io::CheckpointReader reader(checkpoint_path);
+  out << "checkpoint container: " << checkpoint_path << "\n";
+  out << "variables (" << reader.variables().size() << "):";
+  for (const auto& v : reader.variables()) out << " " << v;
+  out << "\niterations: " << reader.iteration_count() << "\n\n";
+  out << "variable  iter  type   sim-time      payload-bytes\n";
+  for (const auto& v : reader.variables()) {
+    for (std::size_t it = 0; it < reader.iteration_count(); ++it) {
+      const auto info = reader.info(v, it);
+      if (!info) continue;
+      out << "  " << v << "  " << it << "    "
+          << (info->type == io::RecordType::kFull ? "full " : "delta") << "  "
+          << info->sim_time << "    " << info->payload_size << "\n";
+    }
+  }
+}
+
+CompactReport compact_file(const CompactJob& job) {
+  NUMARCK_EXPECT(job.keep_stride >= 1, "keep stride must be >= 1");
+  job.options.validate();
+  io::CheckpointReader reader(job.input_path);
+  CompactReport report;
+  report.input_iterations = reader.iteration_count();
+  {
+    std::ifstream in(job.input_path, std::ios::binary | std::ios::ate);
+    report.input_bytes = static_cast<std::size_t>(in.tellg());
+  }
+  NUMARCK_EXPECT(report.input_iterations >= 1, "input container is empty");
+
+  io::RestartEngine engine(reader);
+  io::CheckpointWriter writer(job.output_path, reader.variables());
+  std::map<std::string, core::VariableCompressor> comps;
+  for (const auto& v : reader.variables()) {
+    comps.emplace(v, core::VariableCompressor(job.options));
+  }
+  const core::Postpass pp =
+      job.postpass ? core::Postpass::all() : core::Postpass::none();
+  std::size_t out_it = 0;
+  for (std::size_t it = 0; it < report.input_iterations;
+       it += job.keep_stride) {
+    for (const auto& v : reader.variables()) {
+      const auto snapshot = engine.reconstruct_variable(v, it);
+      writer.append(v, out_it, reader.sim_time(it), comps.at(v).push(snapshot),
+                    pp);
+    }
+    ++out_it;
+  }
+  writer.close();
+  report.kept_iterations = out_it;
+  report.output_bytes = writer.bytes_written();
+  return report;
+}
+
+std::size_t restore_file(const RestoreJob& job) {
+  io::CheckpointReader reader(job.checkpoint_path);
+  std::string variable = job.variable;
+  if (variable.empty()) {
+    NUMARCK_EXPECT(reader.variables().size() == 1,
+                   "container has several variables; pass --var");
+    variable = reader.variables().front();
+  }
+  io::RestartEngine engine(reader);
+  const auto snapshot = engine.reconstruct_variable(variable, job.iteration);
+  write_doubles(job.output_path, snapshot);
+  return snapshot.size();
+}
+
+}  // namespace numarck::tools

@@ -1,0 +1,85 @@
+// Implementation library behind the command-line tools. All logic lives
+// here (unit-testable); the tool mains only parse flags and call these.
+//
+//   numarck-compress   raw binary float64 iterations -> .ckpt container
+//   numarck-inspect    .ckpt container -> human-readable summary
+//   numarck-restore    .ckpt container -> reconstructed raw float64 snapshot
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numarck/core/options.hpp"
+
+namespace numarck::tools {
+
+struct CompressJob {
+  std::string input_path;       ///< raw little-endian float64 stream
+  std::string output_path;      ///< checkpoint container to write
+  std::size_t points_per_iteration = 0;  ///< 0 = whole file is one iteration
+  std::string variable = "data";
+  core::Options options;
+  bool postpass = true;         ///< apply the lossless post-pass to deltas
+};
+
+struct CompressReport {
+  std::size_t iterations = 0;
+  std::size_t points_per_iteration = 0;
+  std::size_t input_bytes = 0;
+  std::size_t output_bytes = 0;
+  double mean_gamma = 0.0;          ///< over delta records
+  double mean_paper_ratio = 0.0;    ///< Eq. 3, over delta records
+};
+
+/// Compresses a raw file of consecutive float64 iterations into a container.
+/// Throws ContractViolation on malformed input (size not a multiple of the
+/// iteration length, unreadable paths, ...).
+CompressReport compress_file(const CompressJob& job);
+
+/// Prints a container summary (variables, per-record table, totals).
+void inspect_file(const std::string& checkpoint_path, std::ostream& out);
+
+struct RestoreJob {
+  std::string checkpoint_path;
+  std::string output_path;      ///< raw float64 snapshot written here
+  std::string variable;         ///< empty = the container's only variable
+  std::size_t iteration = 0;
+};
+
+/// Reconstructs one variable at one iteration and writes it as raw float64.
+/// Returns the number of points written.
+std::size_t restore_file(const RestoreJob& job);
+
+/// Parses a strategy name ("equal-width" | "log-scale" | "clustering").
+core::Strategy parse_strategy(const std::string& name);
+
+/// Parses a predictor name ("previous" | "linear").
+core::Predictor parse_predictor(const std::string& name);
+
+struct CompactJob {
+  std::string input_path;
+  std::string output_path;
+  /// Keep every stride-th checkpoint iteration (1 = all, 4 = quarter, ...).
+  std::size_t keep_stride = 4;
+  /// Codec for the re-encoded delta chain; error bounds COMPOUND with the
+  /// original file's bound (reconstruct -> re-encode), so pick accordingly.
+  core::Options options;
+  bool postpass = true;
+};
+
+struct CompactReport {
+  std::size_t input_iterations = 0;
+  std::size_t kept_iterations = 0;
+  std::size_t input_bytes = 0;
+  std::size_t output_bytes = 0;
+};
+
+/// Retention compaction: reconstructs every kept iteration of every variable
+/// from the input container and writes a fresh container with a new
+/// full + delta chain. Used to thin long histories (keep dailies for a week,
+/// weeklies forever, ...).
+CompactReport compact_file(const CompactJob& job);
+
+}  // namespace numarck::tools

@@ -1,0 +1,66 @@
+// numarck-compact — thin a checkpoint container for retention: keep every
+// K-th iteration, rebuilding a fresh full + delta chain.
+//
+//   numarck-compact --input long.ckpt --output thin.ckpt --stride 4
+//                   [--error-bound E] [--bits B] [--strategy NAME]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "numarck/tools/cli.hpp"
+
+namespace {
+const char* kUsage =
+    "usage: numarck-compact --input FILE --output FILE [--stride K]\n"
+    "                       [--error-bound E] [--bits B] [--strategy NAME]\n";
+}
+
+int main(int argc, char** argv) {
+  numarck::tools::CompactJob job;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n%s", a.c_str(), kUsage);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--input") {
+      job.input_path = value();
+    } else if (a == "--output") {
+      job.output_path = value();
+    } else if (a == "--stride") {
+      job.keep_stride = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--error-bound") {
+      job.options.error_bound = std::strtod(value().c_str(), nullptr);
+    } else if (a == "--bits") {
+      job.options.index_bits =
+          static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (a == "--strategy") {
+      job.options.strategy = numarck::tools::parse_strategy(value());
+    } else if (a == "--help" || a == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n%s", a.c_str(), kUsage);
+      return 2;
+    }
+  }
+  if (job.input_path.empty() || job.output_path.empty()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  try {
+    const auto r = numarck::tools::compact_file(job);
+    std::printf("%zu -> %zu iterations, %zu -> %zu bytes (%.1f%% saved)\n",
+                r.input_iterations, r.kept_iterations, r.input_bytes,
+                r.output_bytes,
+                100.0 * (1.0 - static_cast<double>(r.output_bytes) /
+                                   static_cast<double>(r.input_bytes)));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,21 @@
+// numarck-inspect — print the contents of a NUMARCK checkpoint container.
+//
+//   numarck-inspect run.ckpt
+#include <cstdio>
+#include <iostream>
+
+#include "numarck/tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: numarck-inspect FILE.ckpt\n");
+    return 2;
+  }
+  try {
+    numarck::tools::inspect_file(argv[1], std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

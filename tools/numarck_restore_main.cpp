@@ -1,0 +1,57 @@
+// numarck-restore — reconstruct one iteration from a checkpoint container
+// and write it as raw float64.
+//
+//   numarck-restore --checkpoint run.ckpt --iteration 7 --output snap.f64
+//                   [--var dens]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "numarck/tools/cli.hpp"
+
+namespace {
+const char* kUsage =
+    "usage: numarck-restore --checkpoint FILE --iteration K --output FILE\n"
+    "                       [--var NAME]\n";
+}
+
+int main(int argc, char** argv) {
+  numarck::tools::RestoreJob job;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n%s", a.c_str(), kUsage);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--checkpoint") {
+      job.checkpoint_path = value();
+    } else if (a == "--iteration") {
+      job.iteration = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--output") {
+      job.output_path = value();
+    } else if (a == "--var") {
+      job.variable = value();
+    } else if (a == "--help" || a == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n%s", a.c_str(), kUsage);
+      return 2;
+    }
+  }
+  if (job.checkpoint_path.empty() || job.output_path.empty()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  try {
+    const std::size_t n = numarck::tools::restore_file(job);
+    std::printf("restored %zu points to %s\n", n, job.output_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
