@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "numarck/baselines/bspline_compressor.hpp"
@@ -16,6 +17,7 @@
 #include "numarck/lossless/fpc.hpp"
 #include "numarck/lossless/huffman.hpp"
 #include "numarck/util/rng.hpp"
+#include "numarck/util/thread_pool.hpp"
 
 namespace {
 
@@ -68,6 +70,49 @@ void BM_DecodeIteration(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
 }
 BENCHMARK(BM_DecodeIteration)->Arg(1 << 15)->Arg(1 << 17);
+
+// Thread-count sweeps over the classify-then-pack pipeline. A 1-worker pool
+// takes the sequential reference path; larger pools exercise the parallel
+// packer/decoder (bit-identical streams by construction).
+void BM_EncodeIterationThreads(benchmark::State& state) {
+  const auto [prev, curr] = snapshots(static_cast<std::size_t>(state.range(0)));
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(2)));
+  core::Options opts;
+  opts.strategy = static_cast<core::Strategy>(state.range(1));
+  opts.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::encode_iteration(prev, curr, opts));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+  state.SetLabel(std::string(core::to_string(opts.strategy)) + "/t" +
+                 std::to_string(state.range(2)));
+}
+BENCHMARK(BM_EncodeIterationThreads)
+    ->Args({1 << 17, 0, 1})
+    ->Args({1 << 17, 0, 2})
+    ->Args({1 << 17, 0, 4})
+    ->Args({1 << 17, 0, 8})
+    ->Args({1 << 17, 2, 1})
+    ->Args({1 << 17, 2, 2})
+    ->Args({1 << 17, 2, 4})
+    ->Args({1 << 17, 2, 8});
+
+void BM_DecodeIterationThreads(benchmark::State& state) {
+  const auto [prev, curr] = snapshots(static_cast<std::size_t>(state.range(0)));
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  core::Options opts;
+  const auto enc = core::encode_iteration(prev, curr, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::decode_iteration(prev, enc, &pool));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+  state.SetLabel("t" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_DecodeIterationThreads)
+    ->Args({1 << 17, 1})
+    ->Args({1 << 17, 2})
+    ->Args({1 << 17, 4})
+    ->Args({1 << 17, 8});
 
 void BM_KMeans(benchmark::State& state) {
   util::Pcg32 rng(7);

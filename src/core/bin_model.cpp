@@ -15,6 +15,83 @@ std::size_t BinModel::nearest(double ratio) const noexcept {
   return cluster::nearest_centroid(centers, ratio);
 }
 
+BinLookup::BinLookup(const BinModel& model) : centers_(&model.centers) {
+  const auto& c = *centers_;
+  const std::size_t k = c.size();
+  if (k <= 1) return;
+  if (model.strategy == Strategy::kEqualWidth) {
+    // Equal-width centers are affinely spaced by construction; the guess from
+    // inverting the spacing is within one slot of the true lower bound and
+    // lower_bound_from repairs any floating-point (or deserialized
+    // non-uniform) residue exactly.
+    const double step = (c.back() - c.front()) / static_cast<double>(k - 1);
+    if (step > 0.0) {
+      affine_ = true;
+      origin_ = c.front();
+      inv_step_ = 1.0 / step;
+      return;
+    }
+  }
+  const double span = c.back() - c.front();
+  origin_ = c.front();
+  if (!(span > 0.0)) {
+    slot_lo_.assign(1, 0);  // all centers coincide: scan from 0
+    grid_inv_ = 0.0;
+    return;
+  }
+  // ~2 slots per center keeps the expected scan length at one even when the
+  // centers cluster; a slot stores the lower-bound position of its left edge.
+  const std::size_t slots = std::min<std::size_t>(2 * k, 1u << 20);
+  grid_inv_ = static_cast<double>(slots) / span;
+  slot_lo_.resize(slots);
+  std::size_t lo = 0;
+  for (std::size_t s = 0; s < slots; ++s) {
+    const double edge =
+        origin_ + span * static_cast<double>(s) / static_cast<double>(slots);
+    while (lo < k && c[lo] < edge) ++lo;
+    // Back off one center so a query whose FP slot index overshoots still
+    // starts at or before its true lower bound.
+    slot_lo_[s] = static_cast<std::uint32_t>(lo > 0 ? lo - 1 : 0);
+  }
+}
+
+std::size_t BinLookup::lower_bound_from(double x,
+                                        std::size_t guess) const noexcept {
+  const auto& c = *centers_;
+  const std::size_t k = c.size();
+  std::size_t h = guess > k ? k : guess;
+  while (h < k && c[h] < x) ++h;
+  while (h > 0 && c[h - 1] >= x) --h;
+  return h;
+}
+
+std::size_t BinLookup::nearest(double x) const noexcept {
+  const auto& c = *centers_;
+  const std::size_t k = c.size();
+  if (k <= 1) return 0;
+  std::size_t guess;
+  if (affine_) {
+    const double est = (x - origin_) * inv_step_;
+    guess = est <= 0.0 ? 0
+                       : (est >= static_cast<double>(k)
+                              ? k
+                              : static_cast<std::size_t>(est));
+  } else {
+    const double est = (x - origin_) * grid_inv_;
+    const std::size_t slots = slot_lo_.size();
+    const std::size_t s =
+        est <= 0.0 ? 0
+                   : std::min(slots - 1, static_cast<std::size_t>(est));
+    guess = slot_lo_[s];
+  }
+  const std::size_t hi = lower_bound_from(x, guess);
+  if (hi == 0) return 0;
+  if (hi == k) return k - 1;
+  const std::size_t lo = hi - 1;
+  // Same expression (and tie-to-lower rule) as cluster::nearest_centroid.
+  return (x - c[lo]) <= (c[hi] - x) ? lo : hi;
+}
+
 BinModel equal_width_from_range(double lo, double hi, std::size_t bins) {
   NUMARCK_EXPECT(bins >= 1, "equal-width: need at least one bin");
   NUMARCK_EXPECT(lo <= hi, "equal-width: invalid range");

@@ -2,28 +2,283 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "numarck/core/change_ratio.hpp"
 #include "numarck/util/bitpack.hpp"
 #include "numarck/util/expect.hpp"
+#include "numarck/util/parallel_for.hpp"
 
 namespace numarck::core {
 
+// The encoder is a two-pass classify-then-pack pipeline:
+//
+//   Pass A (classify) — one parallel sweep assigns every point a uint32
+//   label: the index value it will pack (0 for small-value / below-threshold,
+//   c+1 for a binned point) or an exact/needs-bin marker. The same labels
+//   feed the learn-set gather, so the predicates run once instead of twice
+//   (the old stage-2 scan re-evaluated them to build the learn set).
+//
+//   Pass B (pack) — per-chunk counts of compressible points turn into
+//   exclusive prefix sums, which give every chunk the absolute bit offset of
+//   its slice of the ζ / index streams and the element offset of its exact
+//   values. Chunks then pack disjoint regions concurrently (BitSpanWriter
+//   merges the shared straddle bytes atomically). Because every offset is
+//   absolute, the streams are bit-identical for any thread count; the
+//   sequential BitWriter path is kept as the reference and used for
+//   single-worker pools and small inputs.
+//
+// decode_iteration is symmetric: a popcount pass over ζ recovers each
+// chunk's index/exact cursors from the same prefix sums, then chunks decode
+// concurrently.
+
 namespace {
 
-/// Stage 3 of the encoder: per-point assignment against a learned model,
-/// packing, and stats. Shared by the local and the distributed paths.
-EncodedIteration encode_with_ratios(std::span<const double> previous,
-                                    std::span<const double> current,
-                                    const ChangeRatios& cr,
-                                    const BinModel& model,
-                                    const Options& opts) {
-  const std::size_t n = current.size();
-  const double E = opts.error_bound;
+// Final per-point labels. Index values occupy [0, 2^16 - 1] (index_bits is
+// at most 16), so the markers can never collide with a real index.
+constexpr std::uint32_t kLabelExact = 0xFFFFFFFFu;     // ζ = 0, value escapes
+constexpr std::uint32_t kLabelNeedsBin = 0xFFFFFFFEu;  // transient: pass A2
 
+struct ClassifyStats {
+  std::size_t small = 0;
+  std::size_t below = 0;
+  std::size_t undefined = 0;
+  std::size_t needs_bin = 0;
+  double err_sum = 0.0;
+  double err_max = 0.0;
+};
+
+/// Pass A1: model-free classification. Labels every point as index 0
+/// (small-value or below-threshold), exact (undefined ratio) or needs-bin;
+/// the needs-bin points are exactly the learn set.
+ClassifyStats classify_points(std::span<const double> previous,
+                              std::span<const double> current,
+                              const ChangeRatios& cr, const Options& opts,
+                              util::ThreadPool& pool,
+                              std::vector<std::uint32_t>& labels) {
+  const std::size_t n = current.size();
+  labels.resize(n);
+  const double E = opts.error_bound;
+  const double small = opts.resolved_small_value_threshold();
+  return util::parallel_reduce<ClassifyStats>(
+      pool, 0, n, ClassifyStats{},
+      [&](std::size_t i0, std::size_t i1) {
+        ClassifyStats s;
+        for (std::size_t j = i0; j < i1; ++j) {
+          // Small-value rule (Algorithm 1 line 5): both sides below the
+          // absolute threshold -> "unchanged", index 0. Relative change of
+          // noise-scale values is meaningless; the absolute reconstruction
+          // error is <= 2*small.
+          if (small > 0.0 && std::abs(current[j]) < small &&
+              std::abs(previous[j]) <= small) {
+            labels[j] = 0;
+            ++s.small;  // counted as an unchanged point: zero ratio error
+            continue;
+          }
+          if (!cr.valid[j]) {
+            labels[j] = kLabelExact;
+            ++s.undefined;
+            continue;
+          }
+          const double mag = std::abs(cr.ratio[j]);
+          if (mag < E) {
+            labels[j] = 0;
+            ++s.below;
+            s.err_sum += mag;  // approximated ratio is exactly 0
+            s.err_max = std::max(s.err_max, mag);
+            continue;
+          }
+          labels[j] = kLabelNeedsBin;
+          ++s.needs_bin;
+        }
+        return s;
+      },
+      [](ClassifyStats a, const ClassifyStats& b) {
+        a.small += b.small;
+        a.below += b.below;
+        a.undefined += b.undefined;
+        a.needs_bin += b.needs_bin;
+        a.err_sum += b.err_sum;
+        a.err_max = std::max(a.err_max, b.err_max);
+        return a;
+      });
+}
+
+/// Gathers the ratios of needs-bin points in point order (per-chunk counts +
+/// exclusive prefix sums give each chunk its write offset).
+std::vector<double> gather_learn_set(const ChangeRatios& cr,
+                                     const std::vector<std::uint32_t>& labels,
+                                     std::size_t needs_bin_total,
+                                     util::ThreadPool& pool) {
+  std::vector<double> learn(needs_bin_total);
+  if (needs_bin_total == 0) return learn;
+  const util::ChunkPlan plan(0, labels.size(), pool.size());
+  std::vector<std::size_t> offsets(plan.chunks);
+  util::parallel_chunks(pool, plan,
+                        [&](std::size_t c, std::size_t i0, std::size_t i1) {
+                          std::size_t count = 0;
+                          for (std::size_t j = i0; j < i1; ++j) {
+                            count += labels[j] == kLabelNeedsBin;
+                          }
+                          offsets[c] = count;
+                        });
+  std::size_t running = 0;
+  for (auto& o : offsets) {
+    const std::size_t count = o;
+    o = running;
+    running += count;
+  }
+  NUMARCK_EXPECT(running == needs_bin_total, "learn-set gather count drifted");
+  util::parallel_chunks(pool, plan,
+                        [&](std::size_t c, std::size_t i0, std::size_t i1) {
+                          std::size_t out = offsets[c];
+                          for (std::size_t j = i0; j < i1; ++j) {
+                            if (labels[j] == kLabelNeedsBin) {
+                              learn[out++] = cr.ratio[j];
+                            }
+                          }
+                        });
+  return learn;
+}
+
+struct AssignStats {
+  std::size_t binned = 0;
+  std::size_t out_of_bound = 0;
+  double err_sum = 0.0;
+  double err_max = 0.0;
+};
+
+/// Pass A2: resolves every needs-bin label to a bin index (via the O(1)
+/// lookup) or an exact escape when the nearest center misses the bound.
+AssignStats assign_bins(const ChangeRatios& cr, const BinModel& model,
+                        double error_bound, util::ThreadPool& pool,
+                        std::vector<std::uint32_t>& labels) {
+  const BinLookup lookup(model);
+  const bool have_model = !model.empty();
+  return util::parallel_reduce<AssignStats>(
+      pool, 0, labels.size(), AssignStats{},
+      [&](std::size_t i0, std::size_t i1) {
+        AssignStats s;
+        for (std::size_t j = i0; j < i1; ++j) {
+          if (labels[j] != kLabelNeedsBin) continue;
+          if (have_model) {
+            const double r = cr.ratio[j];
+            const std::size_t c = lookup.nearest(r);
+            const double err = std::abs(model.centers[c] - r);
+            if (err <= error_bound) {
+              labels[j] = static_cast<std::uint32_t>(c + 1);
+              ++s.binned;
+              s.err_sum += err;
+              s.err_max = std::max(s.err_max, err);
+              continue;
+            }
+          }
+          labels[j] = kLabelExact;
+          ++s.out_of_bound;
+        }
+        return s;
+      },
+      [](AssignStats a, const AssignStats& b) {
+        a.binned += b.binned;
+        a.out_of_bound += b.out_of_bound;
+        a.err_sum += b.err_sum;
+        a.err_max = std::max(a.err_max, b.err_max);
+        return a;
+      });
+}
+
+/// Pass B, reference path: one sequential append pass. This is the
+/// specification of the stream layout; the parallel path must match it
+/// byte for byte.
+void pack_streams_serial(std::span<const double> current,
+                         const std::vector<std::uint32_t>& labels,
+                         unsigned index_bits, EncodedIteration& enc) {
+  util::BitWriter zeta;
+  util::BitWriter idx;
+  for (std::size_t j = 0; j < labels.size(); ++j) {
+    if (labels[j] == kLabelExact) {
+      zeta.put_bit(false);
+      enc.exact_values.push_back(current[j]);
+    } else {
+      zeta.put_bit(true);
+      idx.put(labels[j], index_bits);
+    }
+  }
+  enc.zeta = zeta.finish();
+  enc.indices = idx.finish();
+}
+
+/// Pass B, parallel path: per-chunk compressible counts -> exclusive prefix
+/// sums -> concurrent packing of disjoint stream regions at absolute offsets.
+void pack_streams_parallel(std::span<const double> current,
+                           const std::vector<std::uint32_t>& labels,
+                           unsigned index_bits, util::ThreadPool& pool,
+                           const util::ChunkPlan& plan,
+                           EncodedIteration& enc) {
+  const std::size_t n = labels.size();
+  std::vector<std::size_t> comp_before(plan.chunks);
+  util::parallel_chunks(pool, plan,
+                        [&](std::size_t c, std::size_t i0, std::size_t i1) {
+                          std::size_t count = 0;
+                          for (std::size_t j = i0; j < i1; ++j) {
+                            count += labels[j] != kLabelExact;
+                          }
+                          comp_before[c] = count;
+                        });
+  std::size_t total_comp = 0;
+  for (auto& o : comp_before) {
+    const std::size_t count = o;
+    o = total_comp;
+    total_comp += count;
+  }
+  const std::size_t total_exact = n - total_comp;
+
+  enc.zeta.assign((n + 7) / 8, 0);
+  enc.indices.assign((total_comp * index_bits + 7) / 8, 0);
+  enc.exact_values.resize(total_exact);
+  util::parallel_chunks(
+      pool, plan, [&](std::size_t c, std::size_t i0, std::size_t i1) {
+        util::BitSpanWriter zeta(enc.zeta.data(), enc.zeta.size(), i0);
+        util::BitSpanWriter idx(enc.indices.data(), enc.indices.size(),
+                                comp_before[c] * index_bits);
+        // Exact cursor: points before i0 minus compressible points before i0.
+        std::size_t exact_pos = i0 - comp_before[c];
+        for (std::size_t j = i0; j < i1; ++j) {
+          if (labels[j] == kLabelExact) {
+            zeta.put_bit(false);
+            enc.exact_values[exact_pos++] = current[j];
+          } else {
+            zeta.put_bit(true);
+            idx.put(labels[j], index_bits);
+          }
+        }
+        zeta.finish();
+        idx.finish();
+      });
+}
+
+void pack_streams(std::span<const double> current,
+                  const std::vector<std::uint32_t>& labels,
+                  unsigned index_bits, util::ThreadPool& pool,
+                  EncodedIteration& enc) {
+  const util::ChunkPlan plan(0, labels.size(), pool.size());
+  if (plan.chunks <= 1 || pool.size() <= 1) {
+    pack_streams_serial(current, labels, index_bits, enc);
+  } else {
+    pack_streams_parallel(current, labels, index_bits, pool, plan, enc);
+  }
+}
+
+/// Stages A2 + B plus the stats roll-up, shared by every encode entry point.
+EncodedIteration finish_encode(std::span<const double> current,
+                               const ChangeRatios& cr, const BinModel& model,
+                               const Options& opts, util::ThreadPool& pool,
+                               std::vector<std::uint32_t>& labels,
+                               const ClassifyStats& cs) {
+  const std::size_t n = current.size();
   EncodedIteration enc;
   enc.index_bits = opts.index_bits;
-  enc.error_bound = E;
+  enc.error_bound = opts.error_bound;
   enc.strategy = opts.strategy;
   enc.point_count = n;
   enc.stats.total_points = n;
@@ -32,61 +287,18 @@ EncodedIteration encode_with_ratios(std::span<const double> previous,
                  "bin model larger than the index space");
   enc.centers = model.centers;
 
-  util::BitWriter zeta;
-  util::BitWriter idx;
-  const double small = opts.resolved_small_value_threshold();
-  double err_sum = 0.0;
-  double err_max = 0.0;
-  for (std::size_t j = 0; j < n; ++j) {
-    // Small-value rule (Algorithm 1 line 5): both sides below the absolute
-    // threshold -> "unchanged", index 0. Relative change of noise-scale
-    // values is meaningless; the absolute reconstruction error is <= 2*small.
-    if (small > 0.0 && std::abs(current[j]) < small &&
-        std::abs(previous[j]) <= small) {
-      zeta.put_bit(true);
-      idx.put(0u, opts.index_bits);
-      ++enc.stats.small_value;
-      continue;  // counted as an unchanged point: zero ratio error
-    }
-    if (!cr.valid[j]) {
-      zeta.put_bit(false);
-      enc.exact_values.push_back(current[j]);
-      ++enc.stats.exact_undefined;
-      continue;
-    }
-    const double r = cr.ratio[j];
-    const double mag = std::abs(r);
-    if (mag < E) {
-      zeta.put_bit(true);
-      idx.put(0u, opts.index_bits);
-      ++enc.stats.below_threshold;
-      err_sum += mag;  // approximated ratio is exactly 0
-      err_max = std::max(err_max, mag);
-      continue;
-    }
-    bool stored = false;
-    if (!model.empty()) {
-      const std::size_t c = model.nearest(r);
-      const double err = std::abs(model.centers[c] - r);
-      if (err <= E) {
-        zeta.put_bit(true);
-        idx.put(static_cast<std::uint32_t>(c + 1), opts.index_bits);
-        ++enc.stats.binned;
-        err_sum += err;
-        err_max = std::max(err_max, err);
-        stored = true;
-      }
-    }
-    if (!stored) {
-      zeta.put_bit(false);
-      enc.exact_values.push_back(current[j]);
-      ++enc.stats.exact_out_of_bound;
-    }
-  }
-  enc.zeta = zeta.finish();
-  enc.indices = idx.finish();
-  enc.stats.mean_ratio_error = err_sum / static_cast<double>(n);
-  enc.stats.max_ratio_error = err_max;
+  const AssignStats as =
+      assign_bins(cr, model, opts.error_bound, pool, labels);
+  pack_streams(current, labels, opts.index_bits, pool, enc);
+
+  enc.stats.small_value = cs.small;
+  enc.stats.below_threshold = cs.below;
+  enc.stats.exact_undefined = cs.undefined;
+  enc.stats.binned = as.binned;
+  enc.stats.exact_out_of_bound = as.out_of_bound;
+  enc.stats.mean_ratio_error =
+      (cs.err_sum + as.err_sum) / static_cast<double>(n);
+  enc.stats.max_ratio_error = std::max(cs.err_max, as.err_max);
   return enc;
 }
 
@@ -98,29 +310,22 @@ EncodedIteration encode_iteration(std::span<const double> previous,
   opts.validate();
   NUMARCK_EXPECT(previous.size() == current.size(),
                  "encode: snapshot size mismatch");
-  const std::size_t n = current.size();
-  const double E = opts.error_bound;
+  auto& pool = opts.pool ? *opts.pool : util::ThreadPool::global();
 
   // Stage 1: forward predictive coding.
-  const ChangeRatios cr = compute_change_ratios(previous, current, opts.pool);
+  const ChangeRatios cr = compute_change_ratios(previous, current, &pool);
 
-  // Stage 2: learn the distribution from ratios that actually need a bin
-  // (defined, not small-valued, and not already satisfied by the zero index).
-  const double small_thr = opts.resolved_small_value_threshold();
-  std::vector<double> learn_set;
-  learn_set.reserve(cr.defined_count);
-  for (std::size_t j = 0; j < n; ++j) {
-    if (!cr.valid[j] || std::abs(cr.ratio[j]) < E) continue;
-    if (small_thr > 0.0 && std::abs(current[j]) < small_thr &&
-        std::abs(previous[j]) <= small_thr) {
-      continue;
-    }
-    learn_set.push_back(cr.ratio[j]);
-  }
+  // Stage 2: classify once; the needs-bin labels are the learn set (defined,
+  // not small-valued, and not already satisfied by the zero index).
+  std::vector<std::uint32_t> labels;
+  const ClassifyStats cs =
+      classify_points(previous, current, cr, opts, pool, labels);
+  const std::vector<double> learn_set =
+      gather_learn_set(cr, labels, cs.needs_bin, pool);
   const BinModel model = learn_bins(learn_set, opts);
 
-  // Stage 3: assignment + packing.
-  return encode_with_ratios(previous, current, cr, model, opts);
+  // Stage 3: assignment + packing from the labels.
+  return finish_encode(current, cr, model, opts, pool, labels, cs);
 }
 
 EncodedIteration encode_iteration_with_model(std::span<const double> previous,
@@ -130,15 +335,19 @@ EncodedIteration encode_iteration_with_model(std::span<const double> previous,
   opts.validate();
   NUMARCK_EXPECT(previous.size() == current.size(),
                  "encode: snapshot size mismatch");
-  const ChangeRatios cr = compute_change_ratios(previous, current, opts.pool);
-  return encode_with_ratios(previous, current, cr, model, opts);
+  auto& pool = opts.pool ? *opts.pool : util::ThreadPool::global();
+  const ChangeRatios cr = compute_change_ratios(previous, current, &pool);
+  std::vector<std::uint32_t> labels;
+  const ClassifyStats cs =
+      classify_points(previous, current, cr, opts, pool, labels);
+  return finish_encode(current, cr, model, opts, pool, labels, cs);
 }
 
-std::vector<double> decode_iteration(std::span<const double> previous,
-                                     const EncodedIteration& enc) {
-  NUMARCK_EXPECT(previous.size() == enc.point_count,
-                 "decode: previous snapshot has wrong length");
-  std::vector<double> out(enc.point_count);
+namespace {
+
+/// Reference decoder: one sequential pass over all three streams.
+void decode_serial(std::span<const double> previous,
+                   const EncodedIteration& enc, std::vector<double>& out) {
   util::BitReader zeta(enc.zeta);
   util::BitReader idx(enc.indices);
   std::size_t exact_pos = 0;
@@ -159,6 +368,70 @@ std::vector<double> decode_iteration(std::span<const double> previous,
   }
   NUMARCK_EXPECT(exact_pos == enc.exact_values.size(),
                  "decode: exact stream not fully consumed");
+}
+
+/// Parallel decoder: a popcount pass over ζ rebuilds the per-chunk
+/// compressible counts the encoder packed with, each chunk then seeks its
+/// index/exact cursors from the prefix sums and decodes independently.
+void decode_parallel(std::span<const double> previous,
+                     const EncodedIteration& enc, util::ThreadPool& pool,
+                     const util::ChunkPlan& plan, std::vector<double>& out) {
+  const std::size_t n = enc.point_count;
+  NUMARCK_EXPECT(enc.zeta.size() * 8 >= n, "decode: ζ bitmap too short");
+  std::vector<std::size_t> comp_before(plan.chunks);
+  util::parallel_chunks(pool, plan,
+                        [&](std::size_t c, std::size_t i0, std::size_t i1) {
+                          comp_before[c] = util::count_ones(
+                              enc.zeta.data(), enc.zeta.size(), i0, i1);
+                        });
+  std::size_t total_comp = 0;
+  for (auto& o : comp_before) {
+    const std::size_t count = o;
+    o = total_comp;
+    total_comp += count;
+  }
+  NUMARCK_EXPECT(n - total_comp == enc.exact_values.size(),
+                 "decode: exact stream length mismatch");
+  NUMARCK_EXPECT(enc.indices.size() * 8 >= total_comp * enc.index_bits,
+                 "decode: index stream too short");
+  util::parallel_chunks(
+      pool, plan, [&](std::size_t c, std::size_t i0, std::size_t i1) {
+        util::BitReader zeta(enc.zeta.data(), enc.zeta.size(), i0);
+        util::BitReader idx(enc.indices.data(), enc.indices.size(),
+                            comp_before[c] * enc.index_bits);
+        std::size_t exact_pos = i0 - comp_before[c];
+        for (std::size_t j = i0; j < i1; ++j) {
+          if (!zeta.get_bit()) {
+            out[j] = enc.exact_values[exact_pos++];
+            continue;
+          }
+          const std::uint32_t i = idx.get(enc.index_bits);
+          if (i == 0) {
+            out[j] = previous[j];
+          } else {
+            NUMARCK_EXPECT(i <= enc.centers.size(),
+                           "decode: index out of table");
+            out[j] = previous[j] * (1.0 + enc.centers[i - 1]);
+          }
+        }
+      });
+}
+
+}  // namespace
+
+std::vector<double> decode_iteration(std::span<const double> previous,
+                                     const EncodedIteration& enc,
+                                     util::ThreadPool* pool) {
+  NUMARCK_EXPECT(previous.size() == enc.point_count,
+                 "decode: previous snapshot has wrong length");
+  auto& tp = pool ? *pool : util::ThreadPool::global();
+  std::vector<double> out(enc.point_count);
+  const util::ChunkPlan plan(0, enc.point_count, tp.size());
+  if (plan.chunks <= 1 || tp.size() <= 1) {
+    decode_serial(previous, enc, out);
+  } else {
+    decode_parallel(previous, enc, tp, plan, out);
+  }
   return out;
 }
 

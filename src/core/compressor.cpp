@@ -48,7 +48,7 @@ CompressedStep VariableCompressor::push(std::span<const double> snapshot) {
   } else {
     // Closed loop: predict the next iteration from what the decoder will
     // actually hold, so per-iteration bounds apply to the *absolute* state.
-    std::vector<double> recon = decode_iteration(base, step.delta);
+    std::vector<double> recon = decode_iteration(base, step.delta, opts_.pool);
     reference2_ = std::move(reference_);
     reference_ = std::move(recon);
   }

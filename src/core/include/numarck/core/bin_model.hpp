@@ -23,6 +23,39 @@ struct BinModel {
   [[nodiscard]] bool empty() const noexcept { return centers.empty(); }
 };
 
+/// O(1) nearest-center lookup over a BinModel, built once per iteration and
+/// queried N times (replacing the per-point std::lower_bound in the encoder's
+/// assignment sweep). Two acceleration schemes, chosen by the model:
+///   * equal-width tables invert the affine center spacing directly;
+///   * clustered / log-scale tables use a uniform grid over the center range
+///     whose slots store precomputed lower-bound start positions (the
+///     boundary-midpoint table: each query lands in a slot and scans at most
+///     the few centers whose midpoint boundaries cross it).
+/// Both schemes finish with the exact comparison cluster::nearest_centroid
+/// uses, so the selected index — including tie-breaks — is bit-identical to
+/// the binary-search reference on any input.
+///
+/// The lookup borrows the model's center table; the model must outlive it.
+class BinLookup {
+ public:
+  explicit BinLookup(const BinModel& model);
+
+  /// Index (into the model's centers) of the representative nearest to `x`.
+  /// Exactly equal to cluster::nearest_centroid(centers, x).
+  [[nodiscard]] std::size_t nearest(double x) const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t lower_bound_from(double x,
+                                             std::size_t guess) const noexcept;
+
+  const std::vector<double>* centers_;
+  bool affine_ = false;      ///< equal-width fast path
+  double origin_ = 0.0;      ///< centers_[0]
+  double inv_step_ = 0.0;    ///< 1 / center spacing (affine path)
+  double grid_inv_ = 0.0;    ///< slots per unit of center range (grid path)
+  std::vector<std::uint32_t> slot_lo_;  ///< lower-bound start per grid slot
+};
+
 /// §II-C-1 — centers are the midpoints of `bins` equal-width histogram bins
 /// over the range of `ratios`. All bins are kept (even empty ones) because
 /// the table slots are charged to storage regardless.

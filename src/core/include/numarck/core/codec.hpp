@@ -14,6 +14,11 @@
 // Whether `previous` is the true or the reconstructed previous iteration is
 // the caller's choice (Options::reference is implemented by the pipeline in
 // compressor.hpp); the codec itself is reference-agnostic.
+//
+// Both directions are data-parallel over Options::pool with a two-pass
+// classify-then-pack design (see codec.cpp); the packed streams are
+// guaranteed bit-identical for any pool size, with the sequential append
+// path kept as the single-worker reference.
 #pragma once
 
 #include <span>
@@ -43,8 +48,12 @@ EncodedIteration encode_iteration_with_model(std::span<const double> previous,
 
 /// Reconstructs the iteration from `previous` (typically itself a
 /// reconstruction) and the encoded record. Inverse of encode_iteration when
-/// called with the same previous snapshot.
+/// called with the same previous snapshot. Decoding is data-parallel over
+/// `pool` (null = process-global): each chunk derives its index/exact
+/// cursors from a popcount pass over the ζ bitmap, so the output is
+/// identical for any pool size.
 std::vector<double> decode_iteration(std::span<const double> previous,
-                                     const EncodedIteration& enc);
+                                     const EncodedIteration& enc,
+                                     util::ThreadPool* pool = nullptr);
 
 }  // namespace numarck::core

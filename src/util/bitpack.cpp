@@ -1,6 +1,41 @@
 #include "numarck/util/bitpack.hpp"
 
+#include <bit>
+
 namespace numarck::util {
+
+std::size_t count_ones(const std::uint8_t* data, std::size_t size_bytes,
+                       std::size_t bit_begin, std::size_t bit_end) {
+  if (bit_end <= bit_begin) return 0;
+  NUMARCK_EXPECT(bit_end <= size_bytes * 8,
+                 "count_ones: bit range past end of stream");
+  std::size_t count = 0;
+  std::size_t byte = bit_begin / 8;
+  const std::size_t last_byte = (bit_end - 1) / 8;
+  if (byte == last_byte) {
+    const unsigned lo = static_cast<unsigned>(bit_begin % 8);
+    const unsigned width = static_cast<unsigned>(bit_end - bit_begin);
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(((1u << width) - 1u) << lo);
+    return static_cast<std::size_t>(std::popcount(
+        static_cast<std::uint8_t>(data[byte] & mask)));
+  }
+  if (bit_begin % 8 != 0) {
+    const unsigned lo = static_cast<unsigned>(bit_begin % 8);
+    count += static_cast<std::size_t>(
+        std::popcount(static_cast<std::uint8_t>(data[byte] >> lo)));
+    ++byte;
+  }
+  for (; byte < last_byte; ++byte) {
+    count += static_cast<std::size_t>(std::popcount(data[byte]));
+  }
+  const unsigned tail = static_cast<unsigned>((bit_end - 1) % 8 + 1);
+  const std::uint8_t tail_mask =
+      tail == 8 ? 0xffu : static_cast<std::uint8_t>((1u << tail) - 1u);
+  count += static_cast<std::size_t>(
+      std::popcount(static_cast<std::uint8_t>(data[last_byte] & tail_mask)));
+  return count;
+}
 
 std::vector<std::uint8_t> pack_indices(const std::vector<std::uint32_t>& values,
                                        unsigned width) {

@@ -6,6 +6,7 @@
 // width B is readable with the same width regardless of endianness.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -57,10 +58,92 @@ class BitWriter {
   unsigned nbits_ = 0;
 };
 
+/// Writes a bit stream at an absolute bit offset into a caller-owned,
+/// zero-initialized buffer. This is the packer of the parallel
+/// classify-then-pack codec: each worker owns a disjoint bit range whose
+/// start/end offsets come from prefix sums, so the packed bytes are identical
+/// to a sequential BitWriter pass regardless of how the range was split.
+///
+/// Bytes entirely inside the writer's range are stored directly; the partial
+/// first and last bytes may be shared with the adjacent ranges and are merged
+/// with an atomic fetch_or, so concurrent writers never lose each other's
+/// bits (the buffer must start zeroed).
+class BitSpanWriter {
+ public:
+  BitSpanWriter(std::uint8_t* buf, std::size_t size_bytes,
+                std::size_t bit_offset)
+      : buf_(buf), size_(size_bytes), byte_(bit_offset / 8) {
+    const unsigned phase = static_cast<unsigned>(bit_offset % 8);
+    nbits_ = phase;  // phantom zero bits below the start offset
+    shared_head_ = phase != 0;
+  }
+
+  /// Appends the low `width` bits of `value` (LSB first) at the cursor.
+  void put(std::uint32_t value, unsigned width) {
+    NUMARCK_EXPECT(width >= 1 && width <= 32, "bit width must be in [1,32]");
+    if (width < 32) {
+      NUMARCK_EXPECT(value < (1u << width), "value does not fit in width");
+    }
+    acc_ |= static_cast<std::uint64_t>(value) << nbits_;
+    nbits_ += width;
+    while (nbits_ >= 8) {
+      NUMARCK_EXPECT(byte_ < size_, "BitSpanWriter: write past end of buffer");
+      const auto b = static_cast<std::uint8_t>(acc_ & 0xffu);
+      if (shared_head_) {
+        std::atomic_ref<std::uint8_t>(buf_[byte_])
+            .fetch_or(b, std::memory_order_relaxed);
+        shared_head_ = false;
+      } else {
+        buf_[byte_] = b;
+      }
+      ++byte_;
+      acc_ >>= 8;
+      nbits_ -= 8;
+    }
+  }
+
+  /// Appends a single bit.
+  void put_bit(bool b) { put(b ? 1u : 0u, 1); }
+
+  /// Merges the trailing partial byte (shared with the next range) into the
+  /// buffer. Must be called once after the last put.
+  void finish() {
+    if (nbits_ == 0) return;
+    NUMARCK_EXPECT(byte_ < size_, "BitSpanWriter: write past end of buffer");
+    std::atomic_ref<std::uint8_t>(buf_[byte_])
+        .fetch_or(static_cast<std::uint8_t>(acc_ & 0xffu),
+                  std::memory_order_relaxed);
+    acc_ = 0;
+    nbits_ = 0;
+    shared_head_ = false;
+  }
+
+ private:
+  std::uint8_t* buf_;
+  std::size_t size_;
+  std::size_t byte_;
+  std::uint64_t acc_ = 0;
+  unsigned nbits_ = 0;
+  bool shared_head_ = false;
+};
+
 class BitReader {
  public:
   BitReader(const std::uint8_t* data, std::size_t size_bytes)
       : data_(data), size_(size_bytes) {}
+
+  /// Starts reading at an absolute bit offset (the parallel decoder seeks
+  /// each worker's cursor from the same prefix sums the packer used).
+  BitReader(const std::uint8_t* data, std::size_t size_bytes,
+            std::size_t bit_offset)
+      : data_(data), size_(size_bytes), pos_(bit_offset / 8) {
+    const unsigned phase = static_cast<unsigned>(bit_offset % 8);
+    if (phase != 0) {
+      NUMARCK_EXPECT(pos_ < size_, "BitReader: offset past end of stream");
+      acc_ = static_cast<std::uint64_t>(data_[pos_++]) >> phase;
+      nbits_ = 8 - phase;
+    }
+  }
 
   explicit BitReader(const std::vector<std::uint8_t>& v)
       : BitReader(v.data(), v.size()) {}
@@ -95,6 +178,12 @@ class BitReader {
   std::uint64_t acc_ = 0;
   unsigned nbits_ = 0;
 };
+
+/// Number of set bits in the bit range [bit_begin, bit_end) of an LSB-first
+/// stream. The parallel decoder recovers each worker's index/exact cursor by
+/// popcounting the ζ bitmap up to the worker's first point.
+std::size_t count_ones(const std::uint8_t* data, std::size_t size_bytes,
+                       std::size_t bit_begin, std::size_t bit_end);
 
 /// Packs `values[i] & (2^width-1)` for all i into a fresh byte vector.
 std::vector<std::uint8_t> pack_indices(const std::vector<std::uint32_t>& values,

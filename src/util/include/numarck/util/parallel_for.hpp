@@ -1,13 +1,17 @@
 // Data-parallel loop decomposition over a ThreadPool.
 //
-// parallel_for splits [begin, end) into contiguous chunks (one per worker,
-// MPI-style block decomposition) and blocks until every chunk finished.
-// parallel_reduce additionally combines per-chunk partial results with a
-// user-supplied binary op — the shared-memory analogue of MPI_Allreduce.
+// ChunkPlan splits [begin, end) into contiguous chunks (MPI-style block
+// decomposition, oversubscribed beyond the worker count for load balancing).
+// parallel_for / parallel_for_chunked / parallel_chunks execute a plan and
+// block until every chunk finished. parallel_reduce additionally combines
+// per-chunk partial results with a user-supplied binary op in chunk order —
+// the shared-memory analogue of MPI_Allreduce, deterministic for a fixed
+// pool size.
 #pragma once
 
 #include <cstddef>
 #include <future>
+#include <utility>
 #include <vector>
 
 #include "numarck/util/thread_pool.hpp"
@@ -18,29 +22,72 @@ namespace numarck::util {
 /// pool is not invoked for ranges where task overhead dominates.
 inline constexpr std::size_t kParallelGrainSize = 4096;
 
+/// Chunks per worker: skewed per-chunk work (e.g. exact-heavy regions of a
+/// snapshot) is balanced by handing each worker several smaller chunks
+/// instead of one big one.
+inline constexpr std::size_t kParallelOversubscribe = 4;
+
+/// A deterministic block decomposition of [begin, end). The chunk count
+/// depends only on (range size, worker count, grain), never on runtime
+/// scheduling, so per-chunk results can be combined in chunk order
+/// reproducibly.
+struct ChunkPlan {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunks = 1;
+  std::size_t step = 0;
+
+  ChunkPlan(std::size_t b, std::size_t e, std::size_t workers,
+            std::size_t grain = kParallelGrainSize)
+      : begin(b), end(e) {
+    const std::size_t n = end > begin ? end - begin : 0;
+    step = n;
+    if (workers <= 1 || n < 2 * grain) return;
+    const std::size_t max_useful = (n + grain - 1) / grain;
+    chunks = std::min(workers * kParallelOversubscribe, max_useful);
+    step = (n + chunks - 1) / chunks;
+    chunks = (n + step - 1) / step;  // drop chunks the rounding left empty
+  }
+
+  /// Half-open index range of chunk c.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> bounds(
+      std::size_t c) const noexcept {
+    const std::size_t i0 = begin + c * step;
+    const std::size_t i1 = std::min(end, i0 + step);
+    return {i0, i1};
+  }
+};
+
+/// Invokes body(c, i0, i1) for every chunk of `plan`; inline when the plan is
+/// a single chunk or the pool has one worker.
+template <typename Body>
+void parallel_chunks(ThreadPool& pool, const ChunkPlan& plan, Body&& body) {
+  if (plan.end <= plan.begin) return;
+  if (plan.chunks <= 1 || pool.size() <= 1) {
+    for (std::size_t c = 0; c < plan.chunks; ++c) {
+      const auto [i0, i1] = plan.bounds(c);
+      body(c, i0, i1);
+    }
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(plan.chunks);
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    const auto [i0, i1] = plan.bounds(c);
+    futs.push_back(pool.submit([c, i0, i1, &body] { body(c, i0, i1); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
 /// Invokes body(i0, i1) on disjoint subranges covering [begin, end).
 /// Runs inline when the range is small or the pool has one worker.
 template <typename Body>
 void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
                           Body&& body) {
-  if (end <= begin) return;
-  const std::size_t n = end - begin;
-  const std::size_t workers = pool.size();
-  if (workers <= 1 || n < 2 * kParallelGrainSize) {
-    body(begin, end);
-    return;
-  }
-  const std::size_t chunks = std::min(workers, (n + kParallelGrainSize - 1) / kParallelGrainSize);
-  const std::size_t step = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futs;
-  futs.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t i0 = begin + c * step;
-    const std::size_t i1 = std::min(end, i0 + step);
-    if (i0 >= i1) break;
-    futs.push_back(pool.submit([i0, i1, &body] { body(i0, i1); }));
-  }
-  for (auto& f : futs) f.get();
+  parallel_chunks(pool, ChunkPlan(begin, end, pool.size()),
+                  [&body](std::size_t, std::size_t i0, std::size_t i1) {
+                    body(i0, i1);
+                  });
 }
 
 /// Element-wise convenience wrapper: body(i) per index.
@@ -57,19 +104,19 @@ template <typename T, typename Partial, typename Combine>
 T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end, T init,
                   Partial&& partial, Combine&& combine) {
   if (end <= begin) return init;
-  const std::size_t n = end - begin;
-  const std::size_t workers = pool.size();
-  if (workers <= 1 || n < 2 * kParallelGrainSize) {
-    return combine(std::move(init), partial(begin, end));
+  const ChunkPlan plan(begin, end, pool.size());
+  if (plan.chunks <= 1 || pool.size() <= 1) {
+    T acc = std::move(init);
+    for (std::size_t c = 0; c < plan.chunks; ++c) {
+      const auto [i0, i1] = plan.bounds(c);
+      acc = combine(std::move(acc), partial(i0, i1));
+    }
+    return acc;
   }
-  const std::size_t chunks = std::min(workers, (n + kParallelGrainSize - 1) / kParallelGrainSize);
-  const std::size_t step = (n + chunks - 1) / chunks;
   std::vector<std::future<T>> futs;
-  futs.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t i0 = begin + c * step;
-    const std::size_t i1 = std::min(end, i0 + step);
-    if (i0 >= i1) break;
+  futs.reserve(plan.chunks);
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    const auto [i0, i1] = plan.bounds(c);
     futs.push_back(pool.submit([i0, i1, &partial] { return partial(i0, i1); }));
   }
   T acc = std::move(init);

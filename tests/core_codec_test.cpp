@@ -147,6 +147,60 @@ TEST(BinModel, CentersSortedForAllStrategies) {
   }
 }
 
+// ------------------------------------------------------- bin lookup -------
+
+TEST(BinLookup, MatchesNearestCentroidForAllStrategies) {
+  numarck::util::Pcg32 rng(41);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) {
+    x = rng.uniform() < 0.8 ? rng.normal() * 0.02 : rng.uniform(-0.5, 0.5);
+  }
+  for (auto s : {nk::Strategy::kEqualWidth, nk::Strategy::kLogScale,
+                 nk::Strategy::kClustering}) {
+    nk::Options opts;
+    opts.strategy = s;
+    opts.index_bits = 8;
+    const auto m = nk::learn_bins(xs, opts);
+    ASSERT_FALSE(m.empty());
+    const nk::BinLookup lut(m);
+    // Queries both on and off the learned distribution, including the
+    // centers themselves and points outside the table range.
+    std::vector<double> queries(xs.begin(), xs.begin() + 5000);
+    queries.insert(queries.end(), m.centers.begin(), m.centers.end());
+    for (int i = 0; i < 2000; ++i) queries.push_back(rng.uniform(-3.0, 3.0));
+    queries.push_back(-1e9);
+    queries.push_back(1e9);
+    for (double q : queries) {
+      EXPECT_EQ(lut.nearest(q), m.nearest(q))
+          << nk::to_string(s) << " q=" << q;
+    }
+  }
+}
+
+TEST(BinLookup, ExactMidpointTiesBreakLikeReference) {
+  nk::BinModel m;
+  m.strategy = nk::Strategy::kClustering;
+  m.centers = {-1.0, 0.0, 0.25, 2.0};
+  const nk::BinLookup lut(m);
+  for (std::size_t i = 0; i + 1 < m.centers.size(); ++i) {
+    const double mid = 0.5 * (m.centers[i] + m.centers[i + 1]);
+    EXPECT_EQ(lut.nearest(mid), m.nearest(mid));
+  }
+}
+
+TEST(BinLookup, DegenerateTables) {
+  nk::BinModel one;
+  one.centers = {0.5};
+  EXPECT_EQ(nk::BinLookup(one).nearest(123.0), 0u);
+  nk::BinModel dup;
+  dup.strategy = nk::Strategy::kEqualWidth;
+  dup.centers = {2.0, 2.0, 2.0};
+  const nk::BinLookup lut(dup);
+  for (double q : {-1.0, 2.0, 5.0}) {
+    EXPECT_EQ(lut.nearest(q), dup.nearest(q)) << q;
+  }
+}
+
 // ------------------------------------------------------------ options ----
 
 TEST(Options, ValidatesRanges) {
@@ -316,6 +370,119 @@ TEST(Codec, DecodeWithWrongPreviousLengthThrows) {
   const auto enc = nk::encode_iteration(prev, curr, opts);
   std::vector<double> wrong{1.0};
   EXPECT_THROW(nk::decode_iteration(wrong, enc), numarck::ContractViolation);
+}
+
+// ----------------------------------------- parallel-codec determinism ----
+
+namespace {
+
+std::pair<std::vector<double>, std::vector<double>> parallel_test_snapshots(
+    std::size_t n, std::uint64_t seed) {
+  numarck::util::Pcg32 rng(seed);
+  std::vector<double> prev(n), curr(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // Mixture covering every label class: small values, zero previous
+    // (exact-undefined), below-threshold, binnable and out-of-bound ratios.
+    prev[j] = (j % 37 == 0) ? 0.0
+                            : (j % 11 == 0 ? 1e-5 : rng.uniform(0.5, 5.0));
+    const double ratio = rng.uniform() < 0.85 ? rng.normal() * 0.01
+                                              : rng.uniform(-0.9, 0.9);
+    curr[j] = (j % 37 == 0) ? rng.uniform(-1.0, 1.0)
+                            : prev[j] * (1.0 + ratio);
+  }
+  return {std::move(prev), std::move(curr)};
+}
+
+}  // namespace
+
+TEST(ParallelCodec, EncodeIsBitIdenticalAcrossThreadCounts) {
+  // The 1-worker pool takes the sequential BitWriter reference path; every
+  // multi-worker pool takes classify-then-pack. All three streams must be
+  // byte-identical for all strategies and index widths.
+  const auto [prev, curr] = parallel_test_snapshots(60000, 0xC0DEC);
+  for (auto s : {nk::Strategy::kEqualWidth, nk::Strategy::kLogScale,
+                 nk::Strategy::kClustering}) {
+    for (unsigned bits : {4u, 8u, 11u}) {
+      nk::Options opts;
+      opts.strategy = s;
+      opts.index_bits = bits;
+      numarck::util::ThreadPool serial_pool(1);
+      opts.pool = &serial_pool;
+      const auto reference = nk::encode_iteration(prev, curr, opts);
+      for (std::size_t threads : {2u, 4u, 8u}) {
+        numarck::util::ThreadPool pool(threads);
+        opts.pool = &pool;
+        const auto enc = nk::encode_iteration(prev, curr, opts);
+        EXPECT_EQ(enc.zeta, reference.zeta)
+            << nk::to_string(s) << " B=" << bits << " threads=" << threads;
+        EXPECT_EQ(enc.indices, reference.indices)
+            << nk::to_string(s) << " B=" << bits << " threads=" << threads;
+        EXPECT_EQ(enc.exact_values, reference.exact_values)
+            << nk::to_string(s) << " B=" << bits << " threads=" << threads;
+        EXPECT_EQ(enc.centers, reference.centers);
+        EXPECT_EQ(enc.stats.binned, reference.stats.binned);
+        EXPECT_EQ(enc.stats.exact_total(), reference.stats.exact_total());
+      }
+    }
+  }
+}
+
+TEST(ParallelCodec, ParallelDecodeRoundTripsAllStrategies) {
+  const auto [prev, curr] = parallel_test_snapshots(50000, 0xDEC0DE);
+  for (auto s : {nk::Strategy::kEqualWidth, nk::Strategy::kLogScale,
+                 nk::Strategy::kClustering}) {
+    nk::Options opts;
+    opts.strategy = s;
+    const auto enc = nk::encode_iteration(prev, curr, opts);
+    numarck::util::ThreadPool serial_pool(1);
+    const auto serial = nk::decode_iteration(prev, enc, &serial_pool);
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      numarck::util::ThreadPool pool(threads);
+      const auto dec = nk::decode_iteration(prev, enc, &pool);
+      // Same per-point arithmetic from the same streams: exactly equal.
+      EXPECT_EQ(dec, serial) << nk::to_string(s) << " threads=" << threads;
+    }
+    // And the round trip honors the bound for every defined-ratio point.
+    for (std::size_t j = 0; j < curr.size(); ++j) {
+      const double small = opts.resolved_small_value_threshold();
+      // Same precedence as the encoder: the small-value rule outranks the
+      // zero-previous escape.
+      if (std::abs(curr[j]) < small && std::abs(prev[j]) <= small) {
+        EXPECT_LE(std::abs(serial[j] - curr[j]), 2.0 * small);
+        continue;
+      }
+      if (prev[j] == 0.0) {
+        EXPECT_DOUBLE_EQ(serial[j], curr[j]);
+        continue;
+      }
+      EXPECT_LE(std::abs((serial[j] - curr[j]) / prev[j]),
+                opts.error_bound * (1.0 + 1e-9))
+          << nk::to_string(s) << " j=" << j;
+    }
+  }
+}
+
+TEST(ParallelCodec, WithModelPathIsBitIdenticalToo) {
+  // encode_iteration_with_model (the distributed global-table path) shares
+  // classify-then-pack and must obey the same determinism guarantee.
+  const auto [prev, curr] = parallel_test_snapshots(40000, 0xD157);
+  const auto cr = nk::compute_change_ratios(prev, curr);
+  std::vector<double> learn;
+  for (std::size_t j = 0; j < cr.ratio.size(); ++j) {
+    if (cr.valid[j]) learn.push_back(cr.ratio[j]);
+  }
+  nk::Options opts;
+  const auto model = nk::learn_bins(learn, opts);
+  numarck::util::ThreadPool serial_pool(1);
+  opts.pool = &serial_pool;
+  const auto reference =
+      nk::encode_iteration_with_model(prev, curr, model, opts);
+  numarck::util::ThreadPool pool(6);
+  opts.pool = &pool;
+  const auto enc = nk::encode_iteration_with_model(prev, curr, model, opts);
+  EXPECT_EQ(enc.zeta, reference.zeta);
+  EXPECT_EQ(enc.indices, reference.indices);
+  EXPECT_EQ(enc.exact_values, reference.exact_values);
 }
 
 // ------------------------------------------------------- serialization --

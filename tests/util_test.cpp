@@ -90,6 +90,58 @@ TEST(ParallelFor, ChunkedCoversRangeWithDisjointChunks) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ChunkPlan, OversubscribesForLoadBalancing) {
+  // Large ranges get more chunks than workers (x4) so skewed per-chunk work
+  // can be balanced, while each chunk still meets the grain size.
+  const std::size_t n = 1 << 20;
+  nu::ChunkPlan plan(0, n, 4);
+  EXPECT_EQ(plan.chunks, 4 * nu::kParallelOversubscribe);
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    const auto [i0, i1] = plan.bounds(c);
+    EXPECT_GE(i1 - i0, nu::kParallelGrainSize / 2);
+  }
+}
+
+TEST(ChunkPlan, RespectsGrainSize) {
+  // A range worth only a few grains never splits below the grain size even
+  // with many workers available.
+  nu::ChunkPlan plan(0, 3 * nu::kParallelGrainSize, 16);
+  EXPECT_LE(plan.chunks, 3u);
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    const auto [i0, i1] = plan.bounds(c);
+    EXPECT_GE(i1 - i0, nu::kParallelGrainSize / 2);
+  }
+}
+
+TEST(ChunkPlan, BoundsTileTheRangeExactly) {
+  nu::ChunkPlan plan(100, 100 + (1 << 18) + 37, 8);
+  std::size_t expect_next = 100;
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    const auto [i0, i1] = plan.bounds(c);
+    EXPECT_EQ(i0, expect_next);
+    EXPECT_LT(i0, i1);
+    expect_next = i1;
+  }
+  EXPECT_EQ(expect_next, 100 + (1 << 18) + 37);
+}
+
+TEST(ParallelChunks, CoversEveryIndexOnceWithChunkIds) {
+  nu::ThreadPool pool(4);
+  const std::size_t n = 100000;
+  nu::ChunkPlan plan(0, n, pool.size());
+  std::vector<std::atomic<int>> hits(n);
+  std::vector<std::atomic<int>> chunk_runs(plan.chunks);
+  nu::parallel_chunks(pool, plan,
+                      [&](std::size_t c, std::size_t i0, std::size_t i1) {
+                        chunk_runs[c].fetch_add(1);
+                        for (std::size_t i = i0; i < i1; ++i) {
+                          hits[i].fetch_add(1);
+                        }
+                      });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  for (auto& r : chunk_runs) EXPECT_EQ(r.load(), 1);
+}
+
 TEST(ParallelReduce, SumMatchesSerial) {
   nu::ThreadPool pool(4);
   const std::size_t n = 100000;
@@ -169,6 +221,111 @@ TEST_P(BitPackWidthTest, RandomRoundTripAtWidth) {
 INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackWidthTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 7u, 8u, 9u, 10u,
                                            12u, 15u, 16u, 17u, 24u, 31u, 32u));
+
+TEST(BitPack, Width32RoundTripIncludingExtremes) {
+  // width == 32 must bypass the (1u << width) fit check (which would be UB)
+  // and round-trip every bit pattern, including all-ones.
+  nu::BitWriter w;
+  w.put_bit(true);  // misalign so the 32-bit value straddles five bytes
+  w.put(0xFFFFFFFFu, 32);
+  w.put(0u, 32);
+  w.put(0x80000001u, 32);
+  auto bytes = w.finish();
+  nu::BitReader r(bytes);
+  EXPECT_TRUE(r.get_bit());
+  EXPECT_EQ(r.get(32), 0xFFFFFFFFu);
+  EXPECT_EQ(r.get(32), 0u);
+  EXPECT_EQ(r.get(32), 0x80000001u);
+}
+
+TEST(BitSpanWriter, OffsetWritesMatchSequentialWriter) {
+  // Split one logical stream at an arbitrary (byte-straddling) bit offset
+  // between two span writers; the buffer must equal a sequential append pass.
+  nu::BitWriter seq;
+  seq.put(5u, 3);
+  seq.put(0x3FFu, 10);     // first writer ends mid-byte at bit 13
+  seq.put(0xABCDu, 16);
+  seq.put_bit(true);
+  auto expected = seq.finish();
+
+  std::vector<std::uint8_t> buf(expected.size(), 0);
+  nu::BitSpanWriter a(buf.data(), buf.size(), 0);
+  a.put(5u, 3);
+  a.put(0x3FFu, 10);
+  a.finish();
+  nu::BitSpanWriter b(buf.data(), buf.size(), 13);
+  b.put(0xABCDu, 16);
+  b.put_bit(true);
+  b.finish();
+  EXPECT_EQ(buf, expected);
+}
+
+TEST(BitSpanWriter, ManySplitPointsAllByteBoundaryStraddles) {
+  // A 997-value width-11 stream split at every possible position must be
+  // byte-identical to pack_indices, whichever side of a byte the cut lands.
+  nu::Pcg32 rng(20250805);
+  std::vector<std::uint32_t> values(997);
+  for (auto& v : values) v = rng.next() & 0x7FFu;
+  const auto expected = nu::pack_indices(values, 11);
+  for (std::size_t split : {1u, 7u, 8u, 64u, 100u, 500u, 996u}) {
+    std::vector<std::uint8_t> buf(expected.size(), 0);
+    nu::BitSpanWriter a(buf.data(), buf.size(), 0);
+    for (std::size_t i = 0; i < split; ++i) a.put(values[i], 11);
+    a.finish();
+    nu::BitSpanWriter b(buf.data(), buf.size(), split * 11);
+    for (std::size_t i = split; i < values.size(); ++i) b.put(values[i], 11);
+    b.finish();
+    EXPECT_EQ(buf, expected) << "split at " << split;
+  }
+}
+
+TEST(BitSpanWriter, Width32AtUnalignedOffset) {
+  std::vector<std::uint8_t> buf(9, 0);
+  nu::BitSpanWriter w(buf.data(), buf.size(), 5);
+  w.put(0xDEADBEEFu, 32);
+  w.finish();
+  nu::BitReader r(buf.data(), buf.size(), 5);
+  EXPECT_EQ(r.get(32), 0xDEADBEEFu);
+}
+
+TEST(BitSpanWriter, WritePastEndThrows) {
+  std::vector<std::uint8_t> buf(1, 0);
+  nu::BitSpanWriter w(buf.data(), buf.size(), 0);
+  w.put(0xFFu, 8);
+  EXPECT_THROW(w.put(0xFFu, 8), numarck::ContractViolation);
+}
+
+TEST(BitReader, OffsetConstructorSkipsExactly) {
+  nu::BitWriter w;
+  w.put(0x2Au, 7);
+  w.put(0x155u, 9);
+  w.put(0x33u, 6);
+  auto bytes = w.finish();
+  nu::BitReader r(bytes.data(), bytes.size(), 7);
+  EXPECT_EQ(r.get(9), 0x155u);
+  EXPECT_EQ(r.get(6), 0x33u);
+}
+
+TEST(BitPack, CountOnesMatchesBitwiseScan) {
+  nu::Pcg32 rng(99);
+  std::vector<std::uint8_t> bytes(64);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next() & 0xffu);
+  const auto scan = [&](std::size_t b0, std::size_t b1) {
+    std::size_t c = 0;
+    for (std::size_t i = b0; i < b1; ++i) {
+      c += (bytes[i / 8] >> (i % 8)) & 1u;
+    }
+    return c;
+  };
+  for (std::size_t b0 : {0u, 1u, 5u, 8u, 13u, 200u}) {
+    for (std::size_t b1 : {0u, 3u, 8u, 9u, 64u, 257u, 512u}) {
+      if (b1 < b0) continue;
+      EXPECT_EQ(nu::count_ones(bytes.data(), bytes.size(), b0, b1),
+                scan(b0, b1))
+          << "[" << b0 << "," << b1 << ")";
+    }
+  }
+}
 
 TEST(BitPack, MixedWidthStreamRoundTrip) {
   nu::BitWriter w;

@@ -1,0 +1,169 @@
+// numarck-bench-codec — records the codec's performance trajectory.
+//
+// Times encode_iteration / decode_iteration on the standard microbench
+// snapshot mixture (1<<17 points) across strategies and thread counts and
+// writes the results as JSON (default: BENCH_codec.json) so the repository
+// can track hot-path throughput across PRs. Usage:
+//
+//   numarck-bench-codec [output.json] [--points N] [--reps R]
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "numarck/core/codec.hpp"
+#include "numarck/util/rng.hpp"
+#include "numarck/util/thread_pool.hpp"
+
+namespace {
+
+using namespace numarck;
+
+std::pair<std::vector<double>, std::vector<double>> snapshots(std::size_t n) {
+  // Same mixture as bench/perf_microbench.cpp BM_EncodeIteration.
+  util::Pcg32 rng(42);
+  std::vector<double> prev(n), curr(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    prev[j] = rng.uniform(0.5, 5.0);
+    const double ratio = rng.uniform() < 0.9 ? rng.normal() * 0.005
+                                             : rng.uniform(-0.4, 0.4);
+    curr[j] = prev[j] * (1.0 + ratio);
+  }
+  return {std::move(prev), std::move(curr)};
+}
+
+template <typename Fn>
+double best_seconds(std::size_t reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string op;
+  std::string strategy;
+  std::size_t threads;
+  double seconds;
+  double mpoints_per_s;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_codec.json";
+  std::size_t n = std::size_t{1} << 17;
+  std::size_t reps = 5;
+  const auto count_arg = [&](const char* flag, int& i) -> std::size_t {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      std::exit(2);
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(argv[++i], &end, 10);
+    if (end == argv[i] || *end != '\0' || v == 0) {
+      std::fprintf(stderr, "%s wants a positive integer, got '%s'\n", flag,
+                   argv[i]);
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(v);
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--points") == 0) {
+      n = count_arg("--points", i);
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      reps = count_arg("--reps", i);
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const auto [prev, curr] = snapshots(n);
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  const core::Strategy strategies[] = {core::Strategy::kEqualWidth,
+                                       core::Strategy::kLogScale,
+                                       core::Strategy::kClustering};
+  std::vector<Row> rows;
+  for (const auto strategy : strategies) {
+    for (const std::size_t threads : thread_counts) {
+      util::ThreadPool pool(threads);
+      core::Options opts;
+      opts.strategy = strategy;
+      opts.pool = &pool;
+      core::EncodedIteration enc;
+      const double enc_s = best_seconds(
+          reps, [&] { enc = core::encode_iteration(prev, curr, opts); });
+      const double dec_s = best_seconds(
+          reps, [&] { (void)core::decode_iteration(prev, enc, &pool); });
+      const double mp = static_cast<double>(n) / 1e6;
+      rows.push_back(
+          {"encode", core::to_string(strategy), threads, enc_s, mp / enc_s});
+      rows.push_back(
+          {"decode", core::to_string(strategy), threads, dec_s, mp / dec_s});
+      std::fprintf(stderr, "%-7s %-12s t=%zu  %8.3f ms  %7.1f Mpt/s\n",
+                   "encode", core::to_string(strategy), threads, enc_s * 1e3,
+                   mp / enc_s);
+      std::fprintf(stderr, "%-7s %-12s t=%zu  %8.3f ms  %7.1f Mpt/s\n",
+                   "decode", core::to_string(strategy), threads, dec_s * 1e3,
+                   mp / dec_s);
+    }
+  }
+
+  // Speedup of each op/strategy at the highest thread count over threads=1.
+  auto find = [&](const std::string& op, const std::string& st,
+                  std::size_t t) -> const Row* {
+    for (const auto& r : rows) {
+      if (r.op == op && r.strategy == st && r.threads == t) return &r;
+    }
+    return nullptr;
+  };
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"benchmark\": \"codec\",\n";
+  out << "  \"points\": " << n << ",\n";
+  out << "  \"reps\": " << reps << ",\n";
+  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"op\": \"" << r.op << "\", \"strategy\": \"" << r.strategy
+        << "\", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+        << ", \"mpoints_per_s\": " << r.mpoints_per_s << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"speedup_8t_over_1t\": {\n";
+  bool first = true;
+  for (const char* op : {"encode", "decode"}) {
+    for (const auto strategy : strategies) {
+      const Row* t1 = find(op, core::to_string(strategy), 1);
+      const Row* t8 = find(op, core::to_string(strategy), 8);
+      if (!t1 || !t8) continue;
+      if (!first) out << ",\n";
+      first = false;
+      out << "    \"" << op << "/" << core::to_string(strategy)
+          << "\": " << t1->seconds / t8->seconds;
+    }
+  }
+  out << "\n  }\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
