@@ -69,7 +69,9 @@ int main() {
         ++storm_n;
       }
     }
-    o.storm_staleness = storm_n ? static_cast<double>(storm_sum) / storm_n : 0;
+    o.storm_staleness =
+        storm_n ? static_cast<double>(storm_sum) / static_cast<double>(storm_n)
+                : 0;
     return o;
   };
 
@@ -92,7 +94,9 @@ int main() {
         ++storm_n;
       }
     }
-    o.storm_staleness = storm_n ? static_cast<double>(storm_sum) / storm_n : 0;
+    o.storm_staleness =
+        storm_n ? static_cast<double>(storm_sum) / static_cast<double>(storm_n)
+                : 0;
     return o;
   };
 

@@ -186,7 +186,7 @@ void BM_BSplineCompress(benchmark::State& state) {
   util::Pcg32 rng(13);
   std::vector<double> v(1 << 14);
   for (std::size_t i = 0; i < v.size(); ++i) {
-    v[i] = std::sin(i * 0.001) + rng.normal() * 0.01;
+    v[i] = std::sin(static_cast<double>(i) * 0.001) + rng.normal() * 0.01;
   }
   baselines::BSplineCompressor comp(0.8);
   for (auto _ : state) {

@@ -1,0 +1,74 @@
+# Central warning / sanitizer / static-analysis flag configuration.
+#
+# Every compiled target links `numarck_warnings` (PRIVATE), so this file is
+# the single place the project's warning set lives. The sanitizer options are
+# mutually exclusive build flavours; CI builds one tree per flavour (see
+# .github/workflows/ci.yml and docs/ANALYSIS.md).
+
+# ---------------------------------------------------------------- warnings --
+add_library(numarck_warnings INTERFACE)
+target_compile_options(numarck_warnings INTERFACE
+  -Wall -Wextra -Wpedantic -Wshadow -Wconversion)
+if(NUMARCK_WERROR)
+  target_compile_options(numarck_warnings INTERFACE -Werror)
+endif()
+
+# --------------------------------------------------------------- sanitizers --
+set(_numarck_san_count 0)
+foreach(opt NUMARCK_SANITIZE NUMARCK_SANITIZE_THREAD NUMARCK_SANITIZE_UNDEFINED)
+  if(${opt})
+    math(EXPR _numarck_san_count "${_numarck_san_count} + 1")
+  endif()
+endforeach()
+if(_numarck_san_count GREATER 1)
+  message(FATAL_ERROR "NUMARCK_SANITIZE, NUMARCK_SANITIZE_THREAD and "
+                      "NUMARCK_SANITIZE_UNDEFINED are mutually exclusive")
+endif()
+
+if(NUMARCK_SANITIZE)
+  add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer -g)
+  add_link_options(-fsanitize=address,undefined)
+endif()
+if(NUMARCK_SANITIZE_THREAD)
+  add_compile_options(-fsanitize=thread -fno-omit-frame-pointer -g)
+  add_link_options(-fsanitize=thread)
+endif()
+if(NUMARCK_SANITIZE_UNDEFINED)
+  # Standalone UBSan flavour: unlike NUMARCK_SANITIZE it is not diluted by
+  # ASan's memory overhead and it refuses to recover, so the first UB hit
+  # fails the test run loudly. implicit-conversion is Clang-only.
+  set(_ubsan "undefined,float-cast-overflow")
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    string(APPEND _ubsan ",implicit-conversion")
+  endif()
+  add_compile_options(-fsanitize=${_ubsan} -fno-sanitize-recover=all
+                      -fno-omit-frame-pointer -g)
+  add_link_options(-fsanitize=${_ubsan} -fno-sanitize-recover=all)
+endif()
+
+# -------------------------------------------------------------- clang-tidy --
+# `cmake --build build --target tidy` runs run-clang-tidy over
+# compile_commands.json with the checked-in .clang-tidy. The target degrades
+# to a warning when clang-tidy is not installed (the container toolchain is
+# gcc-only; CI installs clang-tidy for the tidy job).
+find_program(NUMARCK_RUN_CLANG_TIDY
+  NAMES run-clang-tidy run-clang-tidy-19 run-clang-tidy-18 run-clang-tidy-17
+        run-clang-tidy-16 run-clang-tidy-15)
+find_program(NUMARCK_CLANG_TIDY
+  NAMES clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16
+        clang-tidy-15)
+if(NUMARCK_RUN_CLANG_TIDY AND NUMARCK_CLANG_TIDY)
+  add_custom_target(tidy
+    COMMAND ${NUMARCK_RUN_CLANG_TIDY}
+            -clang-tidy-binary ${NUMARCK_CLANG_TIDY}
+            -p ${CMAKE_BINARY_DIR} -quiet
+            "${CMAKE_SOURCE_DIR}/(src|tools|fuzz)/.*\\.cpp$"
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "clang-tidy over src/, tools/ and fuzz/ (fails on findings)"
+    VERBATIM USES_TERMINAL)
+else()
+  add_custom_target(tidy
+    COMMAND ${CMAKE_COMMAND} -E echo
+            "tidy: run-clang-tidy/clang-tidy not found in PATH - skipping"
+    COMMENT "clang-tidy unavailable")
+endif()

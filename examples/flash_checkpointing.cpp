@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
     }
     writer.close();
     std::printf("\nraw data: %.2f MB, checkpoint file: %.2f MB (%.1f%% saved)\n",
-                raw_bytes / 1048576.0, writer.bytes_written() / 1048576.0,
+                static_cast<double>(raw_bytes) / 1048576.0,
+                static_cast<double>(writer.bytes_written()) / 1048576.0,
                 metrics::compression_ratio_percent(raw_bytes,
                                                    writer.bytes_written()));
   }

@@ -1,0 +1,55 @@
+// Standalone replay driver for the fuzz harnesses.
+//
+// With Clang the harnesses link libFuzzer (-fsanitize=fuzzer) and this file
+// is not compiled. With other compilers this main makes every harness a
+// corpus-replay regression binary: each argument is a seed file or a
+// directory of seed files, and each input is fed to LLVMFuzzerTestOneInput
+// exactly once. CI and ctest run the checked-in corpora through this driver,
+// so the "malformed input never crashes" property is enforced even on
+// toolchains without libFuzzer.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open seed: %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  (void)LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  std::printf("ok: %s (%zu bytes)\n", path.c_str(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s SEED_FILE_OR_DIR...\n", argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path p(argv[i]);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (entry.is_regular_file()) rc |= run_file(entry.path());
+      }
+    } else {
+      rc |= run_file(p);
+    }
+  }
+  return rc;
+}

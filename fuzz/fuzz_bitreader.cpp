@@ -1,0 +1,39 @@
+// Fuzz target: BitReader's end-of-stream contract.
+//
+// The input's first bytes script a sequence of reads (width per read, plus a
+// starting bit offset); the remainder is the bit stream. The reader must
+// serve every scripted read from in-range bytes or throw — never read out of
+// bounds (ASan/UBSan would flag it) and never mis-track its cursor.
+#include <cstdint>
+
+#include "numarck/util/bitpack.hpp"
+#include "numarck/util/expect.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 4) return 0;
+  const std::size_t offset =
+      static_cast<std::size_t>(data[0]) | (static_cast<std::size_t>(data[1]) << 8);
+  const std::uint8_t* stream = data + 4;
+  const std::size_t stream_size = size - 4;
+  try {
+    numarck::util::BitReader at_offset(stream, stream_size, offset);
+    std::size_t remaining = at_offset.bits_remaining();
+    // Widths cycle through the script bytes; width 0 is clamped to 1.
+    for (std::size_t i = 0; i < 256; ++i) {
+      const unsigned width = 1u + data[2 + (i % 2)] % 32u;
+      const std::uint32_t v = at_offset.get(width);
+      if (width < 32 && v >= (1u << width)) __builtin_trap();
+      if (at_offset.bits_remaining() + width != remaining) __builtin_trap();
+      remaining = at_offset.bits_remaining();
+    }
+  } catch (const numarck::ContractViolation&) {
+    // Exhaustion or an out-of-range offset — the contract held.
+  }
+  try {
+    numarck::util::BitReader plain(stream, stream_size);
+    while (true) (void)plain.get_bit();
+  } catch (const numarck::ContractViolation&) {
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fuzz target: EncodedIteration::deserialize + decode_iteration.
+//
+// Contract under test: arbitrary bytes either deserialize into a record whose
+// invariants all hold — and then decode into exactly point_count values —
+// or raise ContractViolation. Any other escape (UB, OOM from a forged count,
+// std::bad_alloc, out-of-range index) crashes the harness and is a finding.
+#include <cstdint>
+#include <vector>
+
+#include "numarck/core/codec.hpp"
+#include "numarck/core/encoded.hpp"
+#include "numarck/util/expect.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  try {
+    const auto rec =
+        numarck::core::EncodedIteration::deserialize({data, size});
+    // A surviving record must decode cleanly against a matching snapshot.
+    // point_count is bounded by 8 * input size at deserialize time, so this
+    // allocation cannot exceed a small multiple of the input.
+    std::vector<double> prev(rec.point_count, 1.0);
+    const auto out = numarck::core::decode_iteration(prev, rec);
+    if (out.size() != rec.point_count) __builtin_trap();
+    // And it must re-serialize without tripping any writer contract.
+    (void)rec.serialize();
+  } catch (const numarck::ContractViolation&) {
+    // The one sanctioned rejection path for malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fuzz target: the canonical Huffman decoder.
+#include <cstdint>
+
+#include "numarck/lossless/huffman.hpp"
+#include "numarck/util/expect.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  try {
+    (void)numarck::lossless::huffman_decode({data, size});
+  } catch (const numarck::ContractViolation&) {
+  }
+  return 0;
+}

@@ -104,6 +104,10 @@ EncodedIteration EncodedIteration::deserialize(
   NUMARCK_EXPECT(e.index_bits >= 2 && e.index_bits <= 16,
                  "EncodedIteration: bad index width");
   e.strategy = static_cast<Strategy>(r.get_u8());
+  NUMARCK_EXPECT(e.strategy == Strategy::kEqualWidth ||
+                     e.strategy == Strategy::kLogScale ||
+                     e.strategy == Strategy::kClustering,
+                 "EncodedIteration: unknown strategy");
   e.predictor = static_cast<Predictor>(r.get_u8());
   NUMARCK_EXPECT(e.predictor == Predictor::kPrevious ||
                      e.predictor == Predictor::kLinear,
@@ -114,6 +118,13 @@ EncodedIteration EncodedIteration::deserialize(
                  "EncodedIteration: unknown stream flags");
   e.error_bound = r.get_f64();
   e.point_count = r.get_varint();
+  // Any legitimate record stores at least one bit per point: a compressible
+  // point costs >= 1 bit in the index stream (Huffman's floor) and an exact
+  // point costs >= 4 bits in the FPC stream. A forged count beyond this
+  // bound must be rejected here, before it can size the bitmap/stream
+  // allocations below.
+  NUMARCK_EXPECT(e.point_count <= bytes.size() * 8,
+                 "EncodedIteration: point count exceeds record capacity");
   e.centers = r.get_vector<double>();
   NUMARCK_EXPECT(e.centers.size() < (std::size_t{1} << e.index_bits),
                  "EncodedIteration: center table exceeds index space");
@@ -121,6 +132,8 @@ EncodedIteration EncodedIteration::deserialize(
   e.zeta = (flags & kFlagRleBitmap)
                ? lossless::rle_decode_bits(zeta_stream, e.point_count)
                : zeta_stream;
+  NUMARCK_EXPECT(e.zeta.size() >= (e.point_count + 7) / 8,
+                 "EncodedIteration: bitmap too small for point count");
   const auto idx_stream = r.get_vector<std::uint8_t>();
   const auto exact_stream = r.get_vector<std::uint8_t>();
   if (flags & kFlagFpcExact) {
@@ -129,13 +142,22 @@ EncodedIteration EncodedIteration::deserialize(
     util::ByteReader er(exact_stream);
     e.exact_values = er.get_vector<double>();
   }
+  NUMARCK_EXPECT(e.exact_values.size() <= e.point_count,
+                 "EncodedIteration: more exact values than points");
   if (flags & kFlagHuffmanIndices) {
     const auto symbols = lossless::huffman_decode(idx_stream);
     NUMARCK_EXPECT(symbols.size() == e.compressible_count(),
                    "EncodedIteration: index count mismatch after decode");
+    for (const std::uint32_t s : symbols) {
+      NUMARCK_EXPECT(s < (std::uint32_t{1} << e.index_bits),
+                     "EncodedIteration: decoded index exceeds width");
+    }
     e.indices = util::pack_indices(symbols, e.index_bits);
   } else {
     e.indices = idx_stream;
+    NUMARCK_EXPECT(e.indices.size() * 8 >=
+                       e.compressible_count() * std::size_t{e.index_bits},
+                   "EncodedIteration: index stream too small");
   }
   e.stats.total_points = r.get_varint();
   e.stats.below_threshold = r.get_varint();
@@ -145,8 +167,6 @@ EncodedIteration EncodedIteration::deserialize(
   e.stats.exact_out_of_bound = r.get_varint();
   e.stats.mean_ratio_error = r.get_f64();
   e.stats.max_ratio_error = r.get_f64();
-  NUMARCK_EXPECT(e.zeta.size() >= (e.point_count + 7) / 8,
-                 "EncodedIteration: bitmap too small for point count");
   return e;
 }
 

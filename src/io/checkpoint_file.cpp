@@ -104,56 +104,23 @@ void CheckpointWriter::close() {
 
 class CheckpointReader::Impl {
  public:
-  Impl(const std::string& path, TailPolicy policy) : path_(path) {
+  Impl(const std::string& path, TailPolicy policy) {
     std::ifstream in(path, std::ios::binary);
     NUMARCK_EXPECT(in.good(), "cannot open checkpoint file: " + path);
     in.seekg(0, std::ios::end);
     const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
     in.seekg(0);
-
-    // Header.
-    std::vector<std::uint8_t> buf(file_size);
-    in.read(reinterpret_cast<char*>(buf.data()),
+    buf_.resize(file_size);
+    in.read(reinterpret_cast<char*>(buf_.data()),
             static_cast<std::streamsize>(file_size));
     NUMARCK_EXPECT(in.gcount() == static_cast<std::streamsize>(file_size),
                    "checkpoint read failed");
-    util::ByteReader r(buf);
-    NUMARCK_EXPECT(r.get_u64() == kFileMagic, "not a NUMARCK checkpoint file");
-    NUMARCK_EXPECT(r.get_u32() == kVersion, "unsupported checkpoint version");
-    const std::size_t nvars = r.get_varint();
-    vars_.reserve(nvars);
-    for (std::size_t v = 0; v < nvars; ++v) vars_.push_back(r.get_string());
+    scan(policy);
+  }
 
-    // Record scan — build the (variable, iteration) -> offset index. Under
-    // kSalvage, structural damage ends the scan instead of throwing: the
-    // records before the damage stay readable (the torn-write recovery path).
-    while (!r.at_end()) {
-      try {
-        NUMARCK_EXPECT(r.get_u32() == kRecordMarker, "corrupt record marker");
-        RecordInfo info;
-        const std::size_t var_id = r.get_varint();
-        NUMARCK_EXPECT(var_id < vars_.size(),
-                       "record references unknown variable");
-        info.variable = vars_[var_id];
-        info.iteration = r.get_varint();
-        info.type = static_cast<RecordType>(r.get_u8());
-        info.sim_time = r.get_f64();
-        info.payload_size = r.get_varint();
-        info.payload_offset = r.position();
-        NUMARCK_EXPECT(r.remaining() >= info.payload_size + 4,
-                       "truncated checkpoint record");
-        // Skip payload + crc; verification happens on load().
-        std::vector<std::uint8_t> skip(info.payload_size + 4);
-        r.get_bytes(skip.data(), skip.size());
-        iterations_ = std::max(iterations_, info.iteration + 1);
-        times_[info.iteration] = info.sim_time;
-        index_[key(info.variable, info.iteration)] = info;
-      } catch (const numarck::ContractViolation&) {
-        if (policy == TailPolicy::kStrict) throw;
-        tail_damaged_ = true;
-        break;
-      }
-    }
+  Impl(std::span<const std::uint8_t> data, TailPolicy policy)
+      : buf_(data.begin(), data.end()) {
+    scan(policy);
   }
 
   [[nodiscard]] bool tail_damaged() const noexcept { return tail_damaged_; }
@@ -188,15 +155,13 @@ class CheckpointReader::Impl {
                                           std::size_t iteration) const {
     const auto inf = info(variable, iteration);
     NUMARCK_EXPECT(inf.has_value(), "checkpoint record not found: " + variable);
-    std::ifstream in(path_, std::ios::binary);
-    NUMARCK_EXPECT(in.good(), "cannot reopen checkpoint file: " + path_);
-    in.seekg(static_cast<std::streamoff>(inf->payload_offset));
+    // The scan validated payload_offset/payload_size + 4 trailing CRC bytes
+    // against buf_, so these slices are in range by construction.
+    util::ByteReader r(std::span<const std::uint8_t>(buf_).subspan(
+        inf->payload_offset, inf->payload_size + 4));
     std::vector<std::uint8_t> payload(inf->payload_size);
-    in.read(reinterpret_cast<char*>(payload.data()),
-            static_cast<std::streamsize>(payload.size()));
-    std::uint32_t crc_stored = 0;
-    in.read(reinterpret_cast<char*>(&crc_stored), sizeof crc_stored);
-    NUMARCK_EXPECT(in.good(), "checkpoint payload read failed");
+    r.get_bytes(payload.data(), payload.size());
+    const std::uint32_t crc_stored = r.get_u32();
     NUMARCK_EXPECT(util::crc32(payload.data(), payload.size()) == crc_stored,
                    "checkpoint payload CRC mismatch (torn write?)");
     core::CompressedStep step;
@@ -217,11 +182,66 @@ class CheckpointReader::Impl {
   }
 
  private:
+  // Parses the header + record stream of buf_ and builds the
+  // (variable, iteration) -> offset index. Under kSalvage, structural damage
+  // ends the scan instead of throwing: the records before the damage stay
+  // readable (the torn-write recovery path).
+  void scan(TailPolicy policy) {
+    util::ByteReader r(buf_);
+    NUMARCK_EXPECT(r.get_u64() == kFileMagic, "not a NUMARCK checkpoint file");
+    NUMARCK_EXPECT(r.get_u32() == kVersion, "unsupported checkpoint version");
+    const std::size_t nvars = r.get_varint();
+    NUMARCK_EXPECT(nvars >= 1 && nvars <= r.remaining(),
+                   "corrupt checkpoint variable table");
+    vars_.reserve(nvars);
+    for (std::size_t v = 0; v < nvars; ++v) vars_.push_back(r.get_string());
+
+    while (!r.at_end()) {
+      try {
+        NUMARCK_EXPECT(r.get_u32() == kRecordMarker, "corrupt record marker");
+        RecordInfo info;
+        const std::size_t var_id = r.get_varint();
+        NUMARCK_EXPECT(var_id < vars_.size(),
+                       "record references unknown variable");
+        info.variable = vars_[var_id];
+        info.iteration = r.get_varint();
+        // Writers emit iterations sequentially, so an honest iteration
+        // number never exceeds the records already scanned (plus slack for
+        // streams that start above zero). This keeps iteration_count() —
+        // and every `for it < iteration_count()` loop downstream — bounded
+        // by the file size instead of by a forged 2^60 varint.
+        NUMARCK_EXPECT(info.iteration <= index_.size() + 1024,
+                       "checkpoint iteration number out of range");
+        const std::uint8_t type = r.get_u8();
+        NUMARCK_EXPECT(type == static_cast<std::uint8_t>(RecordType::kFull) ||
+                           type == static_cast<std::uint8_t>(RecordType::kDelta),
+                       "unknown checkpoint record type");
+        info.type = static_cast<RecordType>(type);
+        info.sim_time = r.get_f64();
+        info.payload_size = r.get_varint();
+        info.payload_offset = r.position();
+        // Checked as two comparisons: payload_size + 4 could wrap.
+        NUMARCK_EXPECT(r.remaining() >= 4 &&
+                           info.payload_size <= r.remaining() - 4,
+                       "truncated checkpoint record");
+        // Skip payload + crc; verification happens on load().
+        r.skip(info.payload_size + 4);
+        iterations_ = std::max(iterations_, info.iteration + 1);
+        times_[info.iteration] = info.sim_time;
+        index_[key(info.variable, info.iteration)] = info;
+      } catch (const numarck::ContractViolation&) {
+        if (policy == TailPolicy::kStrict) throw;
+        tail_damaged_ = true;
+        break;
+      }
+    }
+  }
+
   static std::string key(const std::string& variable, std::size_t iteration) {
     return variable + "#" + std::to_string(iteration);
   }
 
-  std::string path_;
+  std::vector<std::uint8_t> buf_;
   std::vector<std::string> vars_;
   std::map<std::string, RecordInfo> index_;
   std::map<std::size_t, double> times_;
@@ -231,6 +251,10 @@ class CheckpointReader::Impl {
 
 CheckpointReader::CheckpointReader(const std::string& path, TailPolicy policy)
     : impl_(std::make_unique<Impl>(path, policy)) {}
+
+CheckpointReader::CheckpointReader(std::span<const std::uint8_t> data,
+                                   TailPolicy policy)
+    : impl_(std::make_unique<Impl>(data, policy)) {}
 
 bool CheckpointReader::tail_was_damaged() const noexcept {
   return impl_->tail_damaged();

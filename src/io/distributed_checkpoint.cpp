@@ -50,14 +50,28 @@ Manifest Manifest::load(const std::string& path) {
   in.seekg(0);
   in.read(reinterpret_cast<char*>(buf.data()),
           static_cast<std::streamsize>(buf.size()));
+  NUMARCK_EXPECT(in.gcount() == static_cast<std::streamsize>(buf.size()),
+                 "manifest read failed: " + path);
   util::ByteReader r(buf);
   NUMARCK_EXPECT(r.get_u64() == kManifestMagic, "not a NUMARCK manifest");
   Manifest m;
   m.ranks = r.get_varint();
+  // Every rank owns at least one trailing varint byte, so the file size
+  // bounds any honest rank count; forged counts die before the loops below.
+  NUMARCK_EXPECT(m.ranks >= 1 && m.ranks <= buf.size(),
+                 "manifest rank count out of range");
   const std::size_t nvars = r.get_varint();
+  NUMARCK_EXPECT(nvars >= 1 && nvars <= buf.size(),
+                 "manifest variable count out of range");
   for (std::size_t v = 0; v < nvars; ++v) m.variables.push_back(r.get_string());
+  std::size_t total = 0;
   for (std::size_t k = 0; k < m.ranks; ++k) {
-    m.partition_sizes.push_back(r.get_varint());
+    const std::size_t size = r.get_varint();
+    NUMARCK_EXPECT(size <= kMaxPartitionPoints &&
+                       total <= kMaxPartitionPoints - size,
+                   "manifest partition sizes out of range");
+    total += size;
+    m.partition_sizes.push_back(size);
   }
   return m;
 }
@@ -101,8 +115,9 @@ std::size_t DistributedRestartEngine::iteration_count() const {
 
 std::vector<double> DistributedRestartEngine::reconstruct_variable(
     const std::string& variable, std::size_t iteration) const {
+  // No reserve from the manifest's claimed total: sizes are only trusted
+  // after each rank's reconstruction confirms them below.
   std::vector<double> global;
-  global.reserve(manifest_.total_points());
   for (std::size_t k = 0; k < manifest_.ranks; ++k) {
     RestartEngine engine(*readers_[k]);
     const auto part = engine.reconstruct_variable(variable, iteration);

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,11 @@ enum class TailPolicy : std::uint8_t {
 class CheckpointReader {
  public:
   explicit CheckpointReader(const std::string& path,
+                            TailPolicy policy = TailPolicy::kStrict);
+
+  /// Parses an in-memory container image (the bytes a checkpoint file would
+  /// hold). Used by tooling and the fuzz harnesses; the data is copied.
+  explicit CheckpointReader(std::span<const std::uint8_t> data,
                             TailPolicy policy = TailPolicy::kStrict);
   ~CheckpointReader();
 

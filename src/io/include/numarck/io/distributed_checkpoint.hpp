@@ -18,6 +18,12 @@
 namespace numarck::io {
 
 struct Manifest {
+  /// Upper bound load() accepts for the sum of partition sizes (2^44 points
+  /// = 128 TiB of float64 state): large enough for any real deployment,
+  /// small enough that a forged manifest can't drive allocations or
+  /// overflow size arithmetic downstream.
+  static constexpr std::size_t kMaxPartitionPoints = std::size_t{1} << 44;
+
   std::size_t ranks = 0;
   std::vector<std::string> variables;
   /// partition_sizes[rank] = points held by that rank (same for every

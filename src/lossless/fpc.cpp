@@ -111,11 +111,13 @@ std::vector<double> fpc_decompress(std::span<const std::uint8_t> stream) {
   const std::size_t count = in.get_varint();
   const std::size_t hdr_size = in.get_varint();
   NUMARCK_EXPECT(hdr_size <= in.remaining(), "fpc: truncated header");
+  // Every value owns a 4-bit header entry, so a forged count larger than the
+  // header can describe is rejected before the output allocation.
+  NUMARCK_EXPECT(count <= hdr_size * 2, "fpc: count exceeds header capacity");
   const std::uint8_t* hdr_ptr = stream.data() + in.position();
   numarck::util::BitReader header(hdr_ptr, hdr_size);
   // Skip over the header region, then read the residual byte vector.
-  std::vector<std::uint8_t> skip(hdr_size);
-  in.get_bytes(skip.data(), hdr_size);
+  in.skip(hdr_size);
   const std::size_t res_size = in.get_varint();
   NUMARCK_EXPECT(res_size <= in.remaining(), "fpc: truncated residual");
   const std::uint8_t* res = stream.data() + in.position();

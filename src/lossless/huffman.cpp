@@ -190,6 +190,12 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> stream) 
   const std::size_t count = in.get_varint();
   const std::size_t payload_size = in.get_varint();
   NUMARCK_EXPECT(payload_size <= in.remaining(), "huffman: truncated payload");
+  // The payload carries 5 bits per alphabet entry followed by >= 1 bit per
+  // symbol; forged counts beyond that are rejected before any allocation.
+  NUMARCK_EXPECT(std::uint64_t{alphabet} * 5 <= std::uint64_t{payload_size} * 8,
+                 "huffman: truncated length table");
+  NUMARCK_EXPECT(count <= payload_size * 8,
+                 "huffman: count exceeds payload capacity");
   util::BitReader bits(stream.data() + in.position(), payload_size);
 
   std::vector<unsigned> lengths(alphabet);

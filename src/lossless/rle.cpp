@@ -36,17 +36,20 @@ std::vector<std::uint8_t> rle_decode_bits(std::span<const std::uint8_t> stream,
                                           std::size_t bit_count) {
   util::ByteReader in(stream);
   util::BitWriter w;
-  bool current = in.get_u8() != 0;
+  const std::uint8_t first = in.get_u8();
+  NUMARCK_EXPECT(first <= 1, "rle: bad initial bit value");
+  bool current = first != 0;
   std::uint64_t produced = 0;
   while (produced < bit_count) {
     NUMARCK_EXPECT(!in.at_end(), "rle: truncated run stream");
     const std::uint64_t run = in.get_varint();
-    NUMARCK_EXPECT(run > 0 && produced + run <= bit_count,
+    NUMARCK_EXPECT(run > 0 && run <= bit_count - produced,
                    "rle: run overflows bit count");
     for (std::uint64_t i = 0; i < run; ++i) w.put_bit(current);
     produced += run;
     current = !current;
   }
+  NUMARCK_EXPECT(in.at_end(), "rle: trailing bytes after final run");
   return w.finish();
 }
 

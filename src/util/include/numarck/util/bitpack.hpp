@@ -127,6 +127,10 @@ class BitSpanWriter {
   bool shared_head_ = false;
 };
 
+/// End-of-stream contract: every read checks against the byte range handed
+/// to the constructor and throws ContractViolation when the stream is
+/// exhausted — callers never need (and must not be trusted) to pre-compute
+/// how many bits are safe to read from untrusted input.
 class BitReader {
  public:
   BitReader(const std::uint8_t* data, std::size_t size_bytes)
@@ -134,12 +138,14 @@ class BitReader {
 
   /// Starts reading at an absolute bit offset (the parallel decoder seeks
   /// each worker's cursor from the same prefix sums the packer used).
+  /// The offset must lie within the stream.
   BitReader(const std::uint8_t* data, std::size_t size_bytes,
             std::size_t bit_offset)
       : data_(data), size_(size_bytes), pos_(bit_offset / 8) {
+    NUMARCK_EXPECT(bit_offset <= size_bytes * 8,
+                   "BitReader: offset past end of stream");
     const unsigned phase = static_cast<unsigned>(bit_offset % 8);
     if (phase != 0) {
-      NUMARCK_EXPECT(pos_ < size_, "BitReader: offset past end of stream");
       acc_ = static_cast<std::uint64_t>(data_[pos_++]) >> phase;
       nbits_ = 8 - phase;
     }

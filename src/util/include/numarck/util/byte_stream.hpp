@@ -22,9 +22,9 @@ class ByteWriter {
   template <typename T>
   void put(T v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const std::size_t off = buf_.size();
-    buf_.resize(off + sizeof(T));
-    std::memcpy(buf_.data() + off, &v, sizeof(T));
+    std::uint8_t raw[sizeof(T)];
+    std::memcpy(raw, &v, sizeof(T));
+    buf_.insert(buf_.end(), raw, raw + sizeof(T));
   }
 
   void put_u8(std::uint8_t v) { put(v); }
@@ -74,7 +74,7 @@ class ByteReader {
   template <typename T>
   [[nodiscard]] T get() {
     static_assert(std::is_trivially_copyable_v<T>);
-    NUMARCK_EXPECT(pos_ + sizeof(T) <= data_.size(), "ByteReader: truncated stream");
+    NUMARCK_EXPECT(sizeof(T) <= remaining(), "ByteReader: truncated stream");
     T v;
     std::memcpy(&v, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -94,6 +94,10 @@ class ByteReader {
       NUMARCK_EXPECT(pos_ < data_.size(), "ByteReader: truncated varint");
       NUMARCK_EXPECT(shift < 64, "ByteReader: varint overflow");
       const std::uint8_t b = data_[pos_++];
+      // At shift 63 only one bit of the payload is left; anything larger
+      // would be silently dropped by the shift.
+      NUMARCK_EXPECT(shift < 63 || (b & 0x7fu) <= 1u,
+                     "ByteReader: varint overflow");
       v |= static_cast<std::uint64_t>(b & 0x7fu) << shift;
       if (!(b & 0x80u)) return v;
       shift += 7;
@@ -101,13 +105,23 @@ class ByteReader {
   }
 
   void get_bytes(void* out, std::size_t size) {
-    NUMARCK_EXPECT(pos_ + size <= data_.size(), "ByteReader: truncated stream");
-    std::memcpy(out, data_.data() + pos_, size);
+    NUMARCK_EXPECT(size <= remaining(), "ByteReader: truncated stream");
+    // memcpy's pointer arguments must be non-null even for size 0, and an
+    // empty vector's data() is null.
+    if (size != 0) std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  /// Advances the cursor without copying.
+  void skip(std::size_t size) {
+    NUMARCK_EXPECT(size <= remaining(), "ByteReader: truncated stream");
     pos_ += size;
   }
 
   [[nodiscard]] std::string get_string() {
     const std::size_t n = get_varint();
+    // Length-checked before allocation: a forged count must not OOM.
+    NUMARCK_EXPECT(n <= remaining(), "ByteReader: truncated string");
     std::string s(n, '\0');
     get_bytes(s.data(), n);
     return s;
@@ -117,7 +131,9 @@ class ByteReader {
   [[nodiscard]] std::vector<T> get_vector() {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::size_t n = get_varint();
-    NUMARCK_EXPECT(pos_ + n * sizeof(T) <= data_.size(), "ByteReader: truncated vector");
+    // Divide instead of multiplying so a forged 2^60 count can neither
+    // overflow the size arithmetic nor reach the allocation below.
+    NUMARCK_EXPECT(n <= remaining() / sizeof(T), "ByteReader: truncated vector");
     std::vector<T> v(n);
     get_bytes(v.data(), n * sizeof(T));
     return v;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <future>
 #include <utility>
 #include <vector>
@@ -76,7 +77,18 @@ void parallel_chunks(ThreadPool& pool, const ChunkPlan& plan, Body&& body) {
     const auto [i0, i1] = plan.bounds(c);
     futs.push_back(pool.submit([c, i0, i1, &body] { body(c, i0, i1); }));
   }
-  for (auto& f : futs) f.get();
+  // Drain every future before rethrowing: unwinding while workers still
+  // reference the caller's locals (body captures them) would be UB. The
+  // first chunk's exception wins; later ones are joined and dropped.
+  std::exception_ptr err;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 /// Invokes body(i0, i1) on disjoint subranges covering [begin, end).
@@ -119,8 +131,19 @@ T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end, T init,
     const auto [i0, i1] = plan.bounds(c);
     futs.push_back(pool.submit([i0, i1, &partial] { return partial(i0, i1); }));
   }
+  // As in parallel_chunks: join every chunk before any rethrow so no worker
+  // outlives the locals its chunk captured.
+  std::exception_ptr err;
   T acc = std::move(init);
-  for (auto& f : futs) acc = combine(std::move(acc), f.get());
+  for (auto& f : futs) {
+    try {
+      T part = f.get();
+      if (!err) acc = combine(std::move(acc), std::move(part));
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
   return acc;
 }
 

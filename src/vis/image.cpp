@@ -17,8 +17,10 @@ void check_size(std::size_t field, std::size_t w, std::size_t h) {
 }
 
 std::uint8_t quantize(double t) {
-  return static_cast<std::uint8_t>(
-      std::clamp(t, 0.0, 1.0) * 255.0 + 0.5);
+  // clamp passes NaN through, and casting NaN to an integer is UB; map
+  // non-finite samples to black like the out-of-range low end.
+  if (!(t > 0.0)) return 0;
+  return static_cast<std::uint8_t>(std::min(t, 1.0) * 255.0 + 0.5);
 }
 
 }  // namespace

@@ -20,7 +20,8 @@ std::vector<double> smooth_snapshot(std::size_t n, double t,
   numarck::util::Pcg32 rng(seed);
   std::vector<double> v(n);
   for (std::size_t j = 0; j < n; ++j) {
-    v[j] = 2.0 + std::sin(0.001 * j + 0.3 * t) + rng.normal() * 1e-4;
+    v[j] = 2.0 + std::sin(0.001 * static_cast<double>(j) + 0.3 * t) +
+           rng.normal() * 1e-4;
   }
   return v;
 }
@@ -120,7 +121,9 @@ TEST(Drift, ExponentBitFlipStormRaisesAlarm) {
     const auto r = det.observe(prev, curr);
     const bool expect_alarm = it >= 12 && it <= 14;
     EXPECT_EQ(r.anomalous, expect_alarm) << "iteration " << it;
-    if (it == 12) EXPECT_GT(r.zscore, 6.0);
+    if (it == 12) {
+      EXPECT_GT(r.zscore, 6.0);
+    }
     prev = curr;
   }
 }
@@ -243,7 +246,9 @@ TEST(CompressedSummary, DriftDetectorWorksOnEncodedStream) {
     const auto enc = numarck::core::encode_iteration(prev, curr, opts);
     const auto r = det.observe(na::summary_from_encoded(enc));
     if (it >= 12 && it <= 14 && r.anomalous) alarmed_in_window = true;
-    if (it < 12) EXPECT_FALSE(r.anomalous) << "iteration " << it;
+    if (it < 12) {
+      EXPECT_FALSE(r.anomalous) << "iteration " << it;
+    }
     prev = curr;
   }
   EXPECT_TRUE(alarmed_in_window);

@@ -98,7 +98,8 @@ TEST(BandedSolve, NonSpdThrows) {
 
 TEST(BSplineFit, ReproducesLinearDataExactly) {
   std::vector<double> y(200);
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] = 3.0 + 0.5 * i;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] = 3.0 + 0.5 * static_cast<double>(i);
   nb::CubicBSplineBasis basis(20);
   const auto c = nb::fit_least_squares(basis, y);
   const auto back = nb::evaluate_uniform(basis, c, y.size());
@@ -109,7 +110,7 @@ TEST(BSplineFit, ReproducesCubicPolynomialExactly) {
   // A single cubic lies exactly in the spline space.
   std::vector<double> y(300);
   for (std::size_t i = 0; i < y.size(); ++i) {
-    const double u = i / 299.0;
+    const double u = static_cast<double>(i) / 299.0;
     y[i] = 1.0 - 2.0 * u + 3.0 * u * u - 0.7 * u * u * u;
   }
   nb::CubicBSplineBasis basis(15);
@@ -121,7 +122,7 @@ TEST(BSplineFit, ReproducesCubicPolynomialExactly) {
 TEST(BSplineFit, MoreCoefficientsReduceResidual) {
   std::vector<double> y(400);
   for (std::size_t i = 0; i < y.size(); ++i) {
-    y[i] = std::sin(12.0 * i / 399.0);
+    y[i] = std::sin(12.0 * static_cast<double>(i) / 399.0);
   }
   double prev = 1e300;
   for (std::size_t p : {6u, 12u, 24u, 48u}) {
@@ -138,7 +139,8 @@ TEST(BSplineFit, MoreCoefficientsReduceResidual) {
 
 TEST(BSplineCompressor, RatioIsExactlyTwentyPercentAtPaperSettings) {
   std::vector<double> y(1000);
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] = std::sin(i * 0.01);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] = std::sin(static_cast<double>(i) * 0.01);
   nb::BSplineCompressor comp(0.8);
   const auto c = comp.compress(y);
   EXPECT_DOUBLE_EQ(c.compression_ratio_percent(), 20.0);
@@ -146,7 +148,8 @@ TEST(BSplineCompressor, RatioIsExactlyTwentyPercentAtPaperSettings) {
 
 TEST(BSplineCompressor, SmoothDataReconstructsAccurately) {
   std::vector<double> y(2000);
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] = std::cos(i * 0.005) * 10.0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] = std::cos(static_cast<double>(i) * 0.005) * 10.0;
   nb::BSplineCompressor comp(0.8);
   const auto back = comp.decompress(comp.compress(y));
   EXPECT_GT(numarck::metrics::pearson(y, back), 0.999);
@@ -156,7 +159,7 @@ TEST(BSplineCompressor, NoisyDataDegradesButStaysCorrelated) {
   numarck::util::Pcg32 rng(12);
   std::vector<double> y(2000);
   for (std::size_t i = 0; i < y.size(); ++i) {
-    y[i] = std::sin(i * 0.01) + rng.normal() * 0.3;
+    y[i] = std::sin(static_cast<double>(i) * 0.01) + rng.normal() * 0.3;
   }
   nb::BSplineCompressor comp(0.8);
   const auto back = comp.decompress(comp.compress(y));

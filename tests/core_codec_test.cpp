@@ -570,7 +570,7 @@ std::pair<std::vector<double>, std::vector<double>> make_snapshots(
         ratio = (rng.uniform() < 0.5 ? -0.05 : 0.08) + rng.normal() * 0.002;
         break;
       case Shape::kSpikes:
-        ratio = (j % 4) * 0.025;
+        ratio = static_cast<double>(j % 4) * 0.025;
         break;
       case Shape::kWithZeros:
         if (j % 11 == 0) prev[j] = 0.0;
@@ -634,12 +634,13 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(4u, 8u, 10u),
         ::testing::Values(Shape::kGaussian, Shape::kHeavyTail, Shape::kBimodal,
                           Shape::kSpikes, Shape::kWithZeros)),
-    [](const ::testing::TestParamInfo<BoundCase>& info) {
+    [](const ::testing::TestParamInfo<BoundCase>& param_info) {
       std::string name =
-          std::string(nk::to_string(std::get<0>(info.param))) + "_E" +
-          std::to_string(static_cast<int>(std::get<1>(info.param) * 10000)) +
-          "_B" + std::to_string(std::get<2>(info.param)) + "_" +
-          shape_name(std::get<3>(info.param));
+          std::string(nk::to_string(std::get<0>(param_info.param))) + "_E" +
+          std::to_string(
+              static_cast<int>(std::get<1>(param_info.param) * 10000)) +
+          "_B" + std::to_string(std::get<2>(param_info.param)) + "_" +
+          shape_name(std::get<3>(param_info.param));
       for (auto& c : name) {
         if (c == '-') c = '_';
       }

@@ -35,7 +35,8 @@ std::vector<double> snap(std::size_t n, double t, std::uint64_t seed) {
   numarck::util::Pcg32 rng(seed);
   std::vector<double> v(n);
   for (std::size_t j = 0; j < n; ++j) {
-    v[j] = 1.0 + 0.1 * std::sin(0.01 * j + t) + rng.normal() * 1e-4;
+    v[j] = 1.0 + 0.1 * std::sin(0.01 * static_cast<double>(j) + t) +
+           rng.normal() * 1e-4;
   }
   return v;
 }

@@ -76,7 +76,7 @@ TEST(Huffman, ExtremeSkewStillBounded) {
   // One symbol appears once in a million-ish: depth capping must kick in
   // gracefully (no crash, exact round-trip).
   std::vector<std::uint32_t> syms(100000, 0);
-  for (std::size_t i = 0; i < 40; ++i) syms[i * 2500] = (i % 63) + 1;
+  for (std::uint32_t i = 0; i < 40; ++i) syms[i * 2500] = (i % 63) + 1;
   const auto enc = nl::huffman_encode(syms, 64);
   EXPECT_EQ(nl::huffman_decode(enc), syms);
 }

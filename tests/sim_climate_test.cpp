@@ -39,7 +39,8 @@ TEST(Noise, SmoothFieldIsSpatiallyCorrelated) {
       ++n;
     }
   }
-  EXPECT_LT(neighbor_diff / n, 0.3 * random_diff / n);
+  const double dn = static_cast<double>(n);
+  EXPECT_LT(neighbor_diff / dn, 0.3 * random_diff / dn);
 }
 
 TEST(Noise, Ar1StepKeepsVarianceStable) {
@@ -136,7 +137,9 @@ TEST(Generator, MrsosOceanIsZeroByDefaultAndFillOnRequest) {
   cfg.use_fill_values = true;
   ncl::Generator gf(ncl::Variable::kMrsos, cfg);
   for (std::size_t i = 0; i < f.size(); ++i) {
-    if (!mask[i]) EXPECT_DOUBLE_EQ(gf.current()[i], ncl::kFillValue);
+    if (!mask[i]) {
+      EXPECT_DOUBLE_EQ(gf.current()[i], ncl::kFillValue);
+    }
   }
 }
 
@@ -189,7 +192,8 @@ TEST(Generator, McIsNonNegativeAndItczPeaked) {
       ++np;
     }
   }
-  EXPECT_GT(tropics / nt, 3.0 * poles / np);
+  EXPECT_GT(tropics / static_cast<double>(nt),
+            3.0 * poles / static_cast<double>(np));
 }
 
 TEST(Generator, Abs550aerSmallPositive) {
@@ -218,7 +222,7 @@ TEST(Calibration, RlusMostChangesBelowHalfPercent) {
     }
     prev = curr;
   }
-  EXPECT_GT(static_cast<double>(small) / total, 0.75);
+  EXPECT_GT(static_cast<double>(small) / static_cast<double>(total), 0.75);
 }
 
 TEST(Calibration, RldsHasHeavyTails) {
@@ -249,7 +253,9 @@ TEST(Calibration, MrsosOceanCellsNeverChange) {
   const auto curr = g.advance();
   const auto& mask = g.land_mask();
   for (std::size_t j = 0; j < prev.size(); ++j) {
-    if (!mask[j]) EXPECT_DOUBLE_EQ(prev[j], curr[j]);
+    if (!mask[j]) {
+      EXPECT_DOUBLE_EQ(prev[j], curr[j]);
+    }
   }
 }
 
@@ -323,7 +329,8 @@ TEST(Generator, HussFollowsClausiusClapeyron) {
       ++np;
     }
   }
-  EXPECT_GT(tropics / nt, 4.0 * poles / np);
+  EXPECT_GT(tropics / static_cast<double>(nt),
+            4.0 * poles / static_cast<double>(np));
 }
 
 TEST(Calibration, PrNeedsScaleAwareSmallValueThreshold) {

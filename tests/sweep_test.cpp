@@ -129,8 +129,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ncl::Variable::kMc, ncl::Variable::kAbs550aer,
                       ncl::Variable::kTas, ncl::Variable::kPr,
                       ncl::Variable::kHuss),
-    [](const ::testing::TestParamInfo<ncl::Variable>& info) {
-      return std::string(ncl::to_string(info.param));
+    [](const ::testing::TestParamInfo<ncl::Variable>& param_info) {
+      return std::string(ncl::to_string(param_info.param));
     });
 
 // -------------------------------------------------- serialization sweep --

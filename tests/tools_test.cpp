@@ -6,9 +6,13 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <sys/wait.h>
 #include <unistd.h>
+#include <utility>
 #include <vector>
 
+#include "numarck/io/checkpoint_file.hpp"
 #include "numarck/metrics/metrics.hpp"
 #include "numarck/tools/cli.hpp"
 #include "numarck/util/expect.hpp"
@@ -34,7 +38,8 @@ std::vector<double> make_series(std::size_t points, std::size_t iterations) {
   for (std::size_t it = 0; it < iterations; ++it) {
     for (std::size_t j = 0; j < points; ++j) {
       raw.push_back(3.0 +
-                    std::sin(0.01 * static_cast<double>(j) + 0.2 * it));
+                    std::sin(0.01 * static_cast<double>(j) +
+                             0.2 * static_cast<double>(it)));
     }
   }
   return raw;
@@ -224,6 +229,115 @@ TEST(Tools, ParsePredictorNames) {
   EXPECT_EQ(nt::parse_predictor("linear"), numarck::core::Predictor::kLinear);
   EXPECT_THROW(nt::parse_predictor("cubic"), numarck::ContractViolation);
 }
+
+#if defined(NUMARCK_INSPECT_BIN) && defined(NUMARCK_RESTORE_BIN)
+
+namespace {
+
+/// Runs `cmd` (stderr folded into stdout), returning {exit status, output}.
+std::pair<int, std::string> run_cli(const std::string& cmd) {
+  FILE* pipe = ::popen((cmd + " 2>&1").c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string out;
+  char buf[256];
+  while (pipe && std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  const int status = pipe ? ::pclose(pipe) : -1;
+  return {WIFEXITED(status) ? WEXITSTATUS(status) : -1, out};
+}
+
+std::vector<char> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  std::vector<char> bytes(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void write_file_bytes(const std::string& path, const std::vector<char>& b) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(b.data(), static_cast<std::streamsize>(b.size()));
+}
+
+std::string make_checkpoint(const TempPath& input, const TempPath& ckpt) {
+  write_raw(input.str(), make_series(1024, 3));
+  nt::CompressJob job;
+  job.input_path = input.str();
+  job.output_path = ckpt.str();
+  job.points_per_iteration = 1024;
+  (void)nt::compress_file(job);
+  return ckpt.str();
+}
+
+}  // namespace
+
+TEST(ToolsCli, InspectRejectsTruncatedContainer) {
+  TempPath input("ctrin"), ckpt("ctrck");
+  const auto path = make_checkpoint(input, ckpt);
+  auto bytes = read_file_bytes(path);
+  bytes.resize(bytes.size() - bytes.size() / 3);
+  write_file_bytes(path, bytes);
+  const auto [rc, out] = run_cli(std::string(NUMARCK_INSPECT_BIN) + " " + path);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ToolsCli, InspectRejectsBitFlippedContainer) {
+  TempPath input("cbfin"), ckpt("cbfck");
+  const auto path = make_checkpoint(input, ckpt);
+  auto bytes = read_file_bytes(path);
+  // Flip one payload bit of the iteration-0 record: the scan still succeeds,
+  // so only the per-record CRC check in load() can catch it.
+  const numarck::io::CheckpointReader reader(path);
+  const auto info = reader.info(reader.variables().front(), 0);
+  ASSERT_TRUE(info.has_value());
+  bytes[static_cast<std::size_t>(info->payload_offset) + 1] ^= 0x10;
+  write_file_bytes(path, bytes);
+  const auto [rc, out] = run_cli(std::string(NUMARCK_INSPECT_BIN) + " " + path);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ToolsCli, RestoreRejectsTruncatedContainer) {
+  TempPath input("rtrin"), ckpt("rtrck"), out_path("rtrout");
+  const auto path = make_checkpoint(input, ckpt);
+  auto bytes = read_file_bytes(path);
+  bytes.resize(bytes.size() / 2);
+  write_file_bytes(path, bytes);
+  const auto [rc, out] =
+      run_cli(std::string(NUMARCK_RESTORE_BIN) + " --checkpoint " + path +
+              " --iteration 2 --output " + out_path.str());
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ToolsCli, RestoreRejectsBitFlippedContainer) {
+  TempPath input("rbfin"), ckpt("rbfck"), out_path("rbfout");
+  const auto path = make_checkpoint(input, ckpt);
+  auto bytes = read_file_bytes(path);
+  const numarck::io::CheckpointReader reader(path);
+  const auto info = reader.info(reader.variables().front(), 1);
+  ASSERT_TRUE(info.has_value());
+  bytes[static_cast<std::size_t>(info->payload_offset) + 2] ^= 0x04;
+  write_file_bytes(path, bytes);
+  const auto [rc, out] =
+      run_cli(std::string(NUMARCK_RESTORE_BIN) + " --checkpoint " + path +
+              " --iteration 2 --output " + out_path.str());
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ToolsCli, RestoreSucceedsOnIntactContainer) {
+  // Control: the same invocation exits 0 before corruption, proving the
+  // nonzero statuses above come from the damage, not the harness.
+  TempPath input("okin"), ckpt("okck"), out_path("okout");
+  const auto path = make_checkpoint(input, ckpt);
+  const auto [rc, out] =
+      run_cli(std::string(NUMARCK_RESTORE_BIN) + " --checkpoint " + path +
+              " --iteration 2 --output " + out_path.str());
+  EXPECT_EQ(rc, 0) << out;
+}
+
+#endif  // NUMARCK_INSPECT_BIN && NUMARCK_RESTORE_BIN
 
 TEST(Tools, CompressWithLinearPredictorRestores) {
   TempPath input("lin"), ckpt("linck"), out("linout");

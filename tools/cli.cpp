@@ -101,6 +101,10 @@ void inspect_file(const std::string& checkpoint_path, std::ostream& out) {
     for (std::size_t it = 0; it < reader.iteration_count(); ++it) {
       const auto info = reader.info(v, it);
       if (!info) continue;
+      // Full validation, not just the index: load() checks the payload CRC
+      // and deserializes delta records, so a bit-flipped container fails
+      // inspection instead of inspecting clean and failing at restart.
+      (void)reader.load(v, it);
       out << "  " << v << "  " << it << "    "
           << (info->type == io::RecordType::kFull ? "full " : "delta") << "  "
           << info->sim_time << "    " << info->payload_size << "\n";

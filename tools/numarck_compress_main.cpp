@@ -1,8 +1,8 @@
 // numarck-compress — compress a raw float64 iteration stream into a
 // NUMARCK checkpoint container.
 //
-//   numarck-compress --input run.f64 --output run.ckpt \
-//       --points 32768 [--error-bound 0.001] [--bits 8] \
+//   numarck-compress --input run.f64 --output run.ckpt
+//       --points 32768 [--error-bound 0.001] [--bits 8]
 //       [--strategy clustering] [--var dens] [--no-postpass]
 #include <cstdio>
 #include <cstdlib>
