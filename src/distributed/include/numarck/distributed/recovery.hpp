@@ -1,0 +1,42 @@
+// Survivor-side restart: the fallback a rank takes when a peer dies
+// mid-iteration (mpisim::RankFailedError). The surviving job reopens the
+// distributed checkpoint under TailPolicy::kSalvage, settles on the last
+// *globally* complete iteration — the victim's file may be torn at the
+// death point — and resumes from that state. This closes the loop of the
+// paper's resiliency story: NUMARCK's cheap incremental checkpoints make
+// "restart from the last iteration", rather than from a far older full
+// snapshot, affordable.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace numarck::distributed {
+
+struct RecoveryResult {
+  /// The iteration the state below corresponds to: the last one every rank
+  /// file holds completely.
+  std::size_t iteration = 0;
+
+  /// True when any rank file was torn, missing, or unreadable — i.e. the
+  /// restart really did salvage around damage rather than read a clean set.
+  bool degraded = false;
+
+  /// Recovered state per variable. With `rank` given: that rank's partition
+  /// (manifest offsets applied); without: the full global snapshot.
+  std::map<std::string, std::vector<double>> state;
+};
+
+/// Recovers the full global state from `<base>.rankK.ckpt` + manifest.
+/// Throws ContractViolation when no globally complete iteration exists
+/// (then only a cold start can help).
+RecoveryResult recover_from_checkpoint(const std::string& base);
+
+/// Same, but returns only `rank`'s partition of each variable — what a
+/// restarted rank feeds back into its compressor as the reference state.
+RecoveryResult recover_from_checkpoint(const std::string& base,
+                                       std::size_t rank);
+
+}  // namespace numarck::distributed

@@ -22,9 +22,10 @@ constexpr std::uint32_t kRecordMarker = 0x52454331u;  // "REC1"
 
 class CheckpointWriter::Impl {
  public:
-  Impl(const std::string& path, const std::vector<std::string>& variables)
-      : vars_(variables), out_(path, std::ios::binary | std::ios::trunc) {
-    NUMARCK_EXPECT(out_.good(), "cannot open checkpoint file for writing: " + path);
+  Impl(std::unique_ptr<ByteSink> sink,
+       const std::vector<std::string>& variables, Durability durability)
+      : vars_(variables), sink_(std::move(sink)), durability_(durability) {
+    NUMARCK_EXPECT(sink_ != nullptr, "checkpoint writer needs a sink");
     NUMARCK_EXPECT(!variables.empty(), "checkpoint needs at least one variable");
     util::ByteWriter hdr;
     hdr.put_u64(kFileMagic);
@@ -37,6 +38,7 @@ class CheckpointWriter::Impl {
   void append(const std::string& variable, std::size_t iteration,
               double sim_time, const core::CompressedStep& step,
               const core::Postpass& postpass) {
+    NUMARCK_EXPECT(!closed_, "append to a closed checkpoint writer");
     const auto it = std::find(vars_.begin(), vars_.end(), variable);
     NUMARCK_EXPECT(it != vars_.end(), "unknown variable: " + variable);
     const std::size_t var_id = static_cast<std::size_t>(it - vars_.begin());
@@ -56,36 +58,49 @@ class CheckpointWriter::Impl {
     write_raw(payload.data(), payload.size());
     const std::uint32_t crc = util::crc32(payload.data(), payload.size());
     write_raw(&crc, sizeof crc);
+    if (durability_ == Durability::kFsyncPerIteration) sink_->sync();
   }
 
   void close() {
-    if (out_.is_open()) {
-      out_.flush();
-      out_.close();
-    }
+    if (closed_) return;
+    closed_ = true;
+    if (durability_ != Durability::kNone) sink_->sync();
+    sink_->close();
   }
 
   [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
 
  private:
   void write_raw(const void* data, std::size_t size) {
-    out_.write(static_cast<const char*>(data),
-               static_cast<std::streamsize>(size));
-    NUMARCK_EXPECT(out_.good(), "checkpoint write failed");
+    sink_->write(data, size);
     bytes_ += size;
   }
 
   std::vector<std::string> vars_;
-  std::ofstream out_;
+  std::unique_ptr<ByteSink> sink_;
+  Durability durability_;
+  bool closed_ = false;
   std::uint64_t bytes_ = 0;
 };
 
 CheckpointWriter::CheckpointWriter(const std::string& path,
-                                   const std::vector<std::string>& variables)
-    : impl_(std::make_unique<Impl>(path, variables)) {}
+                                   const std::vector<std::string>& variables,
+                                   Durability durability)
+    : impl_(std::make_unique<Impl>(std::make_unique<FileSink>(path), variables,
+                                   durability)) {}
+
+CheckpointWriter::CheckpointWriter(std::unique_ptr<ByteSink> sink,
+                                   const std::vector<std::string>& variables,
+                                   Durability durability)
+    : impl_(std::make_unique<Impl>(std::move(sink), variables, durability)) {}
 
 CheckpointWriter::~CheckpointWriter() {
-  if (impl_) impl_->close();
+  // A destructor cannot surface I/O errors; paths that need the durability
+  // contract call close() and get the exception there.
+  try {
+    if (impl_) impl_->close();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
 }
 
 void CheckpointWriter::append(const std::string& variable, std::size_t iteration,

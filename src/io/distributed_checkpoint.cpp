@@ -1,15 +1,20 @@
 #include "numarck/io/distributed_checkpoint.hpp"
 
+#include <algorithm>
 #include <fstream>
 
+#include "numarck/io/durable_file.hpp"
 #include "numarck/util/byte_stream.hpp"
+#include "numarck/util/crc32.hpp"
 #include "numarck/util/expect.hpp"
 
 namespace numarck::io {
 
 namespace {
 constexpr std::uint64_t kManifestMagic = 0x4E4D4B4D414E4946ull;  // "NMKMANIF"
-}
+// Bytes before the CRC-covered body: magic (8) + crc32 (4).
+constexpr std::size_t kManifestBodyOffset = 12;
+}  // namespace
 
 std::size_t Manifest::total_points() const noexcept {
   std::size_t total = 0;
@@ -30,38 +35,45 @@ void Manifest::save(const std::string& path) const {
   NUMARCK_EXPECT(partition_sizes.size() == ranks,
                  "manifest partition table size mismatch");
   NUMARCK_EXPECT(!variables.empty(), "manifest needs variables");
+  util::ByteWriter body;
+  body.put_varint(ranks);
+  body.put_varint(variables.size());
+  for (const auto& v : variables) body.put_string(v);
+  for (auto s : partition_sizes) body.put_varint(s);
+
   util::ByteWriter w;
   w.put_u64(kManifestMagic);
-  w.put_varint(ranks);
-  w.put_varint(variables.size());
-  for (const auto& v : variables) w.put_string(v);
-  for (auto s : partition_sizes) w.put_varint(s);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  NUMARCK_EXPECT(out.good(), "cannot write manifest: " + path);
-  out.write(reinterpret_cast<const char*>(w.bytes().data()),
-            static_cast<std::streamsize>(w.size()));
-  NUMARCK_EXPECT(out.good(), "manifest write failed: " + path);
+  w.put_u32(util::crc32(body.bytes().data(), body.size()));
+  w.put_bytes(body.bytes().data(), body.size());
+
+  // Write-to-temp + fsync + rename: a crash at any point leaves either the
+  // previous manifest or the complete new one — never a torn hybrid.
+  const std::string tmp = path + ".tmp";
+  FileSink sink(tmp);
+  sink.write(w.bytes().data(), w.size());
+  sink.sync();
+  sink.close();
+  atomic_replace(tmp, path);
 }
 
-Manifest Manifest::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  NUMARCK_EXPECT(in.good(), "cannot open manifest: " + path);
-  std::vector<std::uint8_t> buf(static_cast<std::size_t>(in.tellg()));
-  in.seekg(0);
-  in.read(reinterpret_cast<char*>(buf.data()),
-          static_cast<std::streamsize>(buf.size()));
-  NUMARCK_EXPECT(in.gcount() == static_cast<std::streamsize>(buf.size()),
-                 "manifest read failed: " + path);
-  util::ByteReader r(buf);
+Manifest Manifest::parse(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
   NUMARCK_EXPECT(r.get_u64() == kManifestMagic, "not a NUMARCK manifest");
+  const std::uint32_t crc_stored = r.get_u32();
+  NUMARCK_EXPECT(data.size() > kManifestBodyOffset, "manifest has no body");
+  const std::uint32_t crc_actual =
+      util::crc32(data.data() + kManifestBodyOffset,
+                  data.size() - kManifestBodyOffset);
+  NUMARCK_EXPECT(crc_actual == crc_stored,
+                 "manifest CRC mismatch (torn write or forged manifest)");
   Manifest m;
   m.ranks = r.get_varint();
   // Every rank owns at least one trailing varint byte, so the file size
   // bounds any honest rank count; forged counts die before the loops below.
-  NUMARCK_EXPECT(m.ranks >= 1 && m.ranks <= buf.size(),
+  NUMARCK_EXPECT(m.ranks >= 1 && m.ranks <= data.size(),
                  "manifest rank count out of range");
   const std::size_t nvars = r.get_varint();
-  NUMARCK_EXPECT(nvars >= 1 && nvars <= buf.size(),
+  NUMARCK_EXPECT(nvars >= 1 && nvars <= data.size(),
                  "manifest variable count out of range");
   for (std::size_t v = 0; v < nvars; ++v) m.variables.push_back(r.get_string());
   std::size_t total = 0;
@@ -73,15 +85,29 @@ Manifest Manifest::load(const std::string& path) {
     total += size;
     m.partition_sizes.push_back(size);
   }
+  NUMARCK_EXPECT(r.at_end(), "trailing bytes after manifest");
   return m;
+}
+
+Manifest Manifest::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  NUMARCK_EXPECT(in.good(), "cannot open manifest: " + path);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  NUMARCK_EXPECT(in.gcount() == static_cast<std::streamsize>(buf.size()),
+                 "manifest read failed: " + path);
+  return parse(buf);
 }
 
 RankCheckpointWriter::RankCheckpointWriter(const std::string& base,
                                            std::size_t rank,
-                                           const Manifest& manifest) {
+                                           const Manifest& manifest,
+                                           Durability durability) {
   NUMARCK_EXPECT(rank < manifest.ranks, "rank outside the manifest");
   writer_ = std::make_unique<CheckpointWriter>(
-      Manifest::rank_path(base, rank), manifest.variables);
+      Manifest::rank_path(base, rank), manifest.variables, durability);
   if (rank == 0) manifest.save(Manifest::manifest_path(base));
 }
 
@@ -94,27 +120,72 @@ void RankCheckpointWriter::append(const std::string& variable,
 
 void RankCheckpointWriter::close() { writer_->close(); }
 
-DistributedRestartEngine::DistributedRestartEngine(const std::string& base)
+DistributedRestartEngine::DistributedRestartEngine(const std::string& base,
+                                                   TailPolicy policy)
     : manifest_(Manifest::load(Manifest::manifest_path(base))) {
   readers_.reserve(manifest_.ranks);
+  damage_.resize(manifest_.ranks);
   for (std::size_t k = 0; k < manifest_.ranks; ++k) {
-    readers_.push_back(
-        std::make_unique<CheckpointReader>(Manifest::rank_path(base, k)));
-    NUMARCK_EXPECT(readers_.back()->variables() == manifest_.variables,
-                   "rank file variable table disagrees with the manifest");
+    const std::string path = Manifest::rank_path(base, k);
+    RankDamage& dmg = damage_[k];
+    std::unique_ptr<CheckpointReader> reader;
+    try {
+      reader = std::make_unique<CheckpointReader>(path, policy);
+    } catch (const numarck::ContractViolation& e) {
+      if (policy == TailPolicy::kStrict) throw;
+      // Distinguish "no file" from "file whose header is garbage": both are
+      // unrecoverable for this rank, but operators triage them differently.
+      std::ifstream probe(path, std::ios::binary);
+      dmg.state =
+          probe.good() ? RankFileState::kUnreadable : RankFileState::kMissing;
+      dmg.detail = e.what();
+      readers_.push_back(nullptr);
+      continue;
+    }
+    if (reader->variables() != manifest_.variables) {
+      NUMARCK_EXPECT(policy != TailPolicy::kStrict,
+                     "rank file variable table disagrees with the manifest");
+      dmg.state = RankFileState::kUnreadable;
+      dmg.detail = "variable table disagrees with the manifest: " + path;
+      readers_.push_back(nullptr);
+      continue;
+    }
+    dmg.state = reader->tail_was_damaged() ? RankFileState::kTornTail
+                                           : RankFileState::kIntact;
+    dmg.last_complete = reader->last_complete_iteration();
+    readers_.push_back(std::move(reader));
   }
 }
 
-std::size_t DistributedRestartEngine::iteration_count() const {
-  std::size_t iters = readers_.front()->iteration_count();
-  for (const auto& r : readers_) {
-    iters = std::min(iters, r->iteration_count());
+std::optional<std::size_t> DistributedRestartEngine::last_complete_iteration()
+    const {
+  std::optional<std::size_t> global;
+  for (const auto& dmg : damage_) {
+    if (!dmg.last_complete.has_value()) return std::nullopt;
+    global = global ? std::min(*global, *dmg.last_complete)
+                    : *dmg.last_complete;
   }
-  return iters;
+  return global;
+}
+
+bool DistributedRestartEngine::degraded() const noexcept {
+  return std::any_of(damage_.begin(), damage_.end(), [](const RankDamage& d) {
+    return d.state != RankFileState::kIntact;
+  });
+}
+
+std::size_t DistributedRestartEngine::iteration_count() const {
+  const auto last = last_complete_iteration();
+  return last ? *last + 1 : 0;
 }
 
 std::vector<double> DistributedRestartEngine::reconstruct_variable(
     const std::string& variable, std::size_t iteration) const {
+  const auto last = last_complete_iteration();
+  NUMARCK_EXPECT(last.has_value(),
+                 "no globally complete checkpoint iteration to restart from");
+  NUMARCK_EXPECT(iteration <= *last,
+                 "iteration is beyond the last globally complete one");
   // No reserve from the manifest's claimed total: sizes are only trusted
   // after each rank's reconstruction confirms them below.
   std::vector<double> global;

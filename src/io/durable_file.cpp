@@ -1,0 +1,133 @@
+#include "numarck/io/durable_file.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::io {
+
+namespace {
+
+std::string errno_detail(const std::string& what, const std::string& path) {
+  return what + ": " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- FileSink --
+
+FileSink::FileSink(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  NUMARCK_EXPECT(fd_ >= 0,
+                 errno_detail("cannot open checkpoint file for writing", path_));
+}
+
+FileSink::~FileSink() {
+  // Last-resort cleanup only; callers that care about durability must call
+  // close() (or CheckpointWriter::close()) so failures are observable.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileSink::write(const void* data, std::size_t size) {
+  NUMARCK_EXPECT(fd_ >= 0, "write to closed checkpoint file: " + path_);
+  const char* p = static_cast<const char*>(data);
+  std::size_t left = size;
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      NUMARCK_EXPECT(false, errno_detail("checkpoint write failed", path_));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void FileSink::sync() {
+  NUMARCK_EXPECT(fd_ >= 0, "sync of closed checkpoint file: " + path_);
+  NUMARCK_EXPECT(::fsync(fd_) == 0, errno_detail("fsync failed", path_));
+}
+
+void FileSink::close() {
+  if (fd_ < 0) return;
+  const int fd = fd_;
+  fd_ = -1;  // even a failed close() leaves the descriptor unusable (POSIX)
+  NUMARCK_EXPECT(::close(fd) == 0,
+                 errno_detail("checkpoint close failed", path_));
+}
+
+// ------------------------------------------------------------- FaultyFile --
+
+FaultyFile::FaultyFile(std::unique_ptr<ByteSink> inner,
+                       std::shared_ptr<CrashBudget> budget, CrashMode mode)
+    : inner_(std::move(inner)), budget_(std::move(budget)), mode_(mode) {
+  NUMARCK_EXPECT(inner_ != nullptr, "FaultyFile needs an inner sink");
+  NUMARCK_EXPECT(budget_ != nullptr, "FaultyFile needs a crash budget");
+}
+
+void FaultyFile::die() {
+  dead_ = true;
+  if (mode_ == CrashMode::kSigkill) {
+    // The real thing: no unwinding, no flush, no destructors — the kernel
+    // reclaims the process with whatever bytes already hit the file.
+    (void)::raise(SIGKILL);
+  }
+  throw InjectedCrash("injected crash: write budget exhausted");
+}
+
+void FaultyFile::write(const void* data, std::size_t size) {
+  if (dead_) return;
+  const auto want = static_cast<std::int64_t>(size);
+  const std::int64_t before =
+      budget_->remaining.fetch_sub(want, std::memory_order_relaxed);
+  if (before >= want) {
+    inner_->write(data, size);
+    return;
+  }
+  // This write crosses the budget: land a byte-exact torn prefix, then die.
+  const std::size_t partial =
+      static_cast<std::size_t>(std::max<std::int64_t>(before, 0));
+  if (partial > 0) inner_->write(data, partial);
+  die();
+}
+
+void FaultyFile::sync() {
+  if (dead_) return;
+  inner_->sync();
+}
+
+void FaultyFile::close() {
+  if (dead_) return;
+  inner_->close();
+}
+
+// --------------------------------------------------------- atomic_replace --
+
+void atomic_replace(const std::string& tmp_path,
+                    const std::string& final_path) {
+  NUMARCK_EXPECT(std::rename(tmp_path.c_str(), final_path.c_str()) == 0,
+                 errno_detail("atomic rename failed", final_path));
+  // fsync the parent directory so the rename itself survives power loss.
+  const auto slash = final_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : final_path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    // Some filesystems refuse directory fsync (EINVAL); the rename is still
+    // atomic on crash-consistent filesystems, so tolerate that one case.
+    const int rc = ::fsync(dfd);
+    const int saved = errno;
+    (void)::close(dfd);
+    NUMARCK_EXPECT(rc == 0 || saved == EINVAL,
+                   errno_detail("directory fsync failed", dir));
+  }
+}
+
+}  // namespace numarck::io

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "numarck/core/compressor.hpp"
+#include "numarck/io/durable_file.hpp"
 
 namespace numarck::io {
 
@@ -43,8 +44,16 @@ struct RecordInfo {
 class CheckpointWriter {
  public:
   /// Creates/truncates `path` and writes the header for `variables`.
+  /// `durability` picks the fsync schedule (docs/RESILIENCE.md).
   CheckpointWriter(const std::string& path,
-                   const std::vector<std::string>& variables);
+                   const std::vector<std::string>& variables,
+                   Durability durability = Durability::kFsyncOnClose);
+
+  /// Writes through an explicit sink — the crash-injection harness wraps a
+  /// FileSink in a FaultyFile here to tear writes at exact byte offsets.
+  CheckpointWriter(std::unique_ptr<ByteSink> sink,
+                   const std::vector<std::string>& variables,
+                   Durability durability = Durability::kNone);
   ~CheckpointWriter();
 
   CheckpointWriter(const CheckpointWriter&) = delete;
@@ -52,12 +61,16 @@ class CheckpointWriter {
 
   /// Appends a compressed step for `variable` at checkpoint `iteration`.
   /// Delta records are serialized with `postpass` (the reader auto-detects
-  /// the stream coders from per-record flags).
+  /// the stream coders from per-record flags). Any I/O failure — ENOSPC,
+  /// EIO, a closed sink — throws ContractViolation naming the file; a
+  /// short write can never masquerade as success.
   void append(const std::string& variable, std::size_t iteration,
               double sim_time, const core::CompressedStep& step,
               const core::Postpass& postpass = core::Postpass::none());
 
-  /// Flushes and closes; called automatically by the destructor.
+  /// Syncs (per the durability policy) and closes, surfacing any deferred
+  /// I/O error. The destructor also closes but must swallow failures; call
+  /// close() explicitly wherever durability matters.
   void close();
 
   [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_; }

@@ -8,8 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,8 +35,17 @@ struct Manifest {
 
   [[nodiscard]] std::size_t total_points() const noexcept;
 
+  /// Atomic, durable publish: serializes with a CRC-protected header, writes
+  /// `path`.tmp, fsyncs it, then renames over `path` — a reader can never
+  /// observe a half-written manifest, and a forged or torn one fails the
+  /// CRC in load().
   void save(const std::string& path) const;
   static Manifest load(const std::string& path);
+
+  /// Parses a serialized manifest image; throws ContractViolation on any
+  /// damage (bad magic, CRC mismatch, forged counts, trailing bytes). The
+  /// untrusted-parser entry point the fuzz_manifest harness drives.
+  static Manifest parse(std::span<const std::uint8_t> data);
 
   /// Path of one rank's container file for a given base path.
   static std::string rank_path(const std::string& base, std::size_t rank);
@@ -45,7 +57,8 @@ struct Manifest {
 class RankCheckpointWriter {
  public:
   RankCheckpointWriter(const std::string& base, std::size_t rank,
-                       const Manifest& manifest);
+                       const Manifest& manifest,
+                       Durability durability = Durability::kFsyncOnClose);
 
   void append(const std::string& variable, std::size_t iteration,
               double sim_time, const core::CompressedStep& step,
@@ -56,17 +69,59 @@ class RankCheckpointWriter {
   std::unique_ptr<CheckpointWriter> writer_;
 };
 
-/// Reassembles global snapshots from all rank files of a distributed
-/// checkpoint.
+/// Condition of one rank's container file, as found at restart time.
+enum class RankFileState : std::uint8_t {
+  kIntact = 0,      ///< clean scan, no damage
+  kTornTail = 1,    ///< salvage stopped at a damaged record; prefix readable
+  kMissing = 2,     ///< the file does not exist / cannot be opened
+  kUnreadable = 3,  ///< header damage or a variable table that disagrees
+                    ///< with the manifest — nothing salvageable
+};
+
+/// Per-rank damage report entry (one per manifest rank).
+struct RankDamage {
+  RankFileState state = RankFileState::kIntact;
+  /// Latest iteration for which this rank holds every variable; nullopt for
+  /// missing/unreadable files or files with no complete iteration.
+  std::optional<std::size_t> last_complete;
+  std::string detail;  ///< human-readable cause for kMissing/kUnreadable
+};
+
+/// Reassembles global snapshots from the rank files of a distributed
+/// checkpoint. Under TailPolicy::kSalvage (the default — this is the
+/// restart path, where recovering is the whole point) torn and missing rank
+/// files degrade the restart instead of aborting it: construction always
+/// succeeds once the manifest loads, the damage is itemized per rank, and
+/// reconstruction is refused only when NO globally complete iteration
+/// exists. Under kStrict any damaged or absent rank file throws, as before.
 class DistributedRestartEngine {
  public:
-  explicit DistributedRestartEngine(const std::string& base);
+  explicit DistributedRestartEngine(const std::string& base,
+                                    TailPolicy policy = TailPolicy::kSalvage);
 
   [[nodiscard]] const Manifest& manifest() const noexcept { return manifest_; }
+
+  /// Iterations reconstructable end to end: last_complete_iteration()+1,
+  /// or 0 when nothing is globally complete.
   [[nodiscard]] std::size_t iteration_count() const;
 
+  /// Latest iteration every rank can reconstruct (min over ranks of the
+  /// per-rank last complete iteration) — the safe global restart target
+  /// after a node died mid-write. nullopt when any rank file is missing or
+  /// unreadable, or when some rank holds no complete iteration at all.
+  [[nodiscard]] std::optional<std::size_t> last_complete_iteration() const;
+
+  /// One entry per manifest rank, in rank order.
+  [[nodiscard]] const std::vector<RankDamage>& damage_report() const noexcept {
+    return damage_;
+  }
+
+  /// True when any rank file is torn, missing, or unreadable.
+  [[nodiscard]] bool degraded() const noexcept;
+
   /// Global snapshot of `variable` at `iteration`, partitions concatenated
-  /// in rank order.
+  /// in rank order. Throws ContractViolation when `iteration` is beyond
+  /// last_complete_iteration() (or nothing is complete).
   [[nodiscard]] std::vector<double> reconstruct_variable(
       const std::string& variable, std::size_t iteration) const;
 
@@ -76,6 +131,7 @@ class DistributedRestartEngine {
  private:
   Manifest manifest_;
   std::vector<std::unique_ptr<CheckpointReader>> readers_;
+  std::vector<RankDamage> damage_;
 };
 
 }  // namespace numarck::io

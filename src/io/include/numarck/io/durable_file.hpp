@@ -1,0 +1,125 @@
+// The durability layer under the checkpoint container: unbuffered
+// descriptor-backed sinks whose every failure is surfaced (a full disk or a
+// dying device must never look like a successful checkpoint), fsync policies
+// the writer can choose per deployment, and a crash-injection sink that
+// tears writes at an exact byte offset — the primitive the crash-resilience
+// harness (tools/numarck-crashtest) is built on.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace numarck::io {
+
+/// When the checkpoint writer forces its bytes to stable storage.
+enum class Durability : std::uint8_t {
+  /// Never fsync: fastest, but a node crash can lose everything still in the
+  /// page cache — only safe when a layer above replicates the data.
+  kNone = 0,
+  /// One fsync when the file is closed: a *clean* shutdown is durable; a
+  /// crash mid-run re-exposes the page-cache window.
+  kFsyncOnClose = 1,
+  /// fsync after every appended record (at least once per checkpoint
+  /// iteration): after append() returns, that record survives power loss.
+  /// The policy the paper's resiliency story assumes.
+  kFsyncPerIteration = 2,
+};
+
+/// Abstract byte-stream destination for checkpoint containers. All
+/// operations throw ContractViolation on I/O failure; none fail silently.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+
+  /// Appends `size` bytes; throws if the sink cannot take all of them.
+  virtual void write(const void* data, std::size_t size) = 0;
+
+  /// Forces previously written bytes to stable storage (fsync).
+  virtual void sync() = 0;
+
+  /// Releases the underlying resource; idempotent.
+  virtual void close() = 0;
+};
+
+/// POSIX-file sink. Unbuffered (every write() is a syscall), so nothing can
+/// linger in user-space buffers when the process dies, and every ENOSPC/EIO
+/// is observed at the write that caused it — with the failing path in the
+/// exception message.
+class FileSink final : public ByteSink {
+ public:
+  /// Creates/truncates `path`; throws ContractViolation when it cannot.
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  void write(const void* data, std::size_t size) override;
+  void sync() override;
+  void close() override;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Thrown by FaultyFile (kThrow mode) at the scheduled crash point. Derives
+/// from std::runtime_error, NOT ContractViolation: an injected crash is not
+/// a contract bug, and harnesses must be able to tell the two apart.
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Byte budget shared by every sink of one simulated process: the "process"
+/// dies when the total bytes written across all its files crosses the
+/// budget, exactly as a killed writer tears whichever file it happened to be
+/// writing.
+struct CrashBudget {
+  explicit CrashBudget(std::uint64_t bytes)
+      : remaining(static_cast<std::int64_t>(bytes)) {}
+  std::atomic<std::int64_t> remaining;
+};
+
+/// Crash-injection sink: forwards bytes to `inner` until the shared budget
+/// is exhausted; the write that crosses the budget is truncated to the
+/// remaining bytes (a torn record, byte-exact) and then the "process" dies —
+/// either by raising SIGKILL (fork-based trials: the real signal, the real
+/// kernel cleanup path) or by throwing InjectedCrash (deterministic
+/// in-process trials). After the crash point every further operation is
+/// silently dropped, as a dead process writes nothing more.
+class FaultyFile final : public ByteSink {
+ public:
+  enum class CrashMode : std::uint8_t {
+    kThrow = 0,    ///< throw InjectedCrash at the crash point
+    kSigkill = 1,  ///< raise(SIGKILL): for forked writer children
+  };
+
+  FaultyFile(std::unique_ptr<ByteSink> inner,
+             std::shared_ptr<CrashBudget> budget, CrashMode mode);
+
+  void write(const void* data, std::size_t size) override;
+  void sync() override;
+  void close() override;
+
+ private:
+  [[noreturn]] void die();
+
+  std::unique_ptr<ByteSink> inner_;
+  std::shared_ptr<CrashBudget> budget_;
+  CrashMode mode_;
+  bool dead_ = false;
+};
+
+/// Atomically publishes `tmp_path` as `final_path` (rename + parent
+/// directory fsync): readers see either the old file or the complete new
+/// one, never a half-written manifest.
+void atomic_replace(const std::string& tmp_path, const std::string& final_path);
+
+}  // namespace numarck::io

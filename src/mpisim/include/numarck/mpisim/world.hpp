@@ -16,6 +16,7 @@
 // movement* — the paper's currency — not just wall time.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -24,11 +25,42 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace numarck::mpisim {
 
 class World;
+
+/// Raised on a *surviving* rank when a peer it depends on has died (or a
+/// wait exceeded the world's timeout — indistinguishable from a hung peer).
+/// This is the node-death signal of the paper's resiliency story: instead
+/// of deadlocking in a collective that can never complete, every survivor
+/// gets this error and can fall back to restart-from-last-complete
+/// (distributed::recover_from_checkpoint).
+class RankFailedError : public std::runtime_error {
+ public:
+  RankFailedError(int rank, const std::string& what)
+      : std::runtime_error(what), rank_(rank) {}
+
+  /// The rank observed dead, or -1 when only the timeout fired.
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Deterministic node-death injection: kill `victim` when it begins its
+/// `at_op`-th communication operation (sends, recvs, and collective entries
+/// all count, per rank, starting at 0). The victim dies exactly as a killed
+/// process does: no further sends, no collective participation, no error
+/// handling of its own — survivors discover the death through
+/// RankFailedError on their next dependent operation.
+struct FaultPlan {
+  int victim = -1;        ///< rank to kill; -1 disables fault injection
+  std::size_t at_op = 0;  ///< operation index at which the victim dies
+};
 
 class Communicator {
  public:
@@ -79,7 +111,22 @@ class World {
 
   /// Runs rank_main once per rank, concurrently; returns when all ranks
   /// finish. Exceptions from any rank are collected and the first rethrown.
+  /// A rank killed by the fault plan is NOT an exception: its death is
+  /// recorded in failed_ranks() and run() returns normally once every other
+  /// rank finished (or raised RankFailedError through rank_main).
   void run(const std::function<void(Communicator&)>& rank_main);
+
+  /// Schedules a node death for the next run(). A world whose fault has
+  /// fired stays poisoned (all collectives fail fast); build a fresh World
+  /// to model the post-recovery job.
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// Upper bound on any blocking wait (default 10 s): a recv or collective
+  /// that cannot complete raises RankFailedError instead of hanging.
+  void set_timeout(std::chrono::milliseconds timeout);
+
+  /// Ranks that died under the fault plan, in the order they died.
+  [[nodiscard]] std::vector<int> failed_ranks() const;
 
   /// Total bytes moved between ranks so far (point-to-point + collectives).
   [[nodiscard]] std::uint64_t bytes_moved() const noexcept;
@@ -91,12 +138,24 @@ class World {
     std::deque<std::vector<std::uint8_t>> messages;
   };
 
+  // --- fault machinery ---
+  /// Counts an operation for `rank`; kills it (internal signal caught by
+  /// run()) when the fault plan says so.
+  void check_fault(int rank);
+  /// Throws RankFailedError when any rank has died (collectives can never
+  /// complete after a death). Caller holds mu_.
+  void throw_if_poisoned_locked(const char* what) const;
+  /// Waits on cv_ until `done` holds; throws RankFailedError on rank death
+  /// or timeout. Caller holds mu_ via `lk`.
+  void wait_or_fail(std::unique_lock<std::mutex>& lk,
+                    const std::function<bool()>& done, const char* what);
+
   // --- point to point ---
   void post(int source, int dest, int tag, std::vector<std::uint8_t> payload);
   std::vector<std::uint8_t> take(int source, int dest, int tag);
 
   // --- collectives ---
-  void enter_barrier();
+  void enter_barrier(int rank);
   /// Generic reduce-all: each rank contributes `local`; `combine` folds the
   /// contributions (associative); all ranks receive the result.
   std::vector<double> reduce_all(
@@ -122,6 +181,12 @@ class World {
   std::vector<double> coll_accum_;
   std::vector<std::vector<std::uint8_t>> coll_gather_;
   bool coll_has_accum_ = false;
+
+  // Fault state (guarded by mu_).
+  FaultPlan fault_plan_;
+  std::vector<std::size_t> ops_;    ///< per-rank communication op counter
+  std::vector<int> failed_ranks_;  ///< ranks killed by the fault plan
+  std::chrono::milliseconds timeout_{10000};
 
   std::uint64_t bytes_moved_ = 0;
 };

@@ -9,27 +9,55 @@
 
 namespace numarck::mpisim {
 
+namespace {
+
+/// Internal signal thrown on the victim rank at its scheduled death and
+/// caught by World::run — it models SIGKILL, so it must not be observable
+/// as an ordinary error by rank_main (user code catching ContractViolation
+/// or std::exception will not intercept it).
+struct RankKilled {};
+
+}  // namespace
+
 // ------------------------------------------------------------------ World --
 
 World::World(int size) : size_(size) {
   NUMARCK_EXPECT(size >= 1 && size <= 512, "world size out of [1,512]");
+  ops_.assign(static_cast<std::size_t>(size), 0);
 }
 
 World::~World() = default;
 
+void World::set_fault_plan(const FaultPlan& plan) {
+  NUMARCK_EXPECT(plan.victim < size_, "fault plan victim outside the world");
+  std::lock_guard<std::mutex> lk(mu_);
+  fault_plan_ = plan;
+}
+
+void World::set_timeout(std::chrono::milliseconds timeout) {
+  NUMARCK_EXPECT(timeout.count() > 0, "world timeout must be positive");
+  std::lock_guard<std::mutex> lk(mu_);
+  timeout_ = timeout;
+}
+
+std::vector<int> World::failed_ranks() const {
+  std::lock_guard<std::mutex> lk(const_cast<std::mutex&>(mu_));
+  return failed_ranks_;
+}
+
 void World::run(const std::function<void(Communicator&)>& rank_main) {
   std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(size_);
-  threads.reserve(size_);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([this, r, &rank_main, &errors] {
       Communicator comm(this, r);
       try {
         rank_main(comm);
+      } catch (const RankKilled&) {
+        // Scheduled node death: already recorded in failed_ranks_ by
+        // check_fault; a killed node reports nothing further.
       } catch (...) {
-        // NOTE: a rank that dies while peers wait in a collective would
-        // deadlock a real MPI job too; tests exercise failure paths outside
-        // collectives. The error is captured and rethrown after join.
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
     });
@@ -42,8 +70,44 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
 
 std::uint64_t World::bytes_moved() const noexcept { return bytes_moved_; }
 
+void World::check_fault(int rank) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const std::size_t op = ops_[static_cast<std::size_t>(rank)]++;
+  if (rank == fault_plan_.victim && op >= fault_plan_.at_op &&
+      std::find(failed_ranks_.begin(), failed_ranks_.end(), rank) ==
+          failed_ranks_.end()) {
+    failed_ranks_.push_back(rank);
+    cv_.notify_all();  // wake peers blocked on this rank
+    lk.unlock();
+    throw RankKilled{};
+  }
+}
+
+void World::throw_if_poisoned_locked(const char* what) const {
+  if (!failed_ranks_.empty()) {
+    const int dead = failed_ranks_.front();
+    throw RankFailedError(dead, std::string(what) + ": rank " +
+                                    std::to_string(dead) + " failed");
+  }
+}
+
+void World::wait_or_fail(std::unique_lock<std::mutex>& lk,
+                         const std::function<bool()>& done, const char* what) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  while (!done()) {
+    throw_if_poisoned_locked(what);
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout && !done()) {
+      throw_if_poisoned_locked(what);
+      throw RankFailedError(
+          -1, std::string(what) + " timed out after " +
+                  std::to_string(timeout_.count()) + " ms (hung peer?)");
+    }
+  }
+}
+
 void World::post(int source, int dest, int tag,
                  std::vector<std::uint8_t> payload) {
+  check_fault(source);
   std::lock_guard<std::mutex> lk(mu_);
   bytes_moved_ += payload.size();
   mailboxes_[{source, dest, tag}].messages.push_back(std::move(payload));
@@ -51,16 +115,34 @@ void World::post(int source, int dest, int tag,
 }
 
 std::vector<std::uint8_t> World::take(int source, int dest, int tag) {
+  check_fault(dest);
   std::unique_lock<std::mutex> lk(mu_);
   auto& box = mailboxes_[{source, dest, tag}];
-  cv_.wait(lk, [&] { return !box.messages.empty(); });
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  // A message posted before the sender died is still deliverable (matching
+  // MPI: the send completed); only an EMPTY box from a dead source fails.
+  while (box.messages.empty()) {
+    if (std::find(failed_ranks_.begin(), failed_ranks_.end(), source) !=
+        failed_ranks_.end()) {
+      throw RankFailedError(source, "recv: source rank " +
+                                        std::to_string(source) + " failed");
+    }
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        box.messages.empty()) {
+      throw RankFailedError(-1, "recv timed out after " +
+                                    std::to_string(timeout_.count()) +
+                                    " ms (hung peer?)");
+    }
+  }
   auto payload = std::move(box.messages.front());
   box.messages.pop_front();
   return payload;
 }
 
-void World::enter_barrier() {
+void World::enter_barrier(int rank) {
+  check_fault(rank);
   std::unique_lock<std::mutex> lk(mu_);
+  throw_if_poisoned_locked("barrier");
   const std::uint64_t gen = barrier_gen_;
   if (++barrier_waiting_ == size_) {
     barrier_waiting_ = 0;
@@ -68,16 +150,18 @@ void World::enter_barrier() {
     cv_.notify_all();
     return;
   }
-  cv_.wait(lk, [&] { return barrier_gen_ != gen; });
+  wait_or_fail(lk, [&] { return barrier_gen_ != gen; }, "barrier");
 }
 
 std::vector<double> World::reduce_all(
-    int, std::vector<double> local,
+    int rank, std::vector<double> local,
     const std::function<void(std::vector<double>&, const std::vector<double>&)>&
         combine) {
+  check_fault(rank);
   std::unique_lock<std::mutex> lk(mu_);
+  throw_if_poisoned_locked("allreduce");
   // Wait for the previous collective round to fully drain.
-  cv_.wait(lk, [&] { return coll_arrived_ < size_; });
+  wait_or_fail(lk, [&] { return coll_arrived_ < size_; }, "allreduce");
   const std::uint64_t gen = coll_gen_;
   bytes_moved_ += local.size() * sizeof(double);
   if (!coll_has_accum_) {
@@ -90,7 +174,8 @@ std::vector<double> World::reduce_all(
     coll_left_ = 0;
     cv_.notify_all();
   }
-  cv_.wait(lk, [&] { return coll_arrived_ == size_ && coll_gen_ == gen; });
+  wait_or_fail(lk, [&] { return coll_arrived_ == size_ && coll_gen_ == gen; },
+               "allreduce");
   std::vector<double> result = coll_accum_;
   bytes_moved_ += result.size() * sizeof(double);
   if (++coll_left_ == size_) {
@@ -116,11 +201,13 @@ std::vector<double> World::do_broadcast(int rank, std::vector<double> values,
 
 std::vector<std::vector<std::uint8_t>> World::do_gather(
     int rank, std::vector<std::uint8_t> payload, int root) {
+  check_fault(rank);
   std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return coll_arrived_ < size_; });
+  throw_if_poisoned_locked("gather");
+  wait_or_fail(lk, [&] { return coll_arrived_ < size_; }, "gather");
   const std::uint64_t gen = coll_gen_;
   if (coll_gather_.size() != static_cast<std::size_t>(size_)) {
-    coll_gather_.assign(size_, {});
+    coll_gather_.assign(static_cast<std::size_t>(size_), {});
   }
   bytes_moved_ += payload.size();
   coll_gather_[static_cast<std::size_t>(rank)] = std::move(payload);
@@ -128,7 +215,8 @@ std::vector<std::vector<std::uint8_t>> World::do_gather(
     coll_left_ = 0;
     cv_.notify_all();
   }
-  cv_.wait(lk, [&] { return coll_arrived_ == size_ && coll_gen_ == gen; });
+  wait_or_fail(lk, [&] { return coll_arrived_ == size_ && coll_gen_ == gen; },
+               "gather");
   std::vector<std::vector<std::uint8_t>> result;
   if (rank == root) result = coll_gather_;
   if (++coll_left_ == size_) {
@@ -170,7 +258,7 @@ std::vector<double> Communicator::recv_doubles(int source, int tag) {
   return values;
 }
 
-void Communicator::barrier() { world_->enter_barrier(); }
+void Communicator::barrier() { world_->enter_barrier(rank_); }
 
 double Communicator::allreduce_sum(double value) {
   return world_->reduce_all(rank_, {value},

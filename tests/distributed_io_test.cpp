@@ -139,7 +139,7 @@ TEST(DistributedIo, RankOutsideManifestThrows) {
                numarck::ContractViolation);
 }
 
-TEST(DistributedIo, MissingRankFileThrows) {
+TEST(DistributedIo, MissingRankFileThrowsUnderStrictDegradesUnderSalvage) {
   TempBase tmp("missingfile", 2);
   nio::Manifest m;
   m.ranks = 2;
@@ -153,7 +153,16 @@ TEST(DistributedIo, MissingRankFileThrows) {
     w0.append("x", 0, 0.0, comp.push(snapshot(50, 0.0)));
     w0.close();
   }
-  EXPECT_THROW(nio::DistributedRestartEngine{tmp.str()},
+  EXPECT_THROW(
+      nio::DistributedRestartEngine(tmp.str(), nio::TailPolicy::kStrict),
+      numarck::ContractViolation);
+  // The salvage default (this is a restart path) constructs, reports the
+  // missing rank, and refuses only the reconstruction itself.
+  nio::DistributedRestartEngine engine(tmp.str());
+  EXPECT_TRUE(engine.degraded());
+  EXPECT_EQ(engine.damage_report()[1].state, nio::RankFileState::kMissing);
+  EXPECT_FALSE(engine.last_complete_iteration().has_value());
+  EXPECT_THROW((void)engine.reconstruct_variable("x", 0),
                numarck::ContractViolation);
 }
 

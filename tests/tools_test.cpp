@@ -89,7 +89,7 @@ TEST(Tools, CompressInspectRestoreRoundTrip) {
   rjob.checkpoint_path = ckpt.str();
   rjob.output_path = output.str();
   rjob.iteration = iterations - 1;
-  EXPECT_EQ(nt::restore_file(rjob), points);
+  EXPECT_EQ(nt::restore_file(rjob).points, points);
 
   const auto restored = read_raw(output.str());
   const std::vector<double> truth(raw.end() - points, raw.end());
@@ -191,7 +191,7 @@ TEST(Tools, CompactKeepsStrideAndShrinks) {
   rjob.checkpoint_path = thin.str();
   rjob.output_path = input.str() + ".out";
   rjob.iteration = 2;
-  EXPECT_EQ(nt::restore_file(rjob), points);
+  EXPECT_EQ(nt::restore_file(rjob).points, points);
   const auto restored = read_raw(input.str() + ".out");
   const auto raw = make_series(points, iterations);
   const std::vector<double> truth(raw.end() - points, raw.end());
@@ -337,6 +337,36 @@ TEST(ToolsCli, RestoreSucceedsOnIntactContainer) {
   EXPECT_EQ(rc, 0) << out;
 }
 
+TEST(ToolsCli, RestoreSalvagesTornTailByDefault) {
+  // A torn final record models a crash mid-checkpoint. Without --iteration
+  // the tool restores the last complete iteration and exits 0 — restart
+  // must succeed precisely when the file is damaged.
+  TempPath input("slvin"), ckpt("slvck"), out_path("slvout");
+  const auto path = make_checkpoint(input, ckpt);
+  auto bytes = read_file_bytes(path);
+  bytes.resize(bytes.size() - 5);
+  write_file_bytes(path, bytes);
+  const auto [rc, out] =
+      run_cli(std::string(NUMARCK_RESTORE_BIN) + " --checkpoint " + path +
+              " --output " + out_path.str());
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("restored iteration 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("torn tail salvaged"), std::string::npos) << out;
+}
+
+TEST(ToolsCli, RestoreStrictRejectsTornTail) {
+  TempPath input("strin"), ckpt("strck"), out_path("strout");
+  const auto path = make_checkpoint(input, ckpt);
+  auto bytes = read_file_bytes(path);
+  bytes.resize(bytes.size() - 5);
+  write_file_bytes(path, bytes);
+  const auto [rc, out] =
+      run_cli(std::string(NUMARCK_RESTORE_BIN) + " --checkpoint " + path +
+              " --strict --output " + out_path.str());
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
 #endif  // NUMARCK_INSPECT_BIN && NUMARCK_RESTORE_BIN
 
 TEST(Tools, CompressWithLinearPredictorRestores) {
@@ -354,7 +384,7 @@ TEST(Tools, CompressWithLinearPredictorRestores) {
   rjob.checkpoint_path = ckpt.str();
   rjob.output_path = out.str();
   rjob.iteration = iterations - 1;
-  EXPECT_EQ(nt::restore_file(rjob), points);
+  EXPECT_EQ(nt::restore_file(rjob).points, points);
   const auto restored = read_raw(out.str());
   const std::vector<double> truth(raw.end() - points, raw.end());
   EXPECT_LT(numarck::metrics::max_relative_error(truth, restored), 0.01);

@@ -148,18 +148,31 @@ CompactReport compact_file(const CompactJob& job) {
   return report;
 }
 
-std::size_t restore_file(const RestoreJob& job) {
-  io::CheckpointReader reader(job.checkpoint_path);
+RestoreReport restore_file(const RestoreJob& job) {
+  io::CheckpointReader reader(
+      job.checkpoint_path,
+      job.strict ? io::TailPolicy::kStrict : io::TailPolicy::kSalvage);
   std::string variable = job.variable;
   if (variable.empty()) {
     NUMARCK_EXPECT(reader.variables().size() == 1,
                    "container has several variables; pass --var");
     variable = reader.variables().front();
   }
+  RestoreReport report;
+  report.tail_damaged = reader.tail_was_damaged();
+  report.last_complete = reader.last_complete_iteration();
+  if (job.iteration.has_value()) {
+    report.iteration = *job.iteration;
+  } else {
+    NUMARCK_EXPECT(report.last_complete.has_value(),
+                   "no complete iteration to restore: " + job.checkpoint_path);
+    report.iteration = *report.last_complete;
+  }
   io::RestartEngine engine(reader);
-  const auto snapshot = engine.reconstruct_variable(variable, job.iteration);
+  const auto snapshot = engine.reconstruct_variable(variable, report.iteration);
   write_doubles(job.output_path, snapshot);
-  return snapshot.size();
+  report.points = snapshot.size();
+  return report;
 }
 
 }  // namespace numarck::tools

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,12 +46,28 @@ struct RestoreJob {
   std::string checkpoint_path;
   std::string output_path;      ///< raw float64 snapshot written here
   std::string variable;         ///< empty = the container's only variable
-  std::size_t iteration = 0;
+  /// Iteration to restore; nullopt = the last complete iteration (the
+  /// restart-after-crash default).
+  std::optional<std::size_t> iteration;
+  /// Abort on any structural damage instead of salvaging the intact prefix.
+  /// Restore is a restart path, so salvage is the default; --strict turns
+  /// the tool into an integrity checker.
+  bool strict = false;
+};
+
+struct RestoreReport {
+  std::size_t points = 0;       ///< points written to output_path
+  std::size_t iteration = 0;    ///< iteration actually restored
+  bool tail_damaged = false;    ///< salvage dropped a torn tail
+  /// Latest iteration every variable has a record for (nullopt when even
+  /// the first one is damaged — nothing restorable).
+  std::optional<std::size_t> last_complete;
 };
 
 /// Reconstructs one variable at one iteration and writes it as raw float64.
-/// Returns the number of points written.
-std::size_t restore_file(const RestoreJob& job);
+/// Under salvage (default) a torn tail is reported, not fatal: the restore
+/// succeeds for any iteration at or before last_complete.
+RestoreReport restore_file(const RestoreJob& job);
 
 /// Parses a strategy name ("equal-width" | "log-scale" | "clustering").
 core::Strategy parse_strategy(const std::string& name);

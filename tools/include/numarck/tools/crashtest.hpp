@@ -1,0 +1,71 @@
+// Crash-injection trial harness behind `numarck-crashtest` and the
+// crash_resilience tests.
+//
+// Each trial simulates one node death during distributed checkpointing and
+// verifies the paper's resiliency contract end to end: restart recovers
+// exactly the last globally complete iteration, bit-identical to what the
+// decoder would have produced, within the configured error bound of the
+// original data — and refuses to fabricate anything beyond it.
+//
+// Three death mechanisms, from most surgical to most realistic:
+//   * injected  — the victim rank's file sink is a FaultyFile that throws
+//                 after an exact byte budget (in-process, byte-precise);
+//   * sigkill   — a forked child performs the write and SIGKILLs itself at
+//                 the byte budget (true process death: no unwinding, no
+//                 destructors, the kernel keeps whatever write(2)s landed);
+//   * world     — an mpisim FaultPlan kills one rank at a scheduled
+//                 collective; survivors observe RankFailedError and the
+//                 recovery path (distributed::recover_from_checkpoint) must
+//                 restore the state the dead rank last completed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace numarck::tools {
+
+struct CrashTrialConfig {
+  /// Checkpoint base: files land at <base>.rankK.ckpt / <base>.manifest.
+  std::string base;
+  std::size_t ranks = 3;
+  std::size_t points_per_rank = 96;
+  std::size_t iterations = 6;
+  double error_bound = 0.01;
+  /// Master seed: victim choice, crash budget, and the synthetic data all
+  /// derive from it, so any failing trial replays exactly.
+  std::uint64_t seed = 1;
+};
+
+struct CrashTrialResult {
+  std::size_t victim = 0;  ///< rank whose write was killed
+  /// Byte budget the crash fired at (injected/sigkill) or the victim's
+  /// scheduled operation index (world).
+  std::uint64_t crash_point = 0;
+  bool crash_fired = false;
+  /// The engine's recovered iteration; nullopt when the tear destroyed even
+  /// the first full record (a legitimate outcome — the trial then verifies
+  /// the engine *refuses* to reconstruct).
+  std::optional<std::size_t> recovered_iteration;
+  bool degraded = false;
+  /// Empty when every post-crash assertion held; otherwise what broke.
+  std::string failure;
+
+  [[nodiscard]] bool ok() const noexcept { return failure.empty(); }
+};
+
+/// In-process trial: FaultyFile throws InjectedCrash at the byte budget.
+CrashTrialResult run_injected_crash_trial(const CrashTrialConfig& cfg);
+
+/// Fork-and-SIGKILL trial: the child dies mid-write with no cleanup at all.
+CrashTrialResult run_sigkill_crash_trial(const CrashTrialConfig& cfg);
+
+/// mpisim node-death trial: FaultPlan kills one rank at a collective;
+/// verifies survivor error propagation plus checkpoint-based recovery.
+CrashTrialResult run_world_fault_trial(const CrashTrialConfig& cfg);
+
+/// Deletes the trial's checkpoint files (<base>.rank*.ckpt, manifest, tmp).
+void remove_trial_files(const CrashTrialConfig& cfg);
+
+}  // namespace numarck::tools

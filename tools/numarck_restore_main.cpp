@@ -1,8 +1,13 @@
 // numarck-restore — reconstruct one iteration from a checkpoint container
 // and write it as raw float64.
 //
-//   numarck-restore --checkpoint run.ckpt --iteration 7 --output snap.f64
-//                   [--var dens]
+//   numarck-restore --checkpoint run.ckpt --output snap.f64
+//                   [--iteration K] [--var dens] [--strict]
+//
+// This is the restart path, so damaged files salvage by default: without
+// --iteration the last complete iteration is restored, a torn tail is
+// reported on stderr, and the exit status is 0 whenever the salvage
+// succeeded. --strict restores the old any-damage-aborts behaviour.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -11,8 +16,10 @@
 
 namespace {
 const char* kUsage =
-    "usage: numarck-restore --checkpoint FILE --iteration K --output FILE\n"
-    "                       [--var NAME]\n";
+    "usage: numarck-restore --checkpoint FILE --output FILE\n"
+    "                       [--iteration K] [--var NAME] [--strict]\n"
+    "  --iteration K  restore iteration K (default: the last complete one)\n"
+    "  --strict       abort on any damage instead of salvaging the prefix\n";
 }
 
 int main(int argc, char** argv) {
@@ -34,6 +41,8 @@ int main(int argc, char** argv) {
       job.output_path = value();
     } else if (a == "--var") {
       job.variable = value();
+    } else if (a == "--strict") {
+      job.strict = true;
     } else if (a == "--help" || a == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
@@ -47,8 +56,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    const std::size_t n = numarck::tools::restore_file(job);
-    std::printf("restored %zu points to %s\n", n, job.output_path.c_str());
+    const auto report = numarck::tools::restore_file(job);
+    if (report.tail_damaged) {
+      std::fprintf(stderr,
+                   "warning: torn tail salvaged; last complete iteration is "
+                   "%zu\n",
+                   report.last_complete.value());
+    }
+    std::printf("restored iteration %zu (%zu points) to %s\n",
+                report.iteration, report.points, job.output_path.c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
