@@ -3,8 +3,10 @@
 //     paper's "prior-knowledge from the equal-width histogram") vs naive
 //     bin-center seeding vs exact data quantiles;
 //  2. engine — O(nk) parallel Lloyd vs the exact O((n+k)·iter) sorted
-//     boundary specialization;
-//  3. Lloyd iteration budget.
+//     boundary specialization vs the O(n + (H+k)·iter) histogram-compressed
+//     engine (resolution-bounded, see kmeans1d.hpp);
+//  3. Lloyd iteration budget;
+//  4. histogram resolution H — the kHistogramLloyd exactness knob.
 // Reported: incompressible ratio achieved by the resulting NUMARCK encode,
 // K-means inertia, and wall time.
 #include <cstdio>
@@ -79,6 +81,7 @@ int main() {
   const std::pair<cluster::KMeansEngine, const char*> engines[] = {
       {cluster::KMeansEngine::kLloydParallel, "lloyd-parallel O(nk)"},
       {cluster::KMeansEngine::kSortedBoundary, "sorted-boundary"},
+      {cluster::KMeansEngine::kHistogramLloyd, "histogram-lloyd"},
   };
   for (const auto& [engine, name] : engines) {
     cluster::KMeansOptions o;
@@ -105,10 +108,31 @@ int main() {
                 r.inertia);
   }
 
+  std::printf("\n--- 4. histogram resolution H (histogram-lloyd engine) ---\n");
+  std::printf("%8s | %10s | %12s | %9s\n", "H", "gamma%", "inertia", "time ms");
+  for (std::size_t bins : {std::size_t{1} << 10, std::size_t{1} << 12,
+                           std::size_t{1} << 14, std::size_t{1} << 16,
+                           std::size_t{1} << 18}) {
+    cluster::KMeansOptions o;
+    o.k = 255;
+    o.engine = cluster::KMeansEngine::kHistogramLloyd;
+    o.histogram_bins = bins;
+    o.max_iterations = 30;
+    util::Timer t;
+    const auto r = cluster::kmeans1d(ratios, o);
+    const double ms = t.milliseconds();
+    std::printf("%8zu | %10.3f | %12.6g | %9.2f\n", bins,
+                100.0 * gamma_with_centers(ratios, r.centroids, 0.001),
+                r.inertia, ms);
+  }
+
   std::printf("\nconclusions: density-quantile seeding is what makes the\n"
               "clustering strategy adaptive (naive bin-center seeding degrades\n"
               "to ~equal-width); the sorted-boundary engine reaches the same\n"
-              "fixpoint at a fraction of the O(nk) cost; a handful of Lloyd\n"
-              "iterations already captures most of the benefit.\n");
+              "fixpoint at a fraction of the O(nk) cost; the histogram engine\n"
+              "matches both once H makes the bin width small against E (the\n"
+              "default 64k bins), at a per-iteration cost independent of n;\n"
+              "a handful of Lloyd iterations already captures most of the\n"
+              "benefit.\n");
   return 0;
 }

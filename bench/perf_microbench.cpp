@@ -126,13 +126,17 @@ void BM_KMeans(benchmark::State& state) {
   }
   state.SetLabel(o.engine == cluster::KMeansEngine::kLloydParallel
                      ? "lloyd-parallel"
-                     : "sorted-boundary");
+                     : (o.engine == cluster::KMeansEngine::kSortedBoundary
+                            ? "sorted-boundary"
+                            : "histogram-lloyd"));
 }
 BENCHMARK(BM_KMeans)
     ->Args({1 << 14, 0})
     ->Args({1 << 14, 1})
+    ->Args({1 << 14, 2})
     ->Args({1 << 17, 0})
-    ->Args({1 << 17, 1});
+    ->Args({1 << 17, 1})
+    ->Args({1 << 17, 2});
 
 void BM_Histogram(benchmark::State& state) {
   util::Pcg32 rng(9);

@@ -40,6 +40,57 @@ LocalPass local_assign(std::span<const double> xs,
   return a;
 }
 
+/// kHistogramLloyd path: fold the local slice into a WeightedHistogram over
+/// the already-agreed global [lo, hi], merge the three moment arrays with a
+/// single summing allreduce, then run the deterministic weighted Lloyd
+/// locally on every rank — no further collectives.
+KMeansResult distributed_histogram_lloyd(mpisim::Communicator& comm,
+                                         std::span<const double> local,
+                                         const DistributedKMeansOptions& opts,
+                                         double lo, double hi) {
+  KMeansOptions ko;
+  ko.k = opts.k;
+  ko.max_iterations = opts.max_iterations;
+  ko.tolerance = opts.tolerance;
+  ko.histogram_bins = opts.histogram_bins;
+  const std::size_t bins = opts.histogram_bins
+                               ? opts.histogram_bins
+                               : std::min<std::size_t>(
+                                     std::max<std::size_t>(64 * opts.k, 4096),
+                                     std::size_t{1} << 18);
+  // Local fold. Ranks with no data still contribute a zero histogram so the
+  // allreduce stays collective.
+  WeightedHistogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.width = (hi - lo) / static_cast<double>(bins);
+  h.count.assign(bins, 0.0);
+  h.sum.assign(bins, 0.0);
+  h.sumsq.assign(bins, 0.0);
+  const double inv_width = static_cast<double>(bins) / (hi - lo);
+  for (double x : local) {
+    const double est = (x - lo) * inv_width;
+    const std::size_t b =
+        est <= 0.0 ? 0 : std::min(bins - 1, static_cast<std::size_t>(est));
+    h.count[b] += 1.0;
+    h.sum[b] += x;
+    h.sumsq[b] += x * x;
+  }
+  // One collective: [count | sum | sumsq].
+  std::vector<double> packed;
+  packed.reserve(3 * bins);
+  packed.insert(packed.end(), h.count.begin(), h.count.end());
+  packed.insert(packed.end(), h.sum.begin(), h.sum.end());
+  packed.insert(packed.end(), h.sumsq.begin(), h.sumsq.end());
+  const auto global = comm.allreduce_sum(std::span<const double>(packed));
+  h.count.assign(global.begin(), global.begin() + static_cast<std::ptrdiff_t>(bins));
+  h.sum.assign(global.begin() + static_cast<std::ptrdiff_t>(bins),
+               global.begin() + static_cast<std::ptrdiff_t>(2 * bins));
+  h.sumsq.assign(global.begin() + static_cast<std::ptrdiff_t>(2 * bins),
+                 global.end());
+  return weighted_histogram_lloyd(h, ko);
+}
+
 }  // namespace
 
 KMeansResult distributed_kmeans1d(mpisim::Communicator& comm,
@@ -64,6 +115,10 @@ KMeansResult distributed_kmeans1d(mpisim::Communicator& comm,
     const double pad = (std::abs(lo) + 1.0) * 1e-12;
     lo -= pad;
     hi += pad;
+  }
+
+  if (opts.engine == KMeansEngine::kHistogramLloyd) {
+    return distributed_histogram_lloyd(comm, local, opts, lo, hi);
   }
 
   // --- density-weighted seeding from a global equal-width histogram -----

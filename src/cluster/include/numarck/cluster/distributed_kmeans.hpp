@@ -11,6 +11,15 @@
 // Every rank therefore holds identical centroids at every step, and the
 // result is bitwise-identical to the shared-memory kLloydParallel engine on
 // the concatenated data (a property the tests assert).
+//
+// With engine == kHistogramLloyd the per-iteration collectives disappear
+// entirely: each rank folds its slice into a local WeightedHistogram over the
+// global [min, max], ONE summing allreduce merges the three moment arrays,
+// and every rank then runs the identical deterministic weighted Lloyd on the
+// global histogram — zero further communication regardless of iteration
+// count. Every rank returns the identical result (weighted Lloyd is a pure
+// function of the allreduced histogram), matching the shared-memory
+// kHistogramLloyd engine up to the summation order of the bin moments.
 #pragma once
 
 #include <span>
@@ -25,6 +34,12 @@ struct DistributedKMeansOptions {
   std::size_t max_iterations = 30;
   double tolerance = 1e-12;
   std::size_t seed_histogram_bins = 0;  ///< 0 = max(4k, 256), as serial
+  /// kLloydParallel = allreduce-per-iteration exact Lloyd (paper's MPI shape);
+  /// kHistogramLloyd = one histogram allreduce, then local weighted Lloyd.
+  /// kSortedBoundary has no distributed analogue and maps to kLloydParallel.
+  KMeansEngine engine = KMeansEngine::kLloydParallel;
+  /// kHistogramLloyd resolution H; 0 = serial engine default.
+  std::size_t histogram_bins = 0;
 };
 
 /// Runs K-means over the union of all ranks' `local` slices. Must be called

@@ -4,7 +4,7 @@
 // The paper runs its own MPI parallel K-means over the change ratios with
 // k = 2^B - 1 clusters, seeding the centroids from the equal-width histogram
 // "to achieve more reliable segmentation results". This module reproduces
-// that algorithm on a shared-memory substrate with two interchangeable
+// that algorithm on a shared-memory substrate with three interchangeable
 // engines:
 //
 //  * kLloydParallel — textbook Lloyd iteration; the assignment step is a
@@ -16,8 +16,22 @@
 //    because nearest-centroid regions in 1-D are intervals delimited by
 //    centroid midpoints, each Lloyd step reduces to k binary searches over
 //    the sorted array plus prefix-sum lookups, costing O(k log n) instead of
-//    O(n k). Both engines compute identical Lloyd fixpoints; the ablation
+//    O(n k). Reaches the same Lloyd fixpoint as kLloydParallel; the ablation
 //    bench (bench/ablation_kmeans) quantifies the gap.
+//
+//  * kHistogramLloyd — histogram-compressed Lloyd: one parallel O(n) pass
+//    folds the data into a fine fixed-resolution weighted histogram (per-bin
+//    population, Σx and Σx², see WeightedHistogram), then Lloyd runs over the
+//    H bins via prefix sums, so every iteration costs O(H + k) regardless of
+//    n. Exactness bound: with bin width w = (max−min)/H, a bin's points are
+//    within w/2 of its center, so the bin-granular assignment picks for every
+//    point a centroid at most w farther than its true nearest; it can differ
+//    from the exact partition only for points within w of a boundary
+//    midpoint. Centroids are exact means (true Σx, not quantized positions)
+//    of that w-perturbed partition, and the reported inertia satisfies
+//    inertia_exact <= inertia_hist <= Σ_j (d_exact(x_j) + w)². Pick H so that
+//    w is far below the user error bound E and the gap is invisible (the
+//    default 64·k bins gives w ≈ range/16k at B = 8).
 #pragma once
 
 #include <cstddef>
@@ -32,6 +46,7 @@ namespace numarck::cluster {
 enum class KMeansEngine : std::uint8_t {
   kLloydParallel,    ///< O(n k) per iteration, thread-parallel assignment
   kSortedBoundary,   ///< O(n log n) once + O(k log n) per iteration, exact
+  kHistogramLloyd,   ///< O(n) once + O(H + k) per iteration, resolution-bounded
 };
 
 enum class KMeansInit : std::uint8_t {
@@ -54,6 +69,9 @@ struct KMeansOptions {
   double tolerance = 1e-12;       ///< max centroid shift to declare convergence
   KMeansEngine engine = KMeansEngine::kSortedBoundary;
   KMeansInit init = KMeansInit::kEqualWidthHistogram;
+  /// kHistogramLloyd resolution H; 0 = max(64 k, 4096) capped at 2^18. Bin
+  /// width w = range/H is the engine's exactness knob (see file header).
+  std::size_t histogram_bins = 0;
   numarck::util::ThreadPool* pool = nullptr;  ///< null -> process-global pool
 };
 
@@ -70,8 +88,48 @@ struct KMeansResult {
 /// centroid; clusters still empty at convergence are dropped from the result.
 KMeansResult kmeans1d(std::span<const double> xs, const KMeansOptions& opts);
 
-/// Index of the nearest centroid (centroids must be sorted ascending).
-/// O(log k); ties resolve to the lower centroid.
-std::size_t nearest_centroid(std::span<const double> centroids, double x) noexcept;
+/// Index of the nearest centroid (centroids must be sorted ascending and
+/// non-empty — an empty table throws ContractViolation; there is no valid
+/// index to return). O(log k). Tie-break: a point exactly at the midpoint of
+/// two adjacent centroids resolves to the LOWER centroid — the comparison is
+/// (x - lo) <= (hi - x), and BinLookup / the sorted-boundary engine use the
+/// same rule so all assignment paths agree bit-for-bit.
+std::size_t nearest_centroid(std::span<const double> centroids, double x);
+
+/// Sufficient statistics of a data set folded onto a fixed equal-width grid:
+/// per-bin population, Σx and Σx² (all doubles so a distributed run can ship
+/// the three arrays through one summing allreduce). This is the input of the
+/// kHistogramLloyd engine; ranks that sum their local WeightedHistograms
+/// element-wise obtain the global one.
+struct WeightedHistogram {
+  double lo = 0.0;     ///< left edge of bin 0
+  double hi = 0.0;     ///< right edge of the last bin
+  double width = 0.0;  ///< (hi - lo) / bins
+  std::vector<double> count;  ///< per-bin population
+  std::vector<double> sum;    ///< per-bin Σx
+  std::vector<double> sumsq;  ///< per-bin Σx²
+
+  [[nodiscard]] std::size_t bins() const noexcept { return count.size(); }
+  [[nodiscard]] double center(std::size_t b) const noexcept {
+    return lo + (static_cast<double>(b) + 0.5) * width;
+  }
+};
+
+/// Folds xs into `bins` equal-width bins over [lo, hi] in one parallel O(n)
+/// pass (values outside the range clamp to the edge bins). Requires lo < hi.
+/// The chunk decomposition is pinned to the machine, not the pool, so the
+/// (floating-point) moment sums are identical for every thread count.
+WeightedHistogram weighted_histogram(std::span<const double> xs,
+                                     std::size_t bins, double lo, double hi,
+                                     numarck::util::ThreadPool* pool = nullptr);
+
+/// Weighted Lloyd over a prebuilt histogram: density-quantile seeding from
+/// the bin masses, then opts.max_iterations Lloyd steps each costing O(k)
+/// boundary placements + O(k) mean updates against prefix sums (O(H) built
+/// once). Deterministic — depends only on the histogram contents, never on
+/// thread count, so every rank of a distributed run computes the identical
+/// result from the allreduced histogram. opts.engine/init/pool are ignored.
+KMeansResult weighted_histogram_lloyd(const WeightedHistogram& h,
+                                      const KMeansOptions& opts);
 
 }  // namespace numarck::cluster

@@ -242,9 +242,52 @@ KMeansResult sorted_boundary(std::span<const double> xs, const KMeansOptions& op
   return r;
 }
 
+/// Resolution of the kHistogramLloyd engine when opts.histogram_bins == 0.
+std::size_t resolve_histogram_bins(const KMeansOptions& opts) {
+  if (opts.histogram_bins != 0) return opts.histogram_bins;
+  return std::min<std::size_t>(std::max<std::size_t>(64 * opts.k, 4096),
+                               std::size_t{1} << 18);
+}
+
+/// Histogram-compressed engine: fold the data into a fine weighted histogram
+/// in one parallel O(n) pass, then run weighted Lloyd over the H bins.
+KMeansResult histogram_lloyd(std::span<const double> xs,
+                             const KMeansOptions& opts, ThreadPool& pool) {
+  using P = std::pair<double, double>;
+  const P mm = numarck::util::parallel_reduce<P>(
+      pool, 0, xs.size(),
+      P{std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()},
+      [&xs](std::size_t i0, std::size_t i1) {
+        P r{std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+        for (std::size_t i = i0; i < i1; ++i) {
+          r.first = std::min(r.first, xs[i]);
+          r.second = std::max(r.second, xs[i]);
+        }
+        return r;
+      },
+      [](P a, P b) {
+        return P{std::min(a.first, b.first), std::max(a.second, b.second)};
+      });
+  KMeansResult r;
+  if (mm.first >= mm.second) {
+    // Degenerate: every value identical — one exact centroid, zero inertia.
+    r.centroids.push_back(mm.first);
+    r.counts.push_back(xs.size());
+    r.converged = true;
+    return r;
+  }
+  const WeightedHistogram h = weighted_histogram(
+      xs, resolve_histogram_bins(opts), mm.first, mm.second, &pool);
+  return weighted_histogram_lloyd(h, opts);
+}
+
 }  // namespace
 
-std::size_t nearest_centroid(std::span<const double> centroids, double x) noexcept {
+std::size_t nearest_centroid(std::span<const double> centroids, double x) {
+  NUMARCK_EXPECT(!centroids.empty(),
+                 "nearest_centroid: empty centroid table has no nearest index");
   const std::size_t k = centroids.size();
   if (k <= 1) return 0;
   const auto it = std::lower_bound(centroids.begin(), centroids.end(), x);
@@ -262,6 +305,13 @@ KMeansResult kmeans1d(std::span<const double> xs, const KMeansOptions& opts) {
   if (xs.empty()) return r;
   auto& pool = pool_or_global(opts.pool);
 
+  // The histogram engine owns its seeding (density quantiles of the same
+  // fine histogram it iterates over), so it skips init_centroids entirely —
+  // that keeps it at exactly one O(n) pass over the data.
+  if (opts.engine == KMeansEngine::kHistogramLloyd) {
+    return histogram_lloyd(xs, opts, pool);
+  }
+
   std::vector<double> seeds = init_centroids(xs, opts, pool);
   if (seeds.empty()) return r;
 
@@ -270,7 +320,201 @@ KMeansResult kmeans1d(std::span<const double> xs, const KMeansOptions& opts) {
       return lloyd_parallel(xs, opts, std::move(seeds), pool);
     case KMeansEngine::kSortedBoundary:
       return sorted_boundary(xs, opts, std::move(seeds), pool);
+    case KMeansEngine::kHistogramLloyd:
+      break;  // handled above
   }
+  return r;
+}
+
+WeightedHistogram weighted_histogram(std::span<const double> xs,
+                                     std::size_t bins, double lo, double hi,
+                                     numarck::util::ThreadPool* pool) {
+  NUMARCK_EXPECT(bins >= 1, "weighted histogram needs at least one bin");
+  NUMARCK_EXPECT(lo < hi, "weighted histogram: range must be non-degenerate");
+  auto& tp = pool_or_global(pool);
+  WeightedHistogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.width = (hi - lo) / static_cast<double>(bins);
+  const double inv_width = static_cast<double>(bins) / (hi - lo);
+
+  struct Moments {
+    std::vector<double> cnt, sum, sumsq;
+    explicit Moments(std::size_t b) : cnt(b, 0.0), sum(b, 0.0), sumsq(b, 0.0) {}
+  };
+  // The chunk plan must NOT depend on the pool size: per-bin Σx / Σx² are
+  // floating-point sums whose value depends on the chunk boundaries, and the
+  // engine promises identical centroids for every thread count. Planning for
+  // the machine's full concurrency (whatever pool runs the chunks) pins the
+  // decomposition; per-chunk partials are then merged in chunk order.
+  const numarck::util::ChunkPlan plan(
+      0, xs.size(),
+      numarck::util::effective_workers(std::thread::hardware_concurrency() + 1));
+  std::vector<Moments> partials(plan.chunks, Moments(bins));
+  numarck::util::parallel_chunks(
+      tp, plan, [&](std::size_t c, std::size_t i0, std::size_t i1) {
+        Moments& m = partials[c];
+        for (std::size_t i = i0; i < i1; ++i) {
+          const double x = xs[i];
+          const double est = (x - lo) * inv_width;
+          const std::size_t b =
+              est <= 0.0 ? 0
+                         : std::min(bins - 1, static_cast<std::size_t>(est));
+          m.cnt[b] += 1.0;
+          m.sum[b] += x;
+          m.sumsq[b] += x * x;
+        }
+      });
+  h.count.assign(bins, 0.0);
+  h.sum.assign(bins, 0.0);
+  h.sumsq.assign(bins, 0.0);
+  for (const Moments& m : partials) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      h.count[b] += m.cnt[b];
+      h.sum[b] += m.sum[b];
+      h.sumsq[b] += m.sumsq[b];
+    }
+  }
+  return h;
+}
+
+namespace {
+
+/// Density-quantile seeds from the histogram masses — the same "prior
+/// knowledge from the equal-width histogram" placement init_centroids uses,
+/// read off the (finer) Lloyd histogram instead of a separate pass.
+std::vector<double> seeds_from_histogram(const WeightedHistogram& h,
+                                         std::size_t k, double total) {
+  std::vector<double> c;
+  c.reserve(k);
+  std::size_t bin = 0;
+  double cum = 0.0;  // mass strictly before current bin
+  for (std::size_t i = 0; i < k; ++i) {
+    const double target =
+        total * (static_cast<double>(i) + 0.5) / static_cast<double>(k);
+    while (bin + 1 < h.bins() && cum + h.count[bin] < target) {
+      cum += h.count[bin];
+      ++bin;
+    }
+    const double in_bin = h.count[bin];
+    const double frac =
+        in_bin > 0.0 ? std::clamp((target - cum) / in_bin, 0.0, 1.0) : 0.5;
+    c.push_back(h.lo + (static_cast<double>(bin) + frac) * h.width);
+  }
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  return c;
+}
+
+/// First bin whose center is strictly above `mid` (bins with center <= mid
+/// belong to the lower cluster, matching nearest_centroid's tie-to-lower
+/// rule). The affine guess is within one slot; the scan repairs FP residue.
+std::size_t boundary_bin(const WeightedHistogram& h, double mid) {
+  const std::size_t bins = h.bins();
+  const double est = (mid - h.lo) / h.width + 0.5;
+  std::size_t cut =
+      est <= 0.0 ? 0
+                 : std::min(bins, static_cast<std::size_t>(est));
+  while (cut > 0 && h.center(cut - 1) > mid) --cut;
+  while (cut < bins && h.center(cut) <= mid) ++cut;
+  return cut;
+}
+
+}  // namespace
+
+KMeansResult weighted_histogram_lloyd(const WeightedHistogram& h,
+                                      const KMeansOptions& opts) {
+  NUMARCK_EXPECT(opts.k >= 1, "k must be >= 1");
+  KMeansResult r;
+  const std::size_t bins = h.bins();
+  NUMARCK_EXPECT(h.sum.size() == bins && h.sumsq.size() == bins,
+                 "weighted histogram: moment arrays disagree on bin count");
+  double total = 0.0;
+  for (double c : h.count) total += c;
+  if (total <= 0.0) return r;
+
+  // Inclusive prefix sums of the three moments: cluster [b0, b1) statistics
+  // are O(1) differences, so one Lloyd step is O(k) after this O(H) setup.
+  std::vector<double> pc(bins + 1, 0.0), ps(bins + 1, 0.0), pq(bins + 1, 0.0);
+  for (std::size_t b = 0; b < bins; ++b) {
+    pc[b + 1] = pc[b] + h.count[b];
+    ps[b + 1] = ps[b] + h.sum[b];
+    pq[b + 1] = pq[b] + h.sumsq[b];
+  }
+
+  std::vector<double> centroids = seeds_from_histogram(h, opts.k, total);
+  if (centroids.empty()) return r;
+
+  std::vector<std::size_t> cuts(centroids.size() + 1);
+  const auto place_cuts = [&](const std::vector<double>& cents) {
+    const std::size_t k = cents.size();
+    cuts[0] = 0;
+    cuts[k] = bins;
+    for (std::size_t c = 1; c < k; ++c) {
+      const double mid = 0.5 * (cents[c - 1] + cents[c]);
+      cuts[c] = std::max(boundary_bin(h, mid), cuts[c - 1]);
+    }
+  };
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    ++r.iterations;
+    place_cuts(centroids);
+    const std::size_t k = centroids.size();
+    std::vector<double> next = centroids;
+    bool reseeded = false;
+    double max_shift = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double cnt = pc[cuts[c + 1]] - pc[cuts[c]];
+      if (cnt > 0.0) {
+        next[c] = (ps[cuts[c + 1]] - ps[cuts[c]]) / cnt;
+      } else if (!reseeded) {
+        // Reseed to the populated bin center farthest from its nearest
+        // centroid (the farthest-point repair at bin granularity). Runs only
+        // when a cluster empties, so the O(H log k) scan stays off the
+        // steady-state path.
+        double far_d = 0.0, far_v = 0.0;
+        for (std::size_t b = 0; b < bins; ++b) {
+          if (h.count[b] <= 0.0) continue;
+          const double x = h.center(b);
+          const double d = x - centroids[nearest_centroid(centroids, x)];
+          if (d * d > far_d) {
+            far_d = d * d;
+            far_v = x;
+          }
+        }
+        if (far_d > 0.0) {
+          next[c] = far_v;
+          reseeded = true;
+        }
+      }
+      max_shift = std::max(max_shift, std::abs(next[c] - centroids[c]));
+    }
+    std::sort(next.begin(), next.end());
+    centroids.swap(next);
+    if (!reseeded && max_shift <= opts.tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+
+  // Final statistics straight from the prefix sums — no per-point pass. The
+  // counts are exact (every point lives in exactly one bin) and the inertia
+  // uses the true per-bin second moments, so it is exact for the
+  // bin-granular partition (see the header's resolution bound).
+  place_cuts(centroids);
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double cnt = pc[cuts[c + 1]] - pc[cuts[c]];
+    if (cnt <= 0.0) continue;
+    const double sum = ps[cuts[c + 1]] - ps[cuts[c]];
+    const double sq = pq[cuts[c + 1]] - pq[cuts[c]];
+    const double cent = centroids[c];
+    r.inertia += sq - 2.0 * cent * sum + cent * cent * cnt;
+    r.centroids.push_back(cent);
+    r.counts.push_back(static_cast<std::uint64_t>(cnt + 0.5));
+  }
+  // Σx² - 2cΣx + c²n can land a hair below zero in FP for razor-thin
+  // clusters; clamp so callers can rely on inertia >= 0.
+  r.inertia = std::max(r.inertia, 0.0);
   return r;
 }
 

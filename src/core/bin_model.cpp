@@ -11,7 +11,7 @@
 
 namespace numarck::core {
 
-std::size_t BinModel::nearest(double ratio) const noexcept {
+std::size_t BinModel::nearest(double ratio) const {
   return cluster::nearest_centroid(centers, ratio);
 }
 
@@ -230,6 +230,7 @@ BinModel learn_clustering(std::span<const double> ratios, std::size_t bins,
   ko.max_iterations = opts.kmeans_max_iterations;
   ko.engine = opts.kmeans_engine;
   ko.init = cluster::KMeansInit::kEqualWidthHistogram;  // paper's seeding
+  ko.histogram_bins = opts.kmeans_histogram_bins;
   ko.pool = opts.pool;
   cluster::KMeansResult r = cluster::kmeans1d(ratios, ko);
   m.centers = std::move(r.centroids);  // ascending, empties dropped

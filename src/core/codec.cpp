@@ -4,7 +4,6 @@
 #include <cmath>
 #include <cstdint>
 
-#include "numarck/core/change_ratio.hpp"
 #include "numarck/util/bitpack.hpp"
 #include "numarck/util/expect.hpp"
 #include "numarck/util/parallel_for.hpp"
@@ -17,7 +16,11 @@ namespace numarck::core {
 //   label: the index value it will pack (0 for small-value / below-threshold,
 //   c+1 for a binned point) or an exact/needs-bin marker. The same labels
 //   feed the learn-set gather, so the predicates run once instead of twice
-//   (the old stage-2 scan re-evaluated them to build the learn set).
+//   (the old stage-2 scan re-evaluated them to build the learn set). The
+//   change ratio (Eq. 1) is computed inline in every pass that needs it —
+//   one divide is cheaper than materializing and re-reading an n-element
+//   ratio + validity pair of arrays, and it keeps the sampled path at a
+//   single streaming read of (previous, current).
 //
 //   Pass B (pack) — per-chunk counts of compressible points turn into
 //   exclusive prefix sums, which give every chunk the absolute bit offset of
@@ -39,6 +42,14 @@ namespace {
 constexpr std::uint32_t kLabelExact = 0xFFFFFFFFu;     // ζ = 0, value escapes
 constexpr std::uint32_t kLabelNeedsBin = 0xFFFFFFFEu;  // transient: pass A2
 
+/// Eq. 1 for one point. Callers on needs-bin labels are guaranteed a finite
+/// result: classify_points already exact-escaped zero-denominator and
+/// non-finite points, and (previous, current) are immutable between passes.
+inline double change_ratio_at(std::span<const double> previous,
+                              std::span<const double> current, std::size_t j) {
+  return (current[j] - previous[j]) / previous[j];
+}
+
 struct ClassifyStats {
   std::size_t small = 0;
   std::size_t below = 0;
@@ -50,11 +61,12 @@ struct ClassifyStats {
 
 /// Pass A1: model-free classification. Labels every point as index 0
 /// (small-value or below-threshold), exact (undefined ratio) or needs-bin;
-/// the needs-bin points are exactly the learn set.
+/// the needs-bin points are exactly the learn-set candidates. Ratios are
+/// computed inline (fused with Eq. 1) — no intermediate ratio vector exists
+/// anywhere on the encode path.
 ClassifyStats classify_points(std::span<const double> previous,
                               std::span<const double> current,
-                              const ChangeRatios& cr, const Options& opts,
-                              util::ThreadPool& pool,
+                              const Options& opts, util::ThreadPool& pool,
                               std::vector<std::uint32_t>& labels) {
   const std::size_t n = current.size();
   labels.resize(n);
@@ -75,12 +87,20 @@ ClassifyStats classify_points(std::span<const double> previous,
             ++s.small;  // counted as an unchanged point: zero ratio error
             continue;
           }
-          if (!cr.valid[j]) {
+          // Paper rule: zero denominator -> store exactly; extended to any
+          // non-finite ratio so the compressor is total on junk input.
+          if (previous[j] == 0.0) {
             labels[j] = kLabelExact;
             ++s.undefined;
             continue;
           }
-          const double mag = std::abs(cr.ratio[j]);
+          const double r = change_ratio_at(previous, current, j);
+          if (!std::isfinite(r)) {
+            labels[j] = kLabelExact;
+            ++s.undefined;
+            continue;
+          }
+          const double mag = std::abs(r);
           if (mag < E) {
             labels[j] = 0;
             ++s.below;
@@ -104,40 +124,47 @@ ClassifyStats classify_points(std::span<const double> previous,
       });
 }
 
-/// Gathers the ratios of needs-bin points in point order (per-chunk counts +
-/// exclusive prefix sums give each chunk its write offset).
-std::vector<double> gather_learn_set(const ChangeRatios& cr,
+/// Gathers every stride-th needs-bin ratio in point order. The stride walks
+/// the *global* needs-bin ordinal (per-chunk counts + exclusive prefix sums
+/// give each chunk both its write offset and its starting ordinal), so the
+/// sampled learn set is a pure function of the data — identical for every
+/// thread count and chunking. stride == 1 recovers the full learn set.
+std::vector<double> gather_learn_set(std::span<const double> previous,
+                                     std::span<const double> current,
                                      const std::vector<std::uint32_t>& labels,
                                      std::size_t needs_bin_total,
+                                     std::size_t stride,
                                      util::ThreadPool& pool) {
-  std::vector<double> learn(needs_bin_total);
-  if (needs_bin_total == 0) return learn;
+  if (needs_bin_total == 0) return {};
+  std::vector<double> learn((needs_bin_total + stride - 1) / stride);
   const util::ChunkPlan plan(0, labels.size(), pool.size());
-  std::vector<std::size_t> offsets(plan.chunks);
+  std::vector<std::size_t> ordinal(plan.chunks);
   util::parallel_chunks(pool, plan,
                         [&](std::size_t c, std::size_t i0, std::size_t i1) {
                           std::size_t count = 0;
                           for (std::size_t j = i0; j < i1; ++j) {
                             count += labels[j] == kLabelNeedsBin;
                           }
-                          offsets[c] = count;
+                          ordinal[c] = count;
                         });
   std::size_t running = 0;
-  for (auto& o : offsets) {
+  for (auto& o : ordinal) {
     const std::size_t count = o;
     o = running;
     running += count;
   }
   NUMARCK_EXPECT(running == needs_bin_total, "learn-set gather count drifted");
-  util::parallel_chunks(pool, plan,
-                        [&](std::size_t c, std::size_t i0, std::size_t i1) {
-                          std::size_t out = offsets[c];
-                          for (std::size_t j = i0; j < i1; ++j) {
-                            if (labels[j] == kLabelNeedsBin) {
-                              learn[out++] = cr.ratio[j];
-                            }
-                          }
-                        });
+  util::parallel_chunks(
+      pool, plan, [&](std::size_t c, std::size_t i0, std::size_t i1) {
+        std::size_t o = ordinal[c];
+        for (std::size_t j = i0; j < i1; ++j) {
+          if (labels[j] != kLabelNeedsBin) continue;
+          if (o % stride == 0) {
+            learn[o / stride] = change_ratio_at(previous, current, j);
+          }
+          ++o;
+        }
+      });
   return learn;
 }
 
@@ -149,8 +176,12 @@ struct AssignStats {
 };
 
 /// Pass A2: resolves every needs-bin label to a bin index (via the O(1)
-/// lookup) or an exact escape when the nearest center misses the bound.
-AssignStats assign_bins(const ChangeRatios& cr, const BinModel& model,
+/// lookup) or an exact escape when the nearest center misses the bound. This
+/// is the pass that preserves the per-point error bound under sampling: it
+/// re-checks every point against the bound regardless of whether its ratio
+/// was in the (possibly sampled) learn set.
+AssignStats assign_bins(std::span<const double> previous,
+                        std::span<const double> current, const BinModel& model,
                         double error_bound, util::ThreadPool& pool,
                         std::vector<std::uint32_t>& labels) {
   const BinLookup lookup(model);
@@ -162,7 +193,7 @@ AssignStats assign_bins(const ChangeRatios& cr, const BinModel& model,
         for (std::size_t j = i0; j < i1; ++j) {
           if (labels[j] != kLabelNeedsBin) continue;
           if (have_model) {
-            const double r = cr.ratio[j];
+            const double r = change_ratio_at(previous, current, j);
             const std::size_t c = lookup.nearest(r);
             const double err = std::abs(model.centers[c] - r);
             if (err <= error_bound) {
@@ -269,10 +300,17 @@ void pack_streams(std::span<const double> current,
   }
 }
 
+/// Learn-set stride for Options::sampling_ratio (1.0 -> 1, 0.01 -> 100).
+std::size_t sampling_stride(const Options& opts) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(1.0 / opts.sampling_ratio)));
+}
+
 /// Stages A2 + B plus the stats roll-up, shared by every encode entry point.
-EncodedIteration finish_encode(std::span<const double> current,
-                               const ChangeRatios& cr, const BinModel& model,
-                               const Options& opts, util::ThreadPool& pool,
+EncodedIteration finish_encode(std::span<const double> previous,
+                               std::span<const double> current,
+                               const BinModel& model, const Options& opts,
+                               util::ThreadPool& pool,
                                std::vector<std::uint32_t>& labels,
                                const ClassifyStats& cs) {
   const std::size_t n = current.size();
@@ -288,7 +326,7 @@ EncodedIteration finish_encode(std::span<const double> current,
   enc.centers = model.centers;
 
   const AssignStats as =
-      assign_bins(cr, model, opts.error_bound, pool, labels);
+      assign_bins(previous, current, model, opts.error_bound, pool, labels);
   pack_streams(current, labels, opts.index_bits, pool, enc);
 
   enc.stats.small_value = cs.small;
@@ -312,20 +350,19 @@ EncodedIteration encode_iteration(std::span<const double> previous,
                  "encode: snapshot size mismatch");
   auto& pool = opts.pool ? *opts.pool : util::ThreadPool::global();
 
-  // Stage 1: forward predictive coding.
-  const ChangeRatios cr = compute_change_ratios(previous, current, &pool);
-
-  // Stage 2: classify once; the needs-bin labels are the learn set (defined,
-  // not small-valued, and not already satisfied by the zero index).
+  // Stage 1+2 fused: one sweep evaluates Eq. 1 and classifies; the needs-bin
+  // labels are the learn-set candidates (defined, not small-valued, and not
+  // already satisfied by the zero index). The gather then samples every
+  // stride-th candidate by global ordinal.
   std::vector<std::uint32_t> labels;
   const ClassifyStats cs =
-      classify_points(previous, current, cr, opts, pool, labels);
-  const std::vector<double> learn_set =
-      gather_learn_set(cr, labels, cs.needs_bin, pool);
+      classify_points(previous, current, opts, pool, labels);
+  const std::vector<double> learn_set = gather_learn_set(
+      previous, current, labels, cs.needs_bin, sampling_stride(opts), pool);
   const BinModel model = learn_bins(learn_set, opts);
 
   // Stage 3: assignment + packing from the labels.
-  return finish_encode(current, cr, model, opts, pool, labels, cs);
+  return finish_encode(previous, current, model, opts, pool, labels, cs);
 }
 
 EncodedIteration encode_iteration_with_model(std::span<const double> previous,
@@ -336,11 +373,10 @@ EncodedIteration encode_iteration_with_model(std::span<const double> previous,
   NUMARCK_EXPECT(previous.size() == current.size(),
                  "encode: snapshot size mismatch");
   auto& pool = opts.pool ? *opts.pool : util::ThreadPool::global();
-  const ChangeRatios cr = compute_change_ratios(previous, current, &pool);
   std::vector<std::uint32_t> labels;
   const ClassifyStats cs =
-      classify_points(previous, current, cr, opts, pool, labels);
-  return finish_encode(current, cr, model, opts, pool, labels, cs);
+      classify_points(previous, current, opts, pool, labels);
+  return finish_encode(previous, current, model, opts, pool, labels, cs);
 }
 
 namespace {

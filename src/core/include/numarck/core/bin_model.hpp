@@ -17,8 +17,9 @@ struct BinModel {
   Strategy strategy = Strategy::kEqualWidth;
   std::vector<double> centers;  ///< sorted ascending; size <= 2^B - 1
 
-  /// Index (into centers) of the representative nearest to `ratio`.
-  [[nodiscard]] std::size_t nearest(double ratio) const noexcept;
+  /// Index (into centers) of the representative nearest to `ratio`. Throws
+  /// ContractViolation when the table is empty (no valid index exists).
+  [[nodiscard]] std::size_t nearest(double ratio) const;
 
   [[nodiscard]] bool empty() const noexcept { return centers.empty(); }
 };

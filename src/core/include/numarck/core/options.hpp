@@ -76,9 +76,25 @@ struct Options {
   Reference reference = Reference::kTruePrevious;
   Predictor predictor = Predictor::kPrevious;
 
-  /// K-means controls (only used by Strategy::kClustering).
-  cluster::KMeansEngine kmeans_engine = cluster::KMeansEngine::kSortedBoundary;
+  /// K-means controls (only used by Strategy::kClustering). kHistogramLloyd
+  /// decouples the Lloyd cost from n (see kmeans1d.hpp); pick kSortedBoundary
+  /// to recover the exact 1-D fixpoint for reference runs.
+  cluster::KMeansEngine kmeans_engine = cluster::KMeansEngine::kHistogramLloyd;
   std::size_t kmeans_max_iterations = 30;
+
+  /// kHistogramLloyd resolution H; 0 = the engine default (max(64 k, 4096),
+  /// capped at 2^18). Larger H tightens the w = range/H exactness bound.
+  std::size_t kmeans_histogram_bins = 0;
+
+  /// Fraction of compressible change ratios fed to the distribution learner
+  /// (1.0 = learn from all of them). Sampling is stride-based over the global
+  /// needs-bin ordinal, so the learn set — and therefore the whole encode —
+  /// is identical for every thread count. The per-point error-bound guarantee
+  /// is untouched: classification still checks *every* point against the
+  /// learned bin table and marks out-of-bound points incompressible; a coarse
+  /// sample can only raise γ (fewer points land inside a bin), never the
+  /// reconstruction error.
+  double sampling_ratio = 1.0;
 
   /// Thread pool for all data-parallel stages; null = process-global pool.
   util::ThreadPool* pool = nullptr;

@@ -42,6 +42,8 @@ void Options::validate() const {
   NUMARCK_EXPECT(index_bits >= 2 && index_bits <= 16,
                  "index precision B must be in [2,16] bits");
   NUMARCK_EXPECT(kmeans_max_iterations >= 1, "kmeans needs >= 1 iteration");
+  NUMARCK_EXPECT(sampling_ratio > 0.0 && sampling_ratio <= 1.0,
+                 "sampling ratio must be in (0,1]");
 }
 
 }  // namespace numarck::core

@@ -12,21 +12,28 @@ namespace numarck::distributed {
 
 namespace {
 
-/// The same learn-set filter as core::encode_iteration's stage 2.
+/// The same learn-set filter as core::encode_iteration's stage 2, with the
+/// same stride sampling: every stride-th needs-bin ratio by *local* ordinal.
+/// (The local ordinal is rank-deterministic, so the global learn set is a
+/// pure function of the data partitioning — independent of thread counts.)
 std::vector<double> build_learn_set(std::span<const double> prev,
                                     std::span<const double> curr,
                                     const core::ChangeRatios& cr,
                                     const core::Options& opts) {
   const double E = opts.error_bound;
   const double small = opts.resolved_small_value_threshold();
+  const auto stride = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(1.0 / opts.sampling_ratio)));
   std::vector<double> learn;
-  learn.reserve(cr.defined_count);
+  learn.reserve(cr.defined_count / stride + 1);
+  std::size_t ordinal = 0;
   for (std::size_t j = 0; j < prev.size(); ++j) {
     if (!cr.valid[j] || std::abs(cr.ratio[j]) < E) continue;
     if (small > 0.0 && std::abs(curr[j]) < small && std::abs(prev[j]) <= small) {
       continue;
     }
-    learn.push_back(cr.ratio[j]);
+    if (ordinal % stride == 0) learn.push_back(cr.ratio[j]);
+    ++ordinal;
   }
   return learn;
 }
@@ -74,6 +81,12 @@ core::BinModel learn_global_model(mpisim::Communicator& comm,
       cluster::DistributedKMeansOptions ko;
       ko.k = bins;
       ko.max_iterations = opts.kmeans_max_iterations;
+      // kSortedBoundary has no distributed analogue; fall back to the
+      // allreduce-per-iteration Lloyd, which reaches the same fixpoint.
+      ko.engine = opts.kmeans_engine == cluster::KMeansEngine::kHistogramLloyd
+                      ? cluster::KMeansEngine::kHistogramLloyd
+                      : cluster::KMeansEngine::kLloydParallel;
+      ko.histogram_bins = opts.kmeans_histogram_bins;
       const auto r = cluster::distributed_kmeans1d(comm, learn, ko);
       core::BinModel m;
       m.strategy = core::Strategy::kClustering;

@@ -9,9 +9,11 @@
 // pool size.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <exception>
 #include <future>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,6 +30,16 @@ inline constexpr std::size_t kParallelGrainSize = 4096;
 /// instead of one big one.
 inline constexpr std::size_t kParallelOversubscribe = 4;
 
+/// Workers a plan may actually exploit: asking for more threads than the
+/// machine has cores just multiplies scheduling overhead (the seed's
+/// BENCH_codec.json shows 8-thread encode *slower* than 1-thread on a 1-core
+/// box purely from this). hardware_concurrency() may return 0 ("unknown");
+/// treat that as no cap rather than as zero cores.
+inline std::size_t effective_workers(std::size_t requested) noexcept {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? requested : std::min(requested, hw);
+}
+
 /// A deterministic block decomposition of [begin, end). The chunk count
 /// depends only on (range size, worker count, grain), never on runtime
 /// scheduling, so per-chunk results can be combined in chunk order
@@ -43,8 +55,11 @@ struct ChunkPlan {
       : begin(b), end(e) {
     const std::size_t n = end > begin ? end - begin : 0;
     step = n;
+    workers = effective_workers(workers);
     if (workers <= 1 || n < 2 * grain) return;
-    const std::size_t max_useful = (n + grain - 1) / grain;
+    // Floor (not ceil) n/grain: every chunk keeps at least `grain` points, so
+    // tiny inputs never shatter into sub-grain slivers.
+    const std::size_t max_useful = n / grain;
     chunks = std::min(workers * kParallelOversubscribe, max_useful);
     step = (n + chunks - 1) / chunks;
     chunks = (n + step - 1) / step;  // drop chunks the rounding left empty

@@ -100,9 +100,32 @@ TEST(NearestCentroid, TieGoesToLower) {
   EXPECT_EQ(nc::nearest_centroid(c, 1.0), 0u);
 }
 
+TEST(NearestCentroid, ExactMidpointTieBreaksLowAtEveryBoundary) {
+  // The documented rule — (x - lo) <= (hi - x) resolves exact midpoints to
+  // the LOWER centroid — at every adjacent pair, including negative and
+  // unevenly spaced ones. BinLookup and the sorted-boundary engine rely on
+  // this exact behaviour for bit-identical assignments.
+  const std::vector<double> c{-3.0, -1.0, 0.0, 0.25, 8.0};
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    const double mid = 0.5 * (c[i] + c[i + 1]);
+    EXPECT_EQ(nc::nearest_centroid(c, mid), i) << "boundary " << i;
+    // And one ulp above the midpoint flips to the upper centroid.
+    const double above = std::nextafter(mid, c[i + 1]);
+    if (std::abs(above - c[i]) > std::abs(c[i + 1] - above)) {
+      EXPECT_EQ(nc::nearest_centroid(c, above), i + 1) << "boundary " << i;
+    }
+  }
+}
+
 TEST(NearestCentroid, SingleCentroid) {
   std::vector<double> c{5.0};
   EXPECT_EQ(nc::nearest_centroid(c, -1e9), 0u);
+}
+
+TEST(NearestCentroid, EmptyTableThrowsContractViolation) {
+  const std::vector<double> none;
+  EXPECT_THROW((void)nc::nearest_centroid(none, 1.0),
+               numarck::ContractViolation);
 }
 
 TEST(NearestCentroid, MatchesLinearScan) {
@@ -209,9 +232,11 @@ TEST_P(KMeansEngineTest, EmptyInputGivesEmptyResult) {
   EXPECT_TRUE(r.centroids.empty());
 }
 
-INSTANTIATE_TEST_SUITE_P(BothEngines, KMeansEngineTest,
-                         ::testing::Values(nc::KMeansEngine::kLloydParallel,
-                                           nc::KMeansEngine::kSortedBoundary));
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, KMeansEngineTest,
+    ::testing::Values(nc::KMeansEngine::kLloydParallel,
+                      nc::KMeansEngine::kSortedBoundary,
+                      nc::KMeansEngine::kHistogramLloyd));
 
 TEST(KMeans, EnginesConvergeToSameInertia) {
   numarck::util::Pcg32 rng(21);
@@ -278,6 +303,108 @@ TEST(KMeans, InvalidKThrows) {
   nc::KMeansOptions o;
   o.k = 0;
   EXPECT_THROW(nc::kmeans1d(xs, o), numarck::ContractViolation);
+}
+
+// ----------------------------------------------------- weighted histogram --
+
+TEST(WeightedHistogram, MomentsAreExactPerBin) {
+  // 4 points placed in known bins of a [0, 4) 4-bin histogram.
+  const std::vector<double> xs{0.5, 1.25, 1.75, 3.5};
+  const auto h = nc::weighted_histogram(xs, 4, 0.0, 4.0);
+  ASSERT_EQ(h.bins(), 4u);
+  EXPECT_DOUBLE_EQ(h.width, 1.0);
+  EXPECT_DOUBLE_EQ(h.count[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.count[1], 2.0);
+  EXPECT_DOUBLE_EQ(h.count[2], 0.0);
+  EXPECT_DOUBLE_EQ(h.count[3], 1.0);
+  EXPECT_DOUBLE_EQ(h.sum[1], 1.25 + 1.75);
+  EXPECT_DOUBLE_EQ(h.sumsq[1], 1.25 * 1.25 + 1.75 * 1.75);
+  EXPECT_DOUBLE_EQ(h.center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.center(3), 3.5);
+}
+
+TEST(WeightedHistogram, OutOfRangeValuesClampToEdgeBins) {
+  const std::vector<double> xs{-100.0, 0.25, 100.0};
+  const auto h = nc::weighted_histogram(xs, 2, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.count[0], 2.0);  // -100 clamps into bin 0, next to 0.25
+  EXPECT_DOUBLE_EQ(h.count[1], 1.0);  // +100 clamps into bin 1
+  EXPECT_DOUBLE_EQ(h.sum[0], -100.0 + 0.25);
+  EXPECT_DOUBLE_EQ(h.sum[1], 100.0);
+}
+
+TEST(WeightedHistogram, TotalsMatchInputOnRandomData) {
+  numarck::util::Pcg32 rng(33);
+  std::vector<double> xs(10000);
+  double sum = 0.0;
+  for (auto& x : xs) {
+    x = rng.normal();
+    sum += x;
+  }
+  const auto h = nc::weighted_histogram(xs, 512, -6.0, 6.0);
+  double cnt = 0.0, s = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    cnt += h.count[b];
+    s += h.sum[b];
+  }
+  EXPECT_DOUBLE_EQ(cnt, 10000.0);
+  EXPECT_NEAR(s, sum, 1e-9 * std::abs(sum) + 1e-9);
+}
+
+TEST(WeightedHistogram, DegenerateRangeThrows) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)nc::weighted_histogram(xs, 4, 2.0, 2.0),
+               numarck::ContractViolation);
+}
+
+TEST(HistogramLloyd, InertiaWithinResolutionBoundOfExact) {
+  // The file-header bound: per point, d_hist <= d_exact + w. Summing squares
+  // and applying Cauchy-Schwarz: inertia_hist <= inertia_exact
+  // + 2 w sqrt(n * inertia_exact) + n w^2.
+  numarck::util::Pcg32 rng(55);
+  std::vector<double> xs(40000);
+  for (auto& x : xs) {
+    x = rng.uniform() < 0.8 ? rng.normal(0.0, 0.01) : rng.normal(0.25, 0.05);
+  }
+  const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+  nc::KMeansOptions o;
+  o.k = 63;
+  o.max_iterations = 60;
+  o.engine = nc::KMeansEngine::kSortedBoundary;
+  const auto exact = nc::kmeans1d(xs, o);
+  o.engine = nc::KMeansEngine::kHistogramLloyd;
+  o.histogram_bins = 1 << 14;
+  const auto hist = nc::kmeans1d(xs, o);
+  const double w = (*hi_it - *lo_it) / static_cast<double>(o.histogram_bins);
+  const double n = static_cast<double>(xs.size());
+  const double bound =
+      exact.inertia + 2.0 * w * std::sqrt(n * exact.inertia) + n * w * w;
+  EXPECT_LE(hist.inertia, bound * 1.001);
+  EXPECT_GT(hist.inertia, 0.0);
+}
+
+TEST(HistogramLloyd, IsDeterministicAcrossThreadCounts) {
+  numarck::util::Pcg32 rng(77);
+  std::vector<double> xs(30000);
+  for (auto& x : xs) x = rng.normal();
+  std::vector<double> reference;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    numarck::util::ThreadPool pool(threads);
+    nc::KMeansOptions o;
+    o.k = 31;
+    o.engine = nc::KMeansEngine::kHistogramLloyd;
+    o.pool = &pool;
+    const auto r = nc::kmeans1d(xs, o);
+    if (reference.empty()) {
+      reference = r.centroids;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      ASSERT_EQ(r.centroids.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(r.centroids[i], reference[i]) << "centroid " << i
+            << " differs at " << threads << " threads";
+      }
+    }
+  }
 }
 
 TEST(KMeans, RespectsExplicitPool) {

@@ -91,15 +91,33 @@ TEST(ParallelFor, ChunkedCoversRangeWithDisjointChunks) {
 }
 
 TEST(ChunkPlan, OversubscribesForLoadBalancing) {
-  // Large ranges get more chunks than workers (x4) so skewed per-chunk work
-  // can be balanced, while each chunk still meets the grain size.
+  // Large ranges get more chunks than *usable* workers (x4) so skewed
+  // per-chunk work can be balanced. Usable means capped at the machine's
+  // core count — asking a 1-core box for 4 workers must not produce a
+  // 16-chunk plan (the seed benchmark showed 8-thread encode slower than
+  // 1-thread from exactly that).
   const std::size_t n = 1 << 20;
+  const std::size_t usable = nu::effective_workers(4);
   nu::ChunkPlan plan(0, n, 4);
-  EXPECT_EQ(plan.chunks, 4 * nu::kParallelOversubscribe);
+  EXPECT_EQ(plan.chunks,
+            usable <= 1 ? 1 : usable * nu::kParallelOversubscribe);
   for (std::size_t c = 0; c < plan.chunks; ++c) {
     const auto [i0, i1] = plan.bounds(c);
     EXPECT_GE(i1 - i0, nu::kParallelGrainSize / 2);
   }
+}
+
+TEST(ChunkPlan, CapsWorkersAtHardwareConcurrency) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) GTEST_SKIP() << "hardware_concurrency unknown on this box";
+  // Requesting far more workers than cores yields the same plan as
+  // requesting exactly the core count.
+  const std::size_t n = 1 << 22;
+  const nu::ChunkPlan greedy(0, n, 64 * hw);
+  const nu::ChunkPlan capped(0, n, hw);
+  EXPECT_EQ(greedy.chunks, capped.chunks);
+  EXPECT_EQ(greedy.step, capped.step);
+  EXPECT_LE(greedy.chunks, hw * nu::kParallelOversubscribe);
 }
 
 TEST(ChunkPlan, RespectsGrainSize) {
@@ -109,7 +127,26 @@ TEST(ChunkPlan, RespectsGrainSize) {
   EXPECT_LE(plan.chunks, 3u);
   for (std::size_t c = 0; c < plan.chunks; ++c) {
     const auto [i0, i1] = plan.bounds(c);
-    EXPECT_GE(i1 - i0, nu::kParallelGrainSize / 2);
+    EXPECT_GE(i1 - i0, nu::kParallelGrainSize);
+  }
+}
+
+TEST(ChunkPlan, NeverSplitsBelowGrain) {
+  // The floor: any multi-chunk plan keeps every chunk at >= grain points, so
+  // tiny inputs stay single-threaded instead of shattering into slivers.
+  for (std::size_t n : {std::size_t{1}, nu::kParallelGrainSize - 1,
+                        nu::kParallelGrainSize, 2 * nu::kParallelGrainSize - 1,
+                        2 * nu::kParallelGrainSize,
+                        5 * nu::kParallelGrainSize + 123}) {
+    nu::ChunkPlan plan(0, n, 8);
+    if (plan.chunks > 1) {
+      for (std::size_t c = 0; c < plan.chunks; ++c) {
+        const auto [i0, i1] = plan.bounds(c);
+        EXPECT_GE(i1 - i0, nu::kParallelGrainSize) << "n=" << n << " c=" << c;
+      }
+    } else {
+      EXPECT_EQ(plan.bounds(0).second - plan.bounds(0).first, n);
+    }
   }
 }
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""CI gate over the numarck-bench-codec JSON snapshots.
+
+Validates that BENCH_kmeans.json carries the full engine x sampling x
+threads sweep with every expected key, and enforces the performance floor
+this sweep exists to defend: the clustering strategy's encode throughput
+as a fraction of the equal-width strategy's must not regress below
+--min-vs-equal-width (the histogram-Lloyd engine closed a 5x gap; the
+floor keeps it closed).
+
+Usage:
+  check_bench.py BENCH_kmeans.json [--min-vs-equal-width 0.25]
+                                   [--max-ratio-delta-pct 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+TOP_KEYS = [
+    "benchmark",
+    "points",
+    "reps",
+    "k",
+    "hardware_concurrency",
+    "results",
+    "clustering_encode_mpoints_per_s",
+    "clustering_vs_equal_width_encode",
+    "histogram_vs_exact_speedup",
+]
+
+ROW_KEYS = [
+    "engine",
+    "sampling_ratio",
+    "threads",
+    "seconds",
+    "mpoints_per_s",
+    "gamma",
+    "paper_ratio_pct",
+    "ratio_delta_vs_exact_pct",
+]
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("path")
+    ap.add_argument("--min-vs-equal-width", type=float, default=0.25)
+    ap.add_argument("--max-ratio-delta-pct", type=float, default=2.0)
+    args = ap.parse_args()
+
+    with open(args.path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    missing = [k for k in TOP_KEYS if k not in doc]
+    if missing:
+        fail(f"missing top-level keys: {missing}")
+    if doc["benchmark"] != "kmeans":
+        fail(f"unexpected benchmark id {doc['benchmark']!r}")
+
+    rows = doc["results"]
+    if not rows:
+        fail("empty results array")
+    for i, row in enumerate(rows):
+        row_missing = [k for k in ROW_KEYS if k not in row]
+        if row_missing:
+            fail(f"results[{i}] missing keys: {row_missing}")
+        if row["mpoints_per_s"] <= 0:
+            fail(f"results[{i}] has non-positive throughput")
+
+    engines = {r["engine"] for r in rows}
+    if not {"exact", "histogram"} <= engines:
+        fail(f"sweep must cover both engines, got {sorted(engines)}")
+    samplings = {r["sampling_ratio"] for r in rows}
+    if len(samplings) < 2:
+        fail(f"sweep must cover multiple sampling ratios, got {sorted(samplings)}")
+
+    # The exactness story: every configuration's paper ratio must sit near
+    # the exact engine's unsampled ratio.
+    worst = max(abs(r["ratio_delta_vs_exact_pct"]) for r in rows)
+    if worst > args.max_ratio_delta_pct:
+        fail(
+            f"compression ratio drifted {worst:.3f}% from the exact engine "
+            f"(limit {args.max_ratio_delta_pct}%)"
+        )
+
+    vs_ew = doc["clustering_vs_equal_width_encode"]
+    if vs_ew < args.min_vs_equal_width:
+        fail(
+            f"clustering encode is {vs_ew:.3f}x the equal-width strategy "
+            f"(floor {args.min_vs_equal_width}x) — the clustering-encode "
+            "gap has regressed"
+        )
+
+    print(
+        f"check_bench: OK: {len(rows)} rows, clustering encode "
+        f"{doc['clustering_encode_mpoints_per_s']:.2f} Mpt/s "
+        f"({vs_ew:.2f}x equal-width, histogram {doc['histogram_vs_exact_speedup']:.2f}x exact), "
+        f"max ratio drift {worst:.3f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

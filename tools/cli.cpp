@@ -55,6 +55,16 @@ core::Predictor parse_predictor(const std::string& name) {
   return core::Predictor::kPrevious;
 }
 
+cluster::KMeansEngine parse_kmeans_engine(const std::string& name) {
+  if (name == "histogram") return cluster::KMeansEngine::kHistogramLloyd;
+  if (name == "exact") return cluster::KMeansEngine::kSortedBoundary;
+  if (name == "lloyd") return cluster::KMeansEngine::kLloydParallel;
+  NUMARCK_EXPECT(false,
+                 "unknown kmeans engine (want histogram | exact | lloyd): " +
+                     name);
+  return cluster::KMeansEngine::kHistogramLloyd;
+}
+
 CompressReport compress_file(const CompressJob& job) {
   job.options.validate();
   const std::vector<double> raw = read_doubles(job.input_path);

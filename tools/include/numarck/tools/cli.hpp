@@ -75,6 +75,11 @@ core::Strategy parse_strategy(const std::string& name);
 /// Parses a predictor name ("previous" | "linear").
 core::Predictor parse_predictor(const std::string& name);
 
+/// Parses a K-means engine name ("histogram" | "exact" | "lloyd").
+/// "exact" is the sorted-boundary 1-D specialization; "histogram" the
+/// resolution-bounded default (see cluster/kmeans1d.hpp).
+cluster::KMeansEngine parse_kmeans_engine(const std::string& name);
+
 struct CompactJob {
   std::string input_path;
   std::string output_path;

@@ -3,9 +3,13 @@
 // Times encode_iteration / decode_iteration on the standard microbench
 // snapshot mixture (1<<17 points) across strategies and thread counts and
 // writes the results as JSON (default: BENCH_codec.json) so the repository
-// can track hot-path throughput across PRs. Usage:
+// can track hot-path throughput across PRs. A second sweep times the
+// clustering strategy across K-means engine x sampling_ratio x threads —
+// with compression-ratio deltas against the exact engine — and lands in
+// BENCH_kmeans.json (override with --kmeans-out). Usage:
 //
 //   numarck-bench-codec [output.json] [--points N] [--reps R]
+//                       [--kmeans-out kmeans.json]
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
@@ -15,6 +19,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,10 +65,83 @@ struct Row {
   double mpoints_per_s;
 };
 
+struct KmeansRow {
+  std::string engine;
+  double sampling;
+  std::size_t threads;
+  double seconds;
+  double mpoints_per_s;
+  double gamma;
+  double paper_ratio;       ///< Eq. 3 compression ratio, percent
+  double ratio_delta_pct;   ///< paper_ratio - exact-engine full-sample ratio
+};
+
+const char* engine_name(cluster::KMeansEngine e) {
+  switch (e) {
+    case cluster::KMeansEngine::kSortedBoundary:
+      return "exact";
+    case cluster::KMeansEngine::kHistogramLloyd:
+      return "histogram";
+    case cluster::KMeansEngine::kLloydParallel:
+      return "lloyd";
+  }
+  return "?";
+}
+
+/// Clustering-strategy encode sweep: engine x sampling_ratio x threads, with
+/// the compression-ratio delta against the exact engine at full sampling on
+/// the same thread count (the quality cost of the fast path).
+std::vector<KmeansRow> kmeans_sweep(std::span<const double> prev,
+                                    std::span<const double> curr,
+                                    std::size_t reps) {
+  const cluster::KMeansEngine engines[] = {
+      cluster::KMeansEngine::kSortedBoundary,
+      cluster::KMeansEngine::kHistogramLloyd};
+  const double samplings[] = {1.0, 0.1, 0.01};
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  const double mp = static_cast<double>(curr.size()) / 1e6;
+  std::vector<KmeansRow> rows;
+  for (const auto engine : engines) {
+    for (const double sampling : samplings) {
+      for (const std::size_t threads : thread_counts) {
+        util::ThreadPool pool(threads);
+        core::Options opts;
+        opts.strategy = core::Strategy::kClustering;
+        opts.kmeans_engine = engine;
+        opts.sampling_ratio = sampling;
+        opts.pool = &pool;
+        core::EncodedIteration enc;
+        const double s = best_seconds(
+            reps, [&] { enc = core::encode_iteration(prev, curr, opts); });
+        rows.push_back({engine_name(engine), sampling, threads, s, mp / s,
+                        enc.stats.incompressible_ratio(),
+                        enc.paper_compression_ratio(), 0.0});
+        std::fprintf(stderr,
+                     "kmeans  %-9s s=%-4g t=%zu  %8.3f ms  %7.1f Mpt/s  "
+                     "gamma=%.4f  ratio=%.2f%%\n",
+                     engine_name(engine), sampling, threads, s * 1e3, mp / s,
+                     enc.stats.incompressible_ratio(),
+                     enc.paper_compression_ratio());
+      }
+    }
+  }
+  for (auto& r : rows) {
+    for (const auto& base : rows) {
+      if (base.engine == "exact" && base.sampling == 1.0 &&
+          base.threads == r.threads) {
+        r.ratio_delta_pct = r.paper_ratio - base.paper_ratio;
+        break;
+      }
+    }
+  }
+  return rows;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_codec.json";
+  std::string kmeans_out_path = "BENCH_kmeans.json";
   std::size_t n = std::size_t{1} << 17;
   std::size_t reps = 5;
   const auto count_arg = [&](const char* flag, int& i) -> std::size_t {
@@ -85,6 +163,12 @@ int main(int argc, char** argv) {
       n = count_arg("--points", i);
     } else if (std::strcmp(argv[i], "--reps") == 0) {
       reps = count_arg("--reps", i);
+    } else if (std::strcmp(argv[i], "--kmeans-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--kmeans-out requires a value\n");
+        std::exit(2);
+      }
+      kmeans_out_path = argv[++i];
     } else {
       out_path = argv[i];
     }
@@ -165,5 +249,59 @@ int main(int argc, char** argv) {
   }
   out << "\n  }\n}\n";
   std::cerr << "wrote " << out_path << "\n";
+
+  // ---- K-means sweep (engine x sampling x threads) -> BENCH_kmeans.json --
+  const std::vector<KmeansRow> krows = kmeans_sweep(prev, curr, reps);
+  auto kfind = [&](const std::string& engine, double sampling,
+                   std::size_t t) -> const KmeansRow* {
+    for (const auto& r : krows) {
+      if (r.engine == engine && r.sampling == sampling && r.threads == t) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+  std::ofstream kout(kmeans_out_path);
+  if (!kout) {
+    std::cerr << "cannot open " << kmeans_out_path << " for writing\n";
+    return 1;
+  }
+  kout << "{\n";
+  kout << "  \"benchmark\": \"kmeans\",\n";
+  kout << "  \"points\": " << n << ",\n";
+  kout << "  \"reps\": " << reps << ",\n";
+  kout << "  \"k\": " << ((std::size_t{1} << 8) - 1) << ",\n";
+  kout << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n";
+  kout << "  \"results\": [\n";
+  for (std::size_t i = 0; i < krows.size(); ++i) {
+    const auto& r = krows[i];
+    kout << "    {\"engine\": \"" << r.engine
+         << "\", \"sampling_ratio\": " << r.sampling
+         << ", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+         << ", \"mpoints_per_s\": " << r.mpoints_per_s
+         << ", \"gamma\": " << r.gamma
+         << ", \"paper_ratio_pct\": " << r.paper_ratio
+         << ", \"ratio_delta_vs_exact_pct\": " << r.ratio_delta_pct << "}"
+         << (i + 1 < krows.size() ? "," : "") << "\n";
+  }
+  kout << "  ],\n";
+  // Headline numbers the CI bench-smoke job gates on: how close the
+  // clustering strategy gets to equal-width encode, and the fast engine's
+  // speedup over the exact one (both single-threaded, full sampling).
+  {
+    const Row* cl = find("encode", "clustering", 1);
+    const Row* ew = find("encode", "equal-width", 1);
+    const KmeansRow* hist = kfind("histogram", 1.0, 1);
+    const KmeansRow* exact = kfind("exact", 1.0, 1);
+    kout << "  \"clustering_encode_mpoints_per_s\": "
+         << (cl ? cl->mpoints_per_s : 0.0) << ",\n";
+    kout << "  \"clustering_vs_equal_width_encode\": "
+         << (cl && ew ? cl->mpoints_per_s / ew->mpoints_per_s : 0.0) << ",\n";
+    kout << "  \"histogram_vs_exact_speedup\": "
+         << (hist && exact ? exact->seconds / hist->seconds : 0.0) << "\n";
+  }
+  kout << "}\n";
+  std::cerr << "wrote " << kmeans_out_path << "\n";
   return 0;
 }

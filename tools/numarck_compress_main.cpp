@@ -18,6 +18,8 @@ const char* kUsage =
     "                        [--error-bound E] [--bits B]\n"
     "                        [--strategy equal-width|log-scale|clustering]\n"
     "                        [--predictor previous|linear]\n"
+    "                        [--kmeans-engine histogram|exact|lloyd]\n"
+    "                        [--sampling-ratio R]  # learn-set fraction (0,1]\n"
     "                        [--var NAME] [--no-postpass]\n";
 
 }  // namespace
@@ -48,6 +50,10 @@ int main(int argc, char** argv) {
       job.options.strategy = numarck::tools::parse_strategy(value());
     } else if (a == "--predictor") {
       job.options.predictor = numarck::tools::parse_predictor(value());
+    } else if (a == "--kmeans-engine") {
+      job.options.kmeans_engine = numarck::tools::parse_kmeans_engine(value());
+    } else if (a == "--sampling-ratio") {
+      job.options.sampling_ratio = std::strtod(value().c_str(), nullptr);
     } else if (a == "--var") {
       job.variable = value();
     } else if (a == "--no-postpass") {
