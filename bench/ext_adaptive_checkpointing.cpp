@@ -50,14 +50,13 @@ int main() {
     core::Options copts;
     copts.error_bound = 0.001;
     copts.strategy = core::Strategy::kClustering;
+    copts.postpass = core::Postpass::all();
     core::VariableCompressor comp(copts);
     std::size_t staleness = 0, storm_sum = 0, storm_n = 0;
     for (std::size_t it = 0; it < series.size(); ++it) {
       if (it % interval == 0) {
         const auto step = comp.push(series[it]);
-        o.bytes += step.is_full
-                       ? step.full_fpc.size()
-                       : step.delta.serialize(core::Postpass::all()).size();
+        o.bytes += step.stored_bytes();
         ++o.writes;
         staleness = 0;
       } else {
@@ -80,6 +79,7 @@ int main() {
     adaptive::AdaptiveOptions aopts;
     aopts.codec.error_bound = 0.001;
     aopts.codec.strategy = core::Strategy::kClustering;
+    aopts.codec.postpass = core::Postpass::all();
     aopts.drift_budget = budget;
     aopts.max_interval = 8;
     adaptive::AdaptiveCheckpointer cp(aopts);

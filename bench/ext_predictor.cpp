@@ -27,20 +27,18 @@ int main() {
       opts.error_bound = 0.001;
       opts.strategy = core::Strategy::kClustering;
       opts.predictor = p;
+      opts.postpass = core::Postpass::all();
       core::VariableCompressor comp(opts);
       util::RunningStats gamma, ratio, err, true_ratio;
       for (const auto& snap : snaps) {
         const auto step = comp.push(snap);
         if (step.is_full) continue;
-        gamma.add(100.0 * step.delta.stats.incompressible_ratio());
-        ratio.add(step.delta.paper_compression_ratio());
-        err.add(100.0 * step.delta.stats.mean_ratio_error);
-        const double raw = static_cast<double>(step.delta.point_count) * 8.0;
+        gamma.add(100.0 * step.stats.incompressible_ratio());
+        ratio.add(step.paper_ratio_pct);
+        err.add(100.0 * step.stats.mean_ratio_error);
+        const double raw = static_cast<double>(step.point_count) * 8.0;
         true_ratio.add(
-            100.0 *
-            (raw - static_cast<double>(
-                       step.delta.serialize(core::Postpass::all()).size())) /
-            raw);
+            100.0 * (raw - static_cast<double>(step.stored_bytes())) / raw);
       }
       std::printf("%-10s | %8.3f | %10.3f | %12.5f | %12.3f\n",
                   core::to_string(p), gamma.mean(), ratio.mean(), err.mean(),

@@ -38,7 +38,7 @@ int main() {
           100.0 * metrics::mean_relative_error(snap, rec.state()));
       max_err.push_back(100.0 * metrics::max_relative_error(snap, rec.state()));
       if (!step.is_full) {
-        gammas.push_back(100.0 * step.delta.stats.incompressible_ratio());
+        gammas.push_back(100.0 * step.stats.incompressible_ratio());
       }
     }
     return std::make_tuple(mean_err, max_err,

@@ -49,12 +49,11 @@ int main() {
     reconstructor.push(step);
     if (step.is_full) {
       std::printf("%4d |  full | %7s | %13s | lossless (FPC, %zu -> %zu bytes)\n",
-                  it, "-", "-", n * sizeof(double), step.full_fpc.size());
+                  it, "-", "-", n * sizeof(double), step.stored_bytes());
     } else {
-      const auto& s = step.delta.stats;
+      const auto& s = step.stats;
       std::printf("%4d | delta | %6.3f%% | %12.3f%% | %8.5f%% | %7.5f%%\n", it,
-                  100.0 * s.incompressible_ratio(),
-                  step.delta.paper_compression_ratio(),
+                  100.0 * s.incompressible_ratio(), step.paper_ratio_pct,
                   100.0 * s.mean_ratio_error, 100.0 * s.max_ratio_error);
     }
   }

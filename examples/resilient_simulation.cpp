@@ -36,6 +36,7 @@ int main() {
   adaptive::AdaptiveOptions acfg;
   acfg.codec.error_bound = 0.001;
   acfg.codec.strategy = core::Strategy::kClustering;
+  acfg.codec.postpass = core::Postpass::all();
   acfg.drift_budget = 0.004;
   acfg.max_interval = 4;
   adaptive::AdaptiveCheckpointer controller(acfg);
@@ -73,8 +74,7 @@ int main() {
 
       const auto decision = controller.push(snap);
       if (decision.action != adaptive::Action::kSkip) {
-        writer.append("pres", written, sim.time(), decision.step,
-                      core::Postpass::all());
+        writer.append("pres", written, sim.time(), decision.step);
         iteration_time[written] = sim.time();
         std::printf("it %2zu: wrote %s record #%zu (%zu bytes)%s\n", it,
                     adaptive::to_string(decision.action), written,

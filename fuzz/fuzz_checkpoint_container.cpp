@@ -4,6 +4,10 @@
 // kStrict must reject any structural damage with ContractViolation; kSalvage
 // must additionally survive arbitrary tails, keeping every record before the
 // damage loadable (or cleanly rejecting it on CRC/deserialize failure).
+// Container v2 records carry a codec-id byte: the scan must reject unknown
+// codec ids and full records tagged with a temporal codec BEFORE sizing any
+// allocation from the record (seeds: unknown_codec_id, full_temporal_codec),
+// and v1 images (no codec byte) must keep parsing as implicit FPC/NUMARCK.
 #include <cstdint>
 
 #include "numarck/io/checkpoint_file.hpp"

@@ -1,12 +1,31 @@
 #include "numarck/adaptive/checkpointer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
-#include "numarck/core/codec.hpp"
-#include "numarck/lossless/fpc.hpp"
+#include "numarck/codec/codec.hpp"
 #include "numarck/util/expect.hpp"
 
 namespace numarck::adaptive {
+
+namespace {
+
+/// Target sample size for the auto-mode codec trial.
+constexpr std::size_t kTrialPoints = 2048;
+
+core::CompressedStep step_from(const codec::Codec& c, codec::EncodeResult res,
+                               std::size_t point_count, unsigned index_bits) {
+  core::CompressedStep step;
+  step.codec_id = c.id();
+  step.point_count = point_count;
+  step.payload = std::move(res.payload);
+  step.stats = res.stats;
+  step.paper_ratio_pct = res.paper_ratio_pct;
+  if (c.id() == codec::kNumarckId) step.index_bits = index_bits;
+  return step;
+}
+
+}  // namespace
 
 const char* to_string(Action a) noexcept {
   switch (a) {
@@ -23,6 +42,9 @@ const char* to_string(Action a) noexcept {
 AdaptiveCheckpointer::AdaptiveCheckpointer(const AdaptiveOptions& opts)
     : opts_(opts) {
   opts_.codec.validate();
+  NUMARCK_EXPECT(opts_.codec.codec_id == codec::kAutoId ||
+                     codec::find(opts_.codec.codec_id) != nullptr,
+                 "adaptive: unknown codec id");
   NUMARCK_EXPECT(opts_.drift_budget > 0.0, "drift budget must be positive");
   NUMARCK_EXPECT(opts_.max_interval >= 1, "max interval must be >= 1");
   NUMARCK_EXPECT(opts_.min_interval >= 1, "min interval must be >= 1");
@@ -49,16 +71,63 @@ double AdaptiveCheckpointer::estimate_drift(
   return count ? sum / static_cast<double>(count) : 0.0;
 }
 
+core::CompressedStep AdaptiveCheckpointer::encode_delta(
+    std::span<const double> snapshot) const {
+  if (opts_.codec.codec_id != codec::kAutoId) {
+    const codec::Codec& c = codec::require(opts_.codec.codec_id);
+    return step_from(c, c.encode(snapshot, last_written_, {}, opts_.codec),
+                     snapshot.size(), opts_.codec.index_bits);
+  }
+
+  // Auto mode. Trial-encode a strided sample with every candidate and rank
+  // by bytes per point; the cost is O(kTrialPoints) per written record.
+  const std::size_t stride =
+      std::max<std::size_t>(1, snapshot.size() / kTrialPoints);
+  std::vector<double> sample_curr, sample_prev;
+  sample_curr.reserve(snapshot.size() / stride + 1);
+  sample_prev.reserve(snapshot.size() / stride + 1);
+  for (std::size_t j = 0; j < snapshot.size(); j += stride) {
+    sample_curr.push_back(snapshot[j]);
+    sample_prev.push_back(last_written_[j]);
+  }
+  const codec::Codec* best = nullptr;
+  std::size_t best_bytes = 0;
+  for (const codec::Codec* c : codec::all()) {
+    try {
+      const codec::EncodeResult trial =
+          c->encode(sample_curr, sample_prev, {}, opts_.codec);
+      if (best == nullptr || trial.payload.size() < best_bytes) {
+        best = c;
+        best_bytes = trial.payload.size();
+      }
+    } catch (const numarck::ContractViolation&) {
+      // Candidate can't handle this shape (e.g. bspline below 8 points).
+    }
+  }
+  NUMARCK_EXPECT(best != nullptr, "adaptive auto: no codec fits the data");
+
+  core::CompressedStep chosen =
+      step_from(*best, best->encode(snapshot, last_written_, {}, opts_.codec),
+                snapshot.size(), opts_.codec.index_bits);
+  if (best->id() == codec::kNumarckId) return chosen;
+  // The sample can mislead; re-encode with NUMARCK at full size and keep the
+  // smaller payload, so auto never produces a larger record than the fixed
+  // default would have.
+  const codec::Codec& numarck = codec::require(codec::kNumarckId);
+  core::CompressedStep fallback = step_from(
+      numarck, numarck.encode(snapshot, last_written_, {}, opts_.codec),
+      snapshot.size(), opts_.codec.index_bits);
+  return fallback.payload.size() <= chosen.payload.size() ? fallback : chosen;
+}
+
 StepDecision AdaptiveCheckpointer::push(std::span<const double> snapshot) {
   StepDecision d;
   ++stats_.snapshots;
 
   auto write_full = [&] {
     d.action = Action::kFull;
-    d.step.is_full = true;
-    d.step.point_count = snapshot.size();
-    d.step.full_fpc = lossless::fpc_compress(snapshot);
-    d.bytes_written = d.step.full_fpc.size();
+    d.step = core::CompressedStep::full_from(snapshot);
+    d.bytes_written = d.step.payload.size();
     last_written_.assign(snapshot.begin(), snapshot.end());
     since_write_ = 0;
     writes_since_full_ = 0;
@@ -86,19 +155,16 @@ StepDecision AdaptiveCheckpointer::push(std::span<const double> snapshot) {
   }
 
   // Encode the delta against the last written state; inspect its quality.
-  core::EncodedIteration enc =
-      core::encode_iteration(last_written_, snapshot, opts_.codec);
+  core::CompressedStep step = encode_delta(snapshot);
   const bool degraded =
-      enc.stats.incompressible_ratio() > opts_.gamma_rebase;
+      step.stats.incompressible_ratio() > opts_.gamma_rebase;
   if (degraded || writes_since_full_ + 1 >= opts_.rebase_interval) {
     write_full();
     return d;
   }
   d.action = Action::kDelta;
-  d.step.is_full = false;
-  d.step.point_count = snapshot.size();
-  d.step.delta = std::move(enc);
-  d.bytes_written = d.step.delta.serialize(core::Postpass::all()).size();
+  d.step = std::move(step);
+  d.bytes_written = d.step.payload.size();
   last_written_.assign(snapshot.begin(), snapshot.end());
   since_write_ = 0;
   ++writes_since_full_;

@@ -31,11 +31,15 @@ enum class Action : std::uint8_t { kSkip = 0, kDelta = 1, kFull = 2 };
 const char* to_string(Action a) noexcept;
 
 struct AdaptiveOptions {
-  /// Codec settings for the written records. Note: the controller codes each
-  /// delta against the last *written* snapshot directly, so
-  /// codec.predictor is ignored (records are always first-order) — the
-  /// linear predictor needs an unbroken every-iteration history, which the
-  /// skip action intentionally destroys.
+  /// Codec settings for the written records. codec.codec_id selects the
+  /// delta backend; the codec::kAutoId sentinel enables auto mode, which
+  /// trial-encodes a strided sample per written record, picks the smallest
+  /// backend meeting the error bound, and never writes a delta larger than
+  /// fixed-NUMARCK would have. Note: the controller codes each delta against
+  /// the last *written* snapshot directly, so codec.predictor is ignored
+  /// (records are always first-order) — the linear predictor needs an
+  /// unbroken every-iteration history, which the skip action intentionally
+  /// destroys.
   core::Options codec;
 
   /// Write a delta once the estimated mean |change ratio| since the last
@@ -89,6 +93,12 @@ class AdaptiveCheckpointer {
 
  private:
   [[nodiscard]] double estimate_drift(std::span<const double> snapshot) const;
+
+  /// Encodes the pending delta with the configured backend, or — in auto
+  /// mode — with the winner of a strided trial across all non-temporal-safe
+  /// candidates, floored by NUMARCK so auto never loses to the fixed default.
+  [[nodiscard]] core::CompressedStep encode_delta(
+      std::span<const double> snapshot) const;
 
   AdaptiveOptions opts_;
   std::vector<double> last_written_;   ///< reference for drift + delta coding

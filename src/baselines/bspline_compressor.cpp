@@ -3,9 +3,37 @@
 #include <algorithm>
 
 #include "numarck/baselines/bspline.hpp"
+#include "numarck/util/byte_stream.hpp"
 #include "numarck/util/expect.hpp"
 
 namespace numarck::baselines {
+
+namespace {
+constexpr std::uint32_t kBsplineMagic = 0x31505342;  // "BSP1"
+}  // namespace
+
+std::vector<std::uint8_t> BSplineCompressed::serialize() const {
+  util::ByteWriter w;
+  w.put_u32(kBsplineMagic);
+  w.put_varint(point_count);
+  w.put_vector(coefficients);
+  return w.take();
+}
+
+BSplineCompressed BSplineCompressed::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  NUMARCK_EXPECT(r.get_u32() == kBsplineMagic, "bspline: bad magic");
+  BSplineCompressed out;
+  out.point_count = r.get_varint();
+  NUMARCK_EXPECT(out.point_count >= 8, "bspline: too few points");
+  out.coefficients = r.get_vector<double>();
+  NUMARCK_EXPECT(out.coefficients.size() >= 4 &&
+                     out.coefficients.size() <= out.point_count,
+                 "bspline: coefficient count out of range");
+  NUMARCK_EXPECT(r.at_end(), "bspline: trailing bytes");
+  return out;
+}
 
 BSplineCompressor::BSplineCompressor(double coeff_fraction)
     : frac_(coeff_fraction) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -14,6 +15,12 @@ namespace numarck::baselines {
 struct BSplineCompressed {
   std::vector<double> coefficients;
   std::size_t point_count = 0;
+
+  /// Wire form ("BSP1", docs/FORMAT.md §7): point count + coefficient
+  /// vector. deserialize() checks the coefficient count against the
+  /// remaining bytes before allocating.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static BSplineCompressed deserialize(std::span<const std::uint8_t> bytes);
 
   [[nodiscard]] std::size_t stored_bytes() const noexcept {
     return coefficients.size() * sizeof(double);

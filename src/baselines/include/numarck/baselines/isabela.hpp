@@ -38,6 +38,14 @@ struct IsabelaCompressed {
   /// indices at ceil(log2(W0)) bits per point.
   [[nodiscard]] std::size_t stored_bits() const noexcept;
   [[nodiscard]] double compression_ratio_percent() const noexcept;
+
+  /// Wire form ("ISB1", docs/FORMAT.md §7): options, then per-window
+  /// coefficient vectors and permutations bit-packed at ceil(log2(W0)) bits —
+  /// the paper's storage model made real. deserialize() bounds-checks every
+  /// count against the remaining bytes before allocating and rejects
+  /// out-of-range permutation indices at parse time.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static IsabelaCompressed deserialize(std::span<const std::uint8_t> bytes);
 };
 
 class Isabela {

@@ -5,11 +5,15 @@
 #include <numeric>
 
 #include "numarck/baselines/bspline.hpp"
+#include "numarck/util/bitpack.hpp"
+#include "numarck/util/byte_stream.hpp"
 #include "numarck/util/expect.hpp"
 
 namespace numarck::baselines {
 
 namespace {
+
+constexpr std::uint32_t kIsabelaMagic = 0x31425349;  // "ISB1"
 
 unsigned index_bits_for(std::size_t window) {
   unsigned bits = 0;
@@ -36,6 +40,78 @@ double IsabelaCompressed::compression_ratio_percent() const noexcept {
   if (point_count == 0) return 0.0;
   const double orig = static_cast<double>(point_count) * 64.0;
   return (orig - static_cast<double>(stored_bits())) / orig * 100.0;
+}
+
+std::vector<std::uint8_t> IsabelaCompressed::serialize() const {
+  util::ByteWriter w;
+  w.put_u32(kIsabelaMagic);
+  w.put_varint(options.window);
+  w.put_varint(options.coeffs);
+  w.put_varint(point_count);
+  w.put_varint(windows.size());
+  const unsigned idx_bits = index_bits_for(options.window);
+  for (const auto& win : windows) {
+    w.put_varint(win.count);
+    w.put_vector(win.coefficients);
+    util::BitWriter bits;
+    for (const std::uint32_t p : win.permutation) {
+      bits.put(p, idx_bits);
+    }
+    const std::vector<std::uint8_t> packed = bits.finish();
+    w.put_bytes(packed.data(), packed.size());
+  }
+  return w.take();
+}
+
+IsabelaCompressed IsabelaCompressed::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  NUMARCK_EXPECT(r.get_u32() == kIsabelaMagic, "isabela: bad magic");
+  IsabelaCompressed out;
+  out.options.window = r.get_varint();
+  out.options.coeffs = r.get_varint();
+  NUMARCK_EXPECT(out.options.window >= 16 &&
+                     out.options.window <= (std::size_t{1} << 24),
+                 "isabela: window out of range");
+  NUMARCK_EXPECT(out.options.coeffs >= 4 &&
+                     out.options.coeffs <= out.options.window,
+                 "isabela: coefficient count out of range");
+  out.point_count = r.get_varint();
+  const std::size_t window_count = r.get_varint();
+  // Every window holds >= 1 point and stores >= 1 permutation byte, so a
+  // forged window count past the remaining bytes fails before the loop.
+  NUMARCK_EXPECT(window_count <= out.point_count &&
+                     window_count <= r.remaining(),
+                 "isabela: window count out of range");
+  const unsigned idx_bits = index_bits_for(out.options.window);
+  out.windows.reserve(window_count);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < window_count; ++i) {
+    IsabelaWindow win;
+    win.count = r.get_varint();
+    NUMARCK_EXPECT(win.count >= 1 && win.count <= out.options.window,
+                   "isabela: window point count out of range");
+    win.coefficients = r.get_vector<double>();
+    NUMARCK_EXPECT(win.coefficients.size() >= 1 &&
+                       win.coefficients.size() <= win.count,
+                   "isabela: coefficient vector out of range");
+    const std::size_t perm_bytes = (win.count * idx_bits + 7) / 8;
+    NUMARCK_EXPECT(perm_bytes <= r.remaining(),
+                   "isabela: truncated permutation");
+    util::BitReader bits(bytes.data() + r.position(), perm_bytes);
+    win.permutation.resize(win.count);
+    for (std::size_t j = 0; j < win.count; ++j) {
+      const std::uint32_t p = bits.get(idx_bits);
+      NUMARCK_EXPECT(p < win.count, "isabela: permutation index out of range");
+      win.permutation[j] = p;
+    }
+    r.skip(perm_bytes);
+    total += win.count;
+    out.windows.push_back(std::move(win));
+  }
+  NUMARCK_EXPECT(total == out.point_count, "isabela: point count mismatch");
+  NUMARCK_EXPECT(r.at_end(), "isabela: trailing bytes");
+  return out;
 }
 
 Isabela::Isabela(const IsabelaOptions& opts) : opts_(opts) {
@@ -68,6 +144,13 @@ IsabelaCompressed Isabela::compress(std::span<const double> data) const {
       win.permutation[order[pos]] = pos;
       sorted[pos] = data[start + order[pos]];
     }
+    if (count < 4) {
+      // Too few points for a cubic basis: store the sorted values raw
+      // (coefficient count == point count marks the window as unfitted).
+      win.coefficients = std::move(sorted);
+      out.windows.push_back(std::move(win));
+      continue;
+    }
     // A partial tail window gets a proportionally smaller coefficient
     // budget, keeping the bits-per-point — and hence the fixed compression
     // ratio the paper reports — uniform across windows.
@@ -86,9 +169,17 @@ std::vector<double> Isabela::decompress(const IsabelaCompressed& c) const {
   std::vector<double> out;
   out.reserve(c.point_count);
   for (const auto& win : c.windows) {
-    CubicBSplineBasis basis(win.coefficients.size());
-    const std::vector<double> sorted =
-        evaluate_uniform(basis, win.coefficients, win.count);
+    std::vector<double> sorted;
+    if (win.count < 4) {
+      NUMARCK_EXPECT(win.coefficients.size() == win.count,
+                     "isabela: unfitted window size mismatch");
+      sorted = win.coefficients;
+    } else {
+      NUMARCK_EXPECT(win.coefficients.size() >= 4,
+                     "isabela: too few spline coefficients");
+      CubicBSplineBasis basis(win.coefficients.size());
+      sorted = evaluate_uniform(basis, win.coefficients, win.count);
+    }
     const std::size_t base = out.size();
     out.resize(base + win.count);
     NUMARCK_EXPECT(win.permutation.size() == win.count,

@@ -1,12 +1,30 @@
 #include "numarck/core/compressor.hpp"
 
+#include "numarck/codec/codec.hpp"
 #include "numarck/lossless/fpc.hpp"
 #include "numarck/util/expect.hpp"
 
 namespace numarck::core {
 
-std::size_t CompressedStep::stored_bytes() const {
-  return is_full ? full_fpc.size() : delta.serialized_size_bytes();
+CompressedStep CompressedStep::full_from(std::span<const double> snapshot) {
+  CompressedStep step;
+  step.codec_id = codec::kFpcId;
+  step.is_full = true;
+  step.point_count = snapshot.size();
+  step.payload = lossless::fpc_compress(snapshot);
+  return step;
+}
+
+CompressedStep CompressedStep::from_encoded(const EncodedIteration& enc,
+                                            const Postpass& postpass) {
+  CompressedStep step;
+  step.codec_id = codec::kNumarckId;
+  step.point_count = enc.point_count;
+  step.payload = enc.serialize(postpass);
+  step.stats = enc.stats;
+  step.paper_ratio_pct = enc.paper_compression_ratio();
+  step.index_bits = enc.index_bits;
+  return step;
 }
 
 VariableCompressor::VariableCompressor(Options opts) : opts_(opts) {
@@ -25,30 +43,31 @@ std::vector<double> VariableCompressor::prediction_base() const {
 }
 
 CompressedStep VariableCompressor::push(std::span<const double> snapshot) {
-  CompressedStep step;
-  step.point_count = snapshot.size();
   if (iter_ == 0) {
-    step.is_full = true;
-    step.full_fpc = lossless::fpc_compress(snapshot);
+    CompressedStep step = CompressedStep::full_from(snapshot);
     reference_.assign(snapshot.begin(), snapshot.end());
     ++iter_;
     return step;
   }
   NUMARCK_EXPECT(snapshot.size() == reference_.size(),
                  "VariableCompressor: snapshot length changed mid-stream");
-  step.is_full = false;
-  const bool linear =
-      opts_.predictor == Predictor::kLinear && !reference2_.empty();
-  const std::vector<double> base = prediction_base();
-  step.delta = encode_iteration(base, snapshot, opts_);
-  step.delta.predictor = linear ? Predictor::kLinear : Predictor::kPrevious;
+  const codec::Codec& c = codec::require(opts_.codec_id);
+  codec::EncodeResult res = c.encode(snapshot, reference_, reference2_, opts_);
+  CompressedStep step;
+  step.codec_id = c.id();
+  step.point_count = snapshot.size();
+  step.payload = std::move(res.payload);
+  step.stats = res.stats;
+  step.paper_ratio_pct = res.paper_ratio_pct;
+  if (c.id() == codec::kNumarckId) step.index_bits = opts_.index_bits;
   if (opts_.reference == Reference::kTruePrevious) {
     reference2_ = reference_;
     reference_.assign(snapshot.begin(), snapshot.end());
   } else {
     // Closed loop: predict the next iteration from what the decoder will
     // actually hold, so per-iteration bounds apply to the *absolute* state.
-    std::vector<double> recon = decode_iteration(base, step.delta, opts_.pool);
+    std::vector<double> recon =
+        c.decode(step.payload, reference_, reference2_, snapshot.size());
     reference2_ = std::move(reference_);
     reference_ = std::move(recon);
   }
@@ -57,16 +76,27 @@ CompressedStep VariableCompressor::push(std::span<const double> snapshot) {
 }
 
 void VariableReconstructor::push(const CompressedStep& step) {
+  const codec::Codec& c = codec::require(step.codec_id);
   if (step.is_full) {
-    push_full(step.full_fpc);
-  } else {
-    push_delta(step.delta);
+    NUMARCK_EXPECT(!c.caps().temporal,
+                   "reconstructor: full record with a temporal codec");
+  } else if (c.caps().temporal) {
+    NUMARCK_EXPECT(iter_ > 0, "reconstructor: delta before the full record");
   }
+  std::vector<double> next =
+      c.decode(step.payload, state_, state2_, step.point_count);
+  if (step.is_full) {
+    // A full record is always accepted: mid-stream it is a rebase (the
+    // adaptive controller emits those), resetting the delta chain.
+    state2_.clear();
+  } else {
+    state2_ = std::move(state_);
+  }
+  state_ = std::move(next);
+  ++iter_;
 }
 
 void VariableReconstructor::push_full(std::span<const std::uint8_t> fpc_stream) {
-  // A full record is always accepted: mid-stream it is a rebase (the
-  // adaptive controller emits those), resetting the delta chain.
   state_ = lossless::fpc_decompress(fpc_stream);
   state2_.clear();
   ++iter_;

@@ -23,16 +23,37 @@
 
 namespace numarck::core {
 
-/// One step of compressed output: either the lossless full checkpoint or a
-/// NUMARCK-encoded delta.
+/// One step of compressed output: a payload tagged with the codec that
+/// produced it (wire ids in numarck/codec/codec.hpp). The payload is the
+/// exact byte string the container stores — any post-pass has already been
+/// applied — so stored_bytes() matches the on-disk record payload exactly.
 struct CompressedStep {
-  bool is_full = false;
-  std::vector<std::uint8_t> full_fpc;  ///< set when is_full
-  EncodedIteration delta;              ///< set when !is_full
+  std::uint8_t codec_id = 0;  ///< codec wire id of the payload
+  bool is_full = false;       ///< lossless full checkpoint (rebase point)
   std::size_t point_count = 0;
+  std::vector<std::uint8_t> payload;
 
-  /// Bytes this step occupies when serialized (payload only).
-  [[nodiscard]] std::size_t stored_bytes() const;
+  /// Encoder-side accounting (zeroed for full steps; for non-NUMARCK delta
+  /// codecs, exact_out_of_bound counts patched points).
+  IterationStats stats;
+  /// Eq. 3-style compression ratio in percent, as reported by the codec.
+  double paper_ratio_pct = 0.0;
+  /// Index precision B of a NUMARCK delta (0 otherwise) — the sharded
+  /// Eq. 3 aggregation charges each shard's 2^B - 1 table from this.
+  unsigned index_bits = 0;
+
+  /// Bytes this step occupies on disk (payload only).
+  [[nodiscard]] std::size_t stored_bytes() const noexcept {
+    return payload.size();
+  }
+
+  /// A lossless full checkpoint (FPC codec) of `snapshot`.
+  static CompressedStep full_from(std::span<const double> snapshot);
+
+  /// Wraps an already-encoded NUMARCK iteration (the distributed encoder
+  /// produces those) as a delta step, serializing with `postpass`.
+  static CompressedStep from_encoded(const EncodedIteration& enc,
+                                     const Postpass& postpass = Postpass::none());
 };
 
 class VariableCompressor {
@@ -66,11 +87,13 @@ class VariableCompressor {
 
 class VariableReconstructor {
  public:
-  /// Applies one compressed step; must be fed the exact sequence the
-  /// compressor produced, starting with the full record.
+  /// Applies one compressed step, dispatching decode through the codec
+  /// registry; must be fed the exact sequence the compressor produced,
+  /// starting with the full record. Reference-free (spatial) delta codecs
+  /// may also start a stream on their own.
   void push(const CompressedStep& step);
 
-  /// Convenience overloads for records loaded from a checkpoint file.
+  /// Convenience overloads for NUMARCK-era records.
   void push_full(std::span<const std::uint8_t> fpc_stream);
   void push_delta(const EncodedIteration& delta);
 

@@ -45,19 +45,6 @@ struct IterationStats {
   }
 };
 
-/// Optional lossless post-pass applied at serialization time (§III-B: "we
-/// can further use a lossless compression technique ... on our compressed
-/// data"). Each stream is only replaced when the coded form is smaller, so
-/// kAuto never loses.
-struct Postpass {
-  bool huffman_indices = false;  ///< entropy-code the B-bit index stream
-  bool rle_bitmap = false;       ///< run-length code the ζ bitmap
-  bool fpc_exact = false;        ///< FPC the exact-value doubles
-
-  static Postpass none() noexcept { return {}; }
-  static Postpass all() noexcept { return {true, true, true}; }
-};
-
 class EncodedIteration {
  public:
   unsigned index_bits = 8;

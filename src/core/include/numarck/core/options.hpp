@@ -50,7 +50,29 @@ const char* to_string(Strategy s) noexcept;
 const char* to_string(Reference r) noexcept;
 const char* to_string(Predictor p) noexcept;
 
+/// Optional lossless post-pass applied when a NUMARCK record is serialized
+/// (§III-B: "we can further use a lossless compression technique ... on our
+/// compressed data"). Each stream is only replaced when the coded form is
+/// smaller, so enabling a pass never loses.
+struct Postpass {
+  bool huffman_indices = false;  ///< entropy-code the B-bit index stream
+  bool rle_bitmap = false;       ///< run-length code the ζ bitmap
+  bool fpc_exact = false;        ///< FPC the exact-value doubles
+
+  static Postpass none() noexcept { return {}; }
+  static Postpass all() noexcept { return {true, true, true}; }
+};
+
 struct Options {
+  /// Which registered compressor backend `VariableCompressor` encodes delta
+  /// iterations with. Wire ids live in numarck/codec/codec.hpp (0 = NUMARCK,
+  /// the default; this header deliberately does not include the registry).
+  std::uint8_t codec_id = 0;
+
+  /// Lossless post-pass for NUMARCK payloads, applied at encode time so
+  /// `CompressedStep::stored_bytes()` is exactly the on-disk payload size.
+  Postpass postpass = Postpass::none();
+
   /// User tolerance error threshold E as a fraction (0.001 = 0.1 %).
   double error_bound = 0.001;
 
@@ -98,6 +120,15 @@ struct Options {
 
   /// Thread pool for all data-parallel stages; null = process-global pool.
   util::ThreadPool* pool = nullptr;
+
+  /// ISABELA backend (codec id 2): points per sorted window and B-spline
+  /// coefficients kept per full window (baselines/isabela.hpp).
+  std::size_t isabela_window = 512;
+  std::size_t isabela_coeffs = 30;
+
+  /// B-spline backend (codec id 3): control points as a fraction of the
+  /// point count (baselines/bspline_compressor.hpp).
+  double bspline_coeff_fraction = 0.8;
 
   /// Maximum number of learned bins: 2^B - 1.
   [[nodiscard]] std::size_t max_bins() const noexcept {

@@ -44,6 +44,11 @@ void Options::validate() const {
   NUMARCK_EXPECT(kmeans_max_iterations >= 1, "kmeans needs >= 1 iteration");
   NUMARCK_EXPECT(sampling_ratio > 0.0 && sampling_ratio <= 1.0,
                  "sampling ratio must be in (0,1]");
+  NUMARCK_EXPECT(isabela_window >= 16, "isabela window must be >= 16 points");
+  NUMARCK_EXPECT(isabela_coeffs >= 4 && isabela_coeffs <= isabela_window,
+                 "isabela coefficients must be in [4, window]");
+  NUMARCK_EXPECT(bspline_coeff_fraction > 0.0 && bspline_coeff_fraction <= 1.0,
+                 "bspline coefficient fraction must be in (0,1]");
 }
 
 }  // namespace numarck::core

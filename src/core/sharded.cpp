@@ -11,8 +11,8 @@ double ShardedStep::incompressible_ratio() const {
   std::size_t exact = 0, total = 0;
   for (const auto& s : shard_steps) {
     if (!s.is_full) {
-      exact += s.delta.stats.exact_total();
-      total += s.delta.stats.total_points;
+      exact += s.stats.exact_total();
+      total += s.stats.total_points;
     }
   }
   return total ? static_cast<double>(exact) / static_cast<double>(total) : 0.0;
@@ -22,10 +22,10 @@ double ShardedStep::paper_compression_ratio() const {
   if (point_count == 0 || is_full()) return 0.0;
   double compressed_bits = 0.0;
   for (const auto& s : shard_steps) {
-    const auto& st = s.delta.stats;
+    const auto& st = s.stats;
     const double n = static_cast<double>(st.total_points);
     const double gamma = st.incompressible_ratio();
-    const double bits = s.delta.index_bits;
+    const double bits = s.index_bits;
     compressed_bits += (1.0 - gamma) * n * bits + gamma * n * 64.0 +
                        (std::pow(2.0, bits) - 1.0) * 64.0;
   }

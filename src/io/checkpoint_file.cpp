@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "numarck/codec/codec.hpp"
 #include "numarck/util/byte_stream.hpp"
 #include "numarck/util/crc32.hpp"
 #include "numarck/util/expect.hpp"
@@ -13,7 +14,7 @@ namespace numarck::io {
 namespace {
 
 constexpr std::uint64_t kFileMagic = 0x004E4D434B505431ull;  // "NMCKPT1\0"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;  // v2 added the per-record codec id
 constexpr std::uint32_t kRecordMarker = 0x52454331u;  // "REC1"
 
 }  // namespace
@@ -36,15 +37,13 @@ class CheckpointWriter::Impl {
   }
 
   void append(const std::string& variable, std::size_t iteration,
-              double sim_time, const core::CompressedStep& step,
-              const core::Postpass& postpass) {
+              double sim_time, const core::CompressedStep& step) {
     NUMARCK_EXPECT(!closed_, "append to a closed checkpoint writer");
     const auto it = std::find(vars_.begin(), vars_.end(), variable);
     NUMARCK_EXPECT(it != vars_.end(), "unknown variable: " + variable);
     const std::size_t var_id = static_cast<std::size_t>(it - vars_.begin());
-
-    std::vector<std::uint8_t> payload =
-        step.is_full ? step.full_fpc : step.delta.serialize(postpass);
+    NUMARCK_EXPECT(codec::find(step.codec_id) != nullptr,
+                   "append: step carries an unregistered codec id");
 
     util::ByteWriter rec;
     rec.put_u32(kRecordMarker);
@@ -52,11 +51,13 @@ class CheckpointWriter::Impl {
     rec.put_varint(iteration);
     rec.put_u8(static_cast<std::uint8_t>(step.is_full ? RecordType::kFull
                                                       : RecordType::kDelta));
+    rec.put_u8(step.codec_id);
     rec.put_f64(sim_time);
-    rec.put_varint(payload.size());
+    rec.put_varint(step.payload.size());
     write_raw(rec.bytes().data(), rec.size());
-    write_raw(payload.data(), payload.size());
-    const std::uint32_t crc = util::crc32(payload.data(), payload.size());
+    write_raw(step.payload.data(), step.payload.size());
+    const std::uint32_t crc =
+        util::crc32(step.payload.data(), step.payload.size());
     write_raw(&crc, sizeof crc);
     if (durability_ == Durability::kFsyncPerIteration) sink_->sync();
   }
@@ -104,9 +105,8 @@ CheckpointWriter::~CheckpointWriter() {
 }
 
 void CheckpointWriter::append(const std::string& variable, std::size_t iteration,
-                              double sim_time, const core::CompressedStep& step,
-                              const core::Postpass& postpass) {
-  impl_->append(variable, iteration, sim_time, step, postpass);
+                              double sim_time, const core::CompressedStep& step) {
+  impl_->append(variable, iteration, sim_time, step);
   bytes_ = impl_->bytes();
 }
 
@@ -180,13 +180,13 @@ class CheckpointReader::Impl {
     NUMARCK_EXPECT(util::crc32(payload.data(), payload.size()) == crc_stored,
                    "checkpoint payload CRC mismatch (torn write?)");
     core::CompressedStep step;
-    if (inf->type == RecordType::kFull) {
-      step.is_full = true;
-      step.full_fpc = std::move(payload);
-    } else {
-      step.is_full = false;
-      step.delta = core::EncodedIteration::deserialize(payload);
-    }
+    step.codec_id = inf->codec_id;
+    step.is_full = inf->type == RecordType::kFull;
+    // Deep structural validation through the record's codec: every count and
+    // offset inside the payload is bounds-checked here, so a record that
+    // loads cleanly also decodes cleanly.
+    step.point_count = codec::require(inf->codec_id).validate_payload(payload);
+    step.payload = std::move(payload);
     return step;
   }
 
@@ -204,7 +204,9 @@ class CheckpointReader::Impl {
   void scan(TailPolicy policy) {
     util::ByteReader r(buf_);
     NUMARCK_EXPECT(r.get_u64() == kFileMagic, "not a NUMARCK checkpoint file");
-    NUMARCK_EXPECT(r.get_u32() == kVersion, "unsupported checkpoint version");
+    const std::uint32_t version = r.get_u32();
+    NUMARCK_EXPECT(version == 1 || version == kVersion,
+                   "unsupported checkpoint version");
     const std::size_t nvars = r.get_varint();
     NUMARCK_EXPECT(nvars >= 1 && nvars <= r.remaining(),
                    "corrupt checkpoint variable table");
@@ -232,6 +234,21 @@ class CheckpointReader::Impl {
                            type == static_cast<std::uint8_t>(RecordType::kDelta),
                        "unknown checkpoint record type");
         info.type = static_cast<RecordType>(type);
+        if (version >= 2) {
+          // Rejected here, before the payload is indexed (and long before
+          // anything is allocated from it): a forged codec id must not
+          // survive the scan.
+          info.codec_id = r.get_u8();
+          const codec::Codec* c = codec::find(info.codec_id);
+          NUMARCK_EXPECT(c != nullptr, "unknown checkpoint codec id");
+          NUMARCK_EXPECT(info.type != RecordType::kFull || !c->caps().temporal,
+                         "full record with a temporal codec");
+        } else {
+          // v1 records predate the codec byte: full records were always FPC
+          // streams, deltas always NUMARCK.
+          info.codec_id = info.type == RecordType::kFull ? codec::kFpcId
+                                                         : codec::kNumarckId;
+        }
         info.sim_time = r.get_f64();
         info.payload_size = r.get_varint();
         info.payload_offset = r.position();
@@ -309,20 +326,23 @@ std::vector<double> RestartEngine::reconstruct_variable(
     const std::string& variable, std::size_t iteration) const {
   NUMARCK_EXPECT(iteration < reader_.iteration_count(),
                  "restart iteration beyond checkpoint history");
-  // Replay from the LATEST full record at or before the target: correct for
-  // rebased chains (the adaptive controller emits periodic fulls) and
-  // avoids decoding history the full already supersedes.
+  // Replay from the LATEST reference-free record at or before the target: a
+  // full record, or any record whose codec is non-temporal (spatial records
+  // stand alone). Correct for rebased chains (the adaptive controller emits
+  // periodic fulls) and avoids decoding history the rebase supersedes.
   std::size_t start = 0;
-  bool found_full = false;
+  bool found_start = false;
   for (std::size_t it = iteration + 1; it-- > 0;) {
     const auto info = reader_.info(variable, it);
-    if (info && info->type == RecordType::kFull) {
+    if (!info) continue;
+    const codec::Codec* c = codec::find(info->codec_id);
+    if (info->type == RecordType::kFull || (c && !c->caps().temporal)) {
       start = it;
-      found_full = true;
+      found_start = true;
       break;
     }
   }
-  NUMARCK_EXPECT(found_full,
+  NUMARCK_EXPECT(found_start,
                  "no full checkpoint at or before the requested iteration");
   core::VariableReconstructor rec;
   for (std::size_t it = start; it <= iteration; ++it) {

@@ -113,9 +113,8 @@ RankCheckpointWriter::RankCheckpointWriter(const std::string& base,
 
 void RankCheckpointWriter::append(const std::string& variable,
                                   std::size_t iteration, double sim_time,
-                                  const core::CompressedStep& step,
-                                  const core::Postpass& postpass) {
-  writer_->append(variable, iteration, sim_time, step, postpass);
+                                  const core::CompressedStep& step) {
+  writer_->append(variable, iteration, sim_time, step);
 }
 
 void RankCheckpointWriter::close() { writer_->close(); }

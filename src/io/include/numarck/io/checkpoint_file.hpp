@@ -6,10 +6,17 @@
 // record payload is CRC-32 protected so a torn write is detected at restart
 // time rather than silently corrupting the resumed simulation.
 //
-// Layout:
+// Layout (version 2; docs/FORMAT.md §1):
 //   file header : magic "NMCKPT1\0" (u64) | version u32 | var-name table
 //   record      : marker u32 | var-id varint | iteration varint | type u8
-//                 | sim-time f64 | payload-size varint | payload | crc32 u32
+//                 | codec u8 | sim-time f64 | payload-size varint | payload
+//                 | crc32 u32
+//
+// The codec byte names the registered compressor backend of the payload
+// (numarck/codec/codec.hpp); the scan rejects unknown ids before anything is
+// allocated. Version 1 files (no codec byte) are still readable: their
+// records map to the implicit pre-registry codecs, fpc for full records and
+// numarck for deltas.
 //
 // The reader scans the record stream once, builds an in-memory index, and
 // loads payloads on demand (random access by (variable, iteration)).
@@ -36,6 +43,7 @@ struct RecordInfo {
   std::string variable;
   std::size_t iteration = 0;
   RecordType type = RecordType::kFull;
+  std::uint8_t codec_id = 0;  ///< registered codec of the payload
   double sim_time = 0.0;
   std::uint64_t payload_offset = 0;
   std::uint64_t payload_size = 0;
@@ -60,13 +68,12 @@ class CheckpointWriter {
   CheckpointWriter& operator=(const CheckpointWriter&) = delete;
 
   /// Appends a compressed step for `variable` at checkpoint `iteration`.
-  /// Delta records are serialized with `postpass` (the reader auto-detects
-  /// the stream coders from per-record flags). Any I/O failure — ENOSPC,
-  /// EIO, a closed sink — throws ContractViolation naming the file; a
-  /// short write can never masquerade as success.
+  /// The step's payload is written verbatim (any post-pass was applied at
+  /// encode time), stamped with the step's codec id. Any I/O failure —
+  /// ENOSPC, EIO, a closed sink — throws ContractViolation naming the file;
+  /// a short write can never masquerade as success.
   void append(const std::string& variable, std::size_t iteration,
-              double sim_time, const core::CompressedStep& step,
-              const core::Postpass& postpass = core::Postpass::none());
+              double sim_time, const core::CompressedStep& step);
 
   /// Syncs (per the durability policy) and closes, surfacing any deferred
   /// I/O error. The destructor also closes but must swallow failures; call
@@ -123,8 +130,9 @@ class CheckpointReader {
   [[nodiscard]] std::optional<RecordInfo> info(const std::string& variable,
                                                std::size_t iteration) const;
 
-  /// Loads and CRC-verifies one record payload, re-hydrated as a
-  /// CompressedStep (full or delta).
+  /// Loads one record as a codec-tagged CompressedStep: CRC-verifies the
+  /// payload, then structurally validates it through the record's codec
+  /// (Codec::validate_payload) and fills in the point count.
   [[nodiscard]] core::CompressedStep load(const std::string& variable,
                                           std::size_t iteration) const;
 

@@ -61,8 +61,7 @@ class RankCheckpointWriter {
                        Durability durability = Durability::kFsyncOnClose);
 
   void append(const std::string& variable, std::size_t iteration,
-              double sim_time, const core::CompressedStep& step,
-              const core::Postpass& postpass = core::Postpass::none());
+              double sim_time, const core::CompressedStep& step);
   void close();
 
  private:

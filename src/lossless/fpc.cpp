@@ -145,4 +145,26 @@ std::vector<double> fpc_decompress(std::span<const std::uint8_t> stream) {
   return out;
 }
 
+std::size_t fpc_validate(std::span<const std::uint8_t> stream) {
+  numarck::util::ByteReader in(stream);
+  NUMARCK_EXPECT(in.get_u32() == kMagic, "fpc: bad magic");
+  const unsigned table_log2 = in.get_u8();
+  NUMARCK_EXPECT(table_log2 >= 4 && table_log2 <= 24, "fpc: bad table size");
+  const std::size_t count = in.get_varint();
+  const std::size_t hdr_size = in.get_varint();
+  NUMARCK_EXPECT(hdr_size <= in.remaining(), "fpc: truncated header");
+  NUMARCK_EXPECT(count <= hdr_size * 2, "fpc: count exceeds header capacity");
+  numarck::util::BitReader header(stream.data() + in.position(), hdr_size);
+  in.skip(hdr_size);
+  const std::size_t res_size = in.get_varint();
+  NUMARCK_EXPECT(res_size <= in.remaining(), "fpc: truncated residual");
+  std::size_t res_needed = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    static_cast<void>(header.get(1));  // predictor selector
+    res_needed += 8 - code_to_lzb(header.get(3));
+  }
+  NUMARCK_EXPECT(res_needed <= res_size, "fpc: residual overrun");
+  return count;
+}
+
 }  // namespace numarck::lossless

@@ -34,6 +34,13 @@ std::vector<std::uint8_t> fpc_compress(std::span<const double> values,
 /// Exact inverse of fpc_compress. Throws on a malformed stream.
 std::vector<double> fpc_decompress(std::span<const std::uint8_t> stream);
 
+/// Structural validation without reconstruction: parses the stream header,
+/// walks every per-value 4-bit code and checks the residual region covers
+/// the bytes they claim — no predictor tables, no output allocation.
+/// Accepts exactly the streams fpc_decompress accepts; returns the value
+/// count. Throws ContractViolation on malformed input.
+std::size_t fpc_validate(std::span<const std::uint8_t> stream);
+
 /// Compressed size in bytes for reporting (stream.size()), exposed for
 /// symmetry with the lossy compressors' accounting.
 inline std::size_t fpc_compressed_bytes(const std::vector<std::uint8_t>& s) {

@@ -42,7 +42,7 @@ TEST(Pipeline, SubsequentStepsAreDeltas) {
   (void)comp.push(evolving_snapshot(4096, 0.0));
   const auto step = comp.push(evolving_snapshot(4096, 1.0));
   EXPECT_FALSE(step.is_full);
-  EXPECT_EQ(step.delta.point_count, 4096u);
+  EXPECT_EQ(step.point_count, 4096u);
 }
 
 TEST(Pipeline, LengthChangeMidStreamThrows) {
@@ -89,7 +89,7 @@ TEST(Pipeline, OpenLoopPerIterationRatioErrorBounded) {
     const auto snap = evolving_snapshot(8192, it * 0.5);
     const auto step = comp.push(snap);
     if (!step.is_full) {
-      EXPECT_LE(step.delta.stats.max_ratio_error, opts.error_bound * 1.0001);
+      EXPECT_LE(step.stats.max_ratio_error, opts.error_bound * 1.0001);
     }
     prev_truth = snap;
   }
@@ -150,8 +150,9 @@ TEST(Pipeline, Eq3AndTrueRatioAgreeToWithinBitmapOverhead) {
   nk::VariableCompressor comp(opts);
   (void)comp.push(evolving_snapshot(32768, 0.0));
   const auto step = comp.push(evolving_snapshot(32768, 0.7));
-  const double paper = step.delta.paper_compression_ratio();
-  const double honest = step.delta.true_compression_ratio();
+  const auto enc = nk::EncodedIteration::deserialize(step.payload);
+  const double paper = enc.paper_compression_ratio();
+  const double honest = enc.true_compression_ratio();
   // Honest accounting adds the 1-bit zeta map (~1.6 % of 64-bit points) and
   // headers; it must be within a few points of Eq. 3, and never above it by
   // more than rounding.
@@ -207,9 +208,11 @@ TEST(Predictor, FirstDeltaFallsBackToPrevious) {
   nk::VariableCompressor comp(opts);
   (void)comp.push(evolving_snapshot(256, 0.0));
   const auto first_delta = comp.push(evolving_snapshot(256, 0.4));
-  EXPECT_EQ(first_delta.delta.predictor, nk::Predictor::kPrevious);
+  EXPECT_EQ(nk::EncodedIteration::deserialize(first_delta.payload).predictor,
+            nk::Predictor::kPrevious);
   const auto second_delta = comp.push(evolving_snapshot(256, 0.8));
-  EXPECT_EQ(second_delta.delta.predictor, nk::Predictor::kLinear);
+  EXPECT_EQ(nk::EncodedIteration::deserialize(second_delta.payload).predictor,
+            nk::Predictor::kLinear);
 }
 
 TEST(Predictor, LinearShrinksRatioSpreadOnSmoothDrift) {
@@ -223,10 +226,12 @@ TEST(Predictor, LinearShrinksRatioSpreadOnSmoothDrift) {
     double worst = 0.0;
     for (int it = 0; it < 6; ++it) {
       const auto step = comp.push(evolving_snapshot(4096, it * 0.2));
-      if (!step.is_full && step.delta.predictor == p) {
-        worst = std::max(worst, std::abs(step.delta.centers.empty()
+      if (step.is_full) continue;
+      const auto enc = nk::EncodedIteration::deserialize(step.payload);
+      if (enc.predictor == p) {
+        worst = std::max(worst, std::abs(enc.centers.empty()
                                              ? 0.0
-                                             : step.delta.centers.back()));
+                                             : enc.centers.back()));
       }
     }
     return worst;
@@ -243,7 +248,7 @@ TEST(Predictor, SerializationCarriesThePredictor) {
   (void)comp.push(evolving_snapshot(512, 0.0));
   (void)comp.push(evolving_snapshot(512, 0.3));
   const auto step = comp.push(evolving_snapshot(512, 0.6));
-  const auto back = nk::EncodedIteration::deserialize(step.delta.serialize());
+  const auto back = nk::EncodedIteration::deserialize(step.payload);
   EXPECT_EQ(back.predictor, nk::Predictor::kLinear);
 }
 
@@ -254,12 +259,12 @@ TEST(Predictor, LinearDeltaWithoutHistoryThrowsOnDecode) {
   (void)comp.push(evolving_snapshot(128, 0.0));
   (void)comp.push(evolving_snapshot(128, 0.3));
   const auto linear_delta = comp.push(evolving_snapshot(128, 0.6));
-  ASSERT_EQ(linear_delta.delta.predictor, nk::Predictor::kLinear);
+  const auto enc = nk::EncodedIteration::deserialize(linear_delta.payload);
+  ASSERT_EQ(enc.predictor, nk::Predictor::kLinear);
   // Feed it to a reconstructor holding only ONE state.
   nk::Options plain;
   nk::VariableCompressor c2(plain);
   nk::VariableReconstructor rec;
   rec.push(c2.push(evolving_snapshot(128, 0.0)));
-  EXPECT_THROW(rec.push_delta(linear_delta.delta),
-               numarck::ContractViolation);
+  EXPECT_THROW(rec.push_delta(enc), numarck::ContractViolation);
 }

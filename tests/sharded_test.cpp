@@ -71,10 +71,9 @@ TEST(Sharded, SingleShardMatchesPlainCompressor) {
   (void)plain.push(snapshot(8000, 0.0));
   const auto a = sharded.push(snapshot(8000, 0.5));
   const auto b = plain.push(snapshot(8000, 0.5));
-  EXPECT_NEAR(a.paper_compression_ratio(), b.delta.paper_compression_ratio(),
-              1e-9);
-  EXPECT_NEAR(a.incompressible_ratio(),
-              b.delta.stats.incompressible_ratio(), 1e-12);
+  EXPECT_NEAR(a.paper_compression_ratio(), b.paper_ratio_pct, 1e-9);
+  EXPECT_NEAR(a.incompressible_ratio(), b.stats.incompressible_ratio(),
+              1e-12);
 }
 
 TEST(Sharded, MoreShardsPayMoreTableOverhead) {

@@ -367,6 +367,34 @@ TEST(ToolsCli, RestoreStrictRejectsTornTail) {
   EXPECT_NE(out.find("error:"), std::string::npos) << out;
 }
 
+TEST(ToolsCli, RestoreWrongCodecExitsNonzeroWithClearMessage) {
+  // The container's deltas are NUMARCK; demanding --codec isabela must abort
+  // with a message naming both codecs, not silently restore.
+  TempPath input("wcin"), ckpt("wcck"), out_path("wcout");
+  const auto path = make_checkpoint(input, ckpt);
+  const auto [rc, out] =
+      run_cli(std::string(NUMARCK_RESTORE_BIN) + " --checkpoint " + path +
+              " --codec isabela --output " + out_path.str());
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  EXPECT_NE(out.find("expected isabela"), std::string::npos) << out;
+  // The matching codec restores fine.
+  const auto [rc_ok, out_ok] =
+      run_cli(std::string(NUMARCK_RESTORE_BIN) + " --checkpoint " + path +
+              " --codec numarck --output " + out_path.str());
+  EXPECT_EQ(rc_ok, 0) << out_ok;
+}
+
+TEST(ToolsCli, RestoreUnknownCodecNameExitsNonzero) {
+  TempPath input("ucin"), ckpt("ucck"), out_path("ucout");
+  const auto path = make_checkpoint(input, ckpt);
+  const auto [rc, out] =
+      run_cli(std::string(NUMARCK_RESTORE_BIN) + " --checkpoint " + path +
+              " --codec zfp --output " + out_path.str());
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("unknown codec"), std::string::npos) << out;
+}
+
 #endif  // NUMARCK_INSPECT_BIN && NUMARCK_RESTORE_BIN
 
 TEST(Tools, CompressWithLinearPredictorRestores) {

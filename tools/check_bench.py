@@ -8,9 +8,16 @@ as a fraction of the equal-width strategy's must not regress below
 --min-vs-equal-width (the histogram-Lloyd engine closed a 5x gap; the
 floor keeps it closed).
 
+With --baselines it additionally validates the cross-codec sweep in
+BENCH_baselines.json: every registered codec (numarck, fpc, isabela,
+bspline) must appear with both an encode and a decode row, every row must
+carry positive throughput, and every payload must actually be smaller than
+raw float64.
+
 Usage:
   check_bench.py BENCH_kmeans.json [--min-vs-equal-width 0.25]
                                    [--max-ratio-delta-pct 2.0]
+                                   [--baselines BENCH_baselines.json]
 """
 
 import argparse
@@ -41,9 +48,48 @@ ROW_KEYS = [
 ]
 
 
+BASELINE_CODECS = ["numarck", "fpc", "isabela", "bspline"]
+
+BASELINE_ROW_KEYS = [
+    "codec",
+    "op",
+    "seconds",
+    "mpoints_per_s",
+    "bytes_per_point",
+    "ratio_pct",
+]
+
+
 def fail(msg: str) -> None:
     print(f"check_bench: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_baselines(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("benchmark") != "baselines":
+        fail(f"unexpected baselines benchmark id {doc.get('benchmark')!r}")
+    rows = doc.get("results", [])
+    if not rows:
+        fail("empty baselines results array")
+    for i, row in enumerate(rows):
+        row_missing = [k for k in BASELINE_ROW_KEYS if k not in row]
+        if row_missing:
+            fail(f"baselines results[{i}] missing keys: {row_missing}")
+        if row["mpoints_per_s"] <= 0:
+            fail(f"baselines results[{i}] has non-positive throughput")
+        if not 0 < row["bytes_per_point"] < 8:
+            fail(
+                f"baselines results[{i}] ({row['codec']}/{row['op']}) "
+                f"stores {row['bytes_per_point']:.2f} B/pt — not smaller "
+                "than raw float64"
+            )
+    for codec in BASELINE_CODECS:
+        for op in ("encode", "decode"):
+            if not any(r["codec"] == codec and r["op"] == op for r in rows):
+                fail(f"baselines sweep is missing {codec}/{op}")
+    print(f"check_bench: OK: baselines sweep covers {BASELINE_CODECS}")
 
 
 def main() -> None:
@@ -51,7 +97,12 @@ def main() -> None:
     ap.add_argument("path")
     ap.add_argument("--min-vs-equal-width", type=float, default=0.25)
     ap.add_argument("--max-ratio-delta-pct", type=float, default=2.0)
+    ap.add_argument("--baselines", default=None,
+                    help="also validate a BENCH_baselines.json sweep")
     args = ap.parse_args()
+
+    if args.baselines:
+        check_baselines(args.baselines)
 
     with open(args.path, encoding="utf-8") as f:
         doc = json.load(f)

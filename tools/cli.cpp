@@ -1,8 +1,10 @@
 #include "numarck/tools/cli.hpp"
 
 #include <fstream>
+#include <map>
 #include <ostream>
 
+#include "numarck/codec/codec.hpp"
 #include "numarck/core/compressor.hpp"
 #include "numarck/io/checkpoint_file.hpp"
 #include "numarck/util/expect.hpp"
@@ -55,6 +57,15 @@ core::Predictor parse_predictor(const std::string& name) {
   return core::Predictor::kPrevious;
 }
 
+std::uint8_t parse_codec(const std::string& name) {
+  if (name == "auto") return codec::kAutoId;
+  const codec::Codec* c = codec::find(std::string_view(name));
+  NUMARCK_EXPECT(c != nullptr,
+                 "unknown codec (want numarck | fpc | isabela | bspline): " +
+                     name);
+  return c->id();
+}
+
 cluster::KMeansEngine parse_kmeans_engine(const std::string& name) {
   if (name == "histogram") return cluster::KMeansEngine::kHistogramLloyd;
   if (name == "exact") return cluster::KMeansEngine::kSortedBoundary;
@@ -66,7 +77,12 @@ cluster::KMeansEngine parse_kmeans_engine(const std::string& name) {
 }
 
 CompressReport compress_file(const CompressJob& job) {
-  job.options.validate();
+  NUMARCK_EXPECT(job.options.codec_id != codec::kAutoId,
+                 "--codec auto is only available through the adaptive "
+                 "checkpointing API; pick a concrete codec");
+  core::Options opts = job.options;
+  opts.postpass = job.postpass ? core::Postpass::all() : core::Postpass::none();
+  opts.validate();
   const std::vector<double> raw = read_doubles(job.input_path);
   NUMARCK_EXPECT(!raw.empty(), "input file is empty: " + job.input_path);
   const std::size_t n =
@@ -79,19 +95,17 @@ CompressReport compress_file(const CompressJob& job) {
   report.iterations = raw.size() / n;
   report.input_bytes = raw.size() * sizeof(double);
 
-  core::VariableCompressor comp(job.options);
+  core::VariableCompressor comp(opts);
   io::CheckpointWriter writer(job.output_path, {job.variable});
   util::RunningStats gamma, ratio;
-  const core::Postpass pp =
-      job.postpass ? core::Postpass::all() : core::Postpass::none();
   for (std::size_t it = 0; it < report.iterations; ++it) {
     const std::span<const double> snap(raw.data() + it * n, n);
     const auto step = comp.push(snap);
     if (!step.is_full) {
-      gamma.add(step.delta.stats.incompressible_ratio());
-      ratio.add(step.delta.paper_compression_ratio());
+      gamma.add(step.stats.incompressible_ratio());
+      ratio.add(step.paper_ratio_pct);
     }
-    writer.append(job.variable, it, static_cast<double>(it), step, pp);
+    writer.append(job.variable, it, static_cast<double>(it), step);
   }
   writer.close();
   report.output_bytes = writer.bytes_written();
@@ -106,25 +120,55 @@ void inspect_file(const std::string& checkpoint_path, std::ostream& out) {
   out << "variables (" << reader.variables().size() << "):";
   for (const auto& v : reader.variables()) out << " " << v;
   out << "\niterations: " << reader.iteration_count() << "\n\n";
-  out << "variable  iter  type   sim-time      payload-bytes\n";
+  struct CodecTotals {
+    std::size_t records = 0;
+    std::size_t payload_bytes = 0;
+    std::size_t raw_bytes = 0;
+  };
+  std::map<std::string, CodecTotals> per_codec;
+  out << "variable  iter  type   codec    sim-time      payload-bytes\n";
   for (const auto& v : reader.variables()) {
     for (std::size_t it = 0; it < reader.iteration_count(); ++it) {
       const auto info = reader.info(v, it);
       if (!info) continue;
       // Full validation, not just the index: load() checks the payload CRC
-      // and deserializes delta records, so a bit-flipped container fails
+      // and walks every payload, so a bit-flipped container fails
       // inspection instead of inspecting clean and failing at restart.
-      (void)reader.load(v, it);
+      const auto step = reader.load(v, it);
+      const char* codec_name = codec::require(info->codec_id).name();
       out << "  " << v << "  " << it << "    "
           << (info->type == io::RecordType::kFull ? "full " : "delta") << "  "
-          << info->sim_time << "    " << info->payload_size << "\n";
+          << codec_name << "  " << info->sim_time << "    "
+          << info->payload_size << "\n";
+      CodecTotals& t = per_codec[codec_name];
+      ++t.records;
+      // Exactly the on-disk payload size; raw is what the points would
+      // occupy uncompressed.
+      t.payload_bytes += step.stored_bytes();
+      t.raw_bytes += step.point_count * sizeof(double);
     }
+  }
+  out << "\nper-codec summary:\n";
+  out << "codec     records  payload-bytes  raw-bytes  savings\n";
+  for (const auto& [name, t] : per_codec) {
+    const double savings =
+        t.raw_bytes == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(t.payload_bytes) /
+                                 static_cast<double>(t.raw_bytes));
+    out << "  " << name << "  " << t.records << "  " << t.payload_bytes
+        << "  " << t.raw_bytes << "  " << savings << "%\n";
   }
 }
 
 CompactReport compact_file(const CompactJob& job) {
   NUMARCK_EXPECT(job.keep_stride >= 1, "keep stride must be >= 1");
-  job.options.validate();
+  NUMARCK_EXPECT(job.options.codec_id != codec::kAutoId,
+                 "--codec auto is only available through the adaptive "
+                 "checkpointing API; pick a concrete codec");
+  core::Options opts = job.options;
+  opts.postpass = job.postpass ? core::Postpass::all() : core::Postpass::none();
+  opts.validate();
   io::CheckpointReader reader(job.input_path);
   CompactReport report;
   report.input_iterations = reader.iteration_count();
@@ -138,17 +182,14 @@ CompactReport compact_file(const CompactJob& job) {
   io::CheckpointWriter writer(job.output_path, reader.variables());
   std::map<std::string, core::VariableCompressor> comps;
   for (const auto& v : reader.variables()) {
-    comps.emplace(v, core::VariableCompressor(job.options));
+    comps.emplace(v, core::VariableCompressor(opts));
   }
-  const core::Postpass pp =
-      job.postpass ? core::Postpass::all() : core::Postpass::none();
   std::size_t out_it = 0;
   for (std::size_t it = 0; it < report.input_iterations;
        it += job.keep_stride) {
     for (const auto& v : reader.variables()) {
       const auto snapshot = engine.reconstruct_variable(v, it);
-      writer.append(v, out_it, reader.sim_time(it), comps.at(v).push(snapshot),
-                    pp);
+      writer.append(v, out_it, reader.sim_time(it), comps.at(v).push(snapshot));
     }
     ++out_it;
   }
@@ -177,6 +218,23 @@ RestoreReport restore_file(const RestoreJob& job) {
     NUMARCK_EXPECT(report.last_complete.has_value(),
                    "no complete iteration to restore: " + job.checkpoint_path);
     report.iteration = *report.last_complete;
+  }
+  if (!job.expected_codec.empty()) {
+    const codec::Codec* want = codec::find(std::string_view(job.expected_codec));
+    NUMARCK_EXPECT(want != nullptr,
+                   "unknown codec (want numarck | fpc | isabela | bspline): " +
+                       job.expected_codec);
+    // Every delta record that feeds the requested restore must carry the
+    // expected codec; fulls are structural (always lossless) and exempt.
+    for (std::size_t it = 0; it <= report.iteration; ++it) {
+      const auto info = reader.info(variable, it);
+      if (!info || info->type != io::RecordType::kDelta) continue;
+      NUMARCK_EXPECT(
+          info->codec_id == want->id(),
+          std::string("container records use codec ") +
+              codec::require(info->codec_id).name() + ", expected " +
+              job.expected_codec);
+    }
   }
   io::RestartEngine engine(reader);
   const auto snapshot = engine.reconstruct_variable(variable, report.iteration);

@@ -318,9 +318,7 @@ CrashTrialResult run_world_fault_trial(const CrashTrialConfig& cfg) {
         } else {
           auto enc =
               distributed::encode_iteration(comm, recon.state(), current, opts);
-          step.is_full = false;
-          step.delta = std::move(enc.local);
-          step.point_count = current.size();
+          step = core::CompressedStep::from_encoded(enc.local, opts.postpass);
         }
         recon.push(step);
         writer.append("state", i, static_cast<double>(i), step);

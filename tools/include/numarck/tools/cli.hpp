@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -53,6 +54,10 @@ struct RestoreJob {
   /// Restore is a restart path, so salvage is the default; --strict turns
   /// the tool into an integrity checker.
   bool strict = false;
+  /// When non-empty, require every delta record used in the restore to carry
+  /// this codec; a mismatch aborts with a clear message instead of silently
+  /// restoring data encoded by a different backend.
+  std::string expected_codec;
 };
 
 struct RestoreReport {
@@ -74,6 +79,11 @@ core::Strategy parse_strategy(const std::string& name);
 
 /// Parses a predictor name ("previous" | "linear").
 core::Predictor parse_predictor(const std::string& name);
+
+/// Parses a codec name ("numarck" | "fpc" | "isabela" | "bspline" | "auto")
+/// into its wire id. "auto" maps to codec::kAutoId, which only the adaptive
+/// checkpointing API accepts; compress/compact reject it with a clear message.
+std::uint8_t parse_codec(const std::string& name);
 
 /// Parses a K-means engine name ("histogram" | "exact" | "lloyd").
 /// "exact" is the sorted-boundary 1-D specialization; "histogram" the

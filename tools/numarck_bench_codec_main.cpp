@@ -6,12 +6,18 @@
 // can track hot-path throughput across PRs. A second sweep times the
 // clustering strategy across K-means engine x sampling_ratio x threads —
 // with compression-ratio deltas against the exact engine — and lands in
-// BENCH_kmeans.json (override with --kmeans-out). Usage:
+// BENCH_kmeans.json (override with --kmeans-out). A third sweep drives every
+// registered codec backend (numarck, fpc, isabela, bspline) through the
+// pluggable codec::Codec interface on the same snapshot pair and lands the
+// cross-codec throughput/size comparison in BENCH_baselines.json (override
+// with --baselines-out). Usage:
 //
 //   numarck-bench-codec [output.json] [--points N] [--reps R]
 //                       [--kmeans-out kmeans.json]
+//                       [--baselines-out baselines.json]
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "numarck/codec/codec.hpp"
 #include "numarck/core/codec.hpp"
 #include "numarck/util/rng.hpp"
 #include "numarck/util/thread_pool.hpp"
@@ -137,11 +144,61 @@ std::vector<KmeansRow> kmeans_sweep(std::span<const double> prev,
   return rows;
 }
 
+struct BaselineRow {
+  std::string codec;
+  std::string op;
+  double seconds;
+  double mpoints_per_s;
+  double bytes_per_point;
+  double ratio_pct;  ///< payload savings vs raw float64, percent
+};
+
+/// Cross-codec sweep: every registered backend, encode + decode through the
+/// codec::Codec interface, single-threaded. Runs on a smooth evolving field
+/// rather than the microbench jump mixture: the spatial baselines (ISABELA,
+/// B-splines) model the snapshot itself, so white-noise ratios — which only
+/// the change-ratio codec is built for — would tell us nothing about them.
+std::vector<BaselineRow> baselines_sweep(std::size_t n, std::size_t reps) {
+  std::vector<double> prev(n), curr(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double x = static_cast<double>(j) / static_cast<double>(n);
+    const auto field = [x](double t) {
+      return 2.5 + std::sin(6.28 * (x + 0.01 * t)) +
+             0.3 * std::sin(25.1 * x + 0.4 * t);
+    };
+    prev[j] = field(0.0);
+    curr[j] = field(1.0);
+  }
+  const double mp = static_cast<double>(curr.size()) / 1e6;
+  std::vector<BaselineRow> rows;
+  for (const codec::Codec* c : codec::all()) {
+    core::Options opts;
+    opts.codec_id = c->id();
+    codec::EncodeResult res;
+    const double enc_s = best_seconds(
+        reps, [&] { res = c->encode(curr, prev, {}, opts); });
+    const double dec_s = best_seconds(reps, [&] {
+      (void)c->decode(res.payload, prev, {}, curr.size());
+    });
+    const double bpp = static_cast<double>(res.payload.size()) /
+                       static_cast<double>(curr.size());
+    const double ratio = 100.0 * (1.0 - bpp / 8.0);
+    rows.push_back({c->name(), "encode", enc_s, mp / enc_s, bpp, ratio});
+    rows.push_back({c->name(), "decode", dec_s, mp / dec_s, bpp, ratio});
+    std::fprintf(stderr,
+                 "codec   %-8s enc %8.3f ms  dec %8.3f ms  %5.2f B/pt  "
+                 "saves %.1f%%\n",
+                 c->name(), enc_s * 1e3, dec_s * 1e3, bpp, ratio);
+  }
+  return rows;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_codec.json";
   std::string kmeans_out_path = "BENCH_kmeans.json";
+  std::string baselines_out_path = "BENCH_baselines.json";
   std::size_t n = std::size_t{1} << 17;
   std::size_t reps = 5;
   const auto count_arg = [&](const char* flag, int& i) -> std::size_t {
@@ -169,6 +226,12 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       kmeans_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baselines-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--baselines-out requires a value\n");
+        std::exit(2);
+      }
+      baselines_out_path = argv[++i];
     } else {
       out_path = argv[i];
     }
@@ -303,5 +366,31 @@ int main(int argc, char** argv) {
   }
   kout << "}\n";
   std::cerr << "wrote " << kmeans_out_path << "\n";
+
+  // ---- cross-codec baselines sweep -> BENCH_baselines.json ---------------
+  const std::vector<BaselineRow> brows = baselines_sweep(n, reps);
+  std::ofstream bout(baselines_out_path);
+  if (!bout) {
+    std::cerr << "cannot open " << baselines_out_path << " for writing\n";
+    return 1;
+  }
+  bout << "{\n";
+  bout << "  \"benchmark\": \"baselines\",\n";
+  bout << "  \"points\": " << n << ",\n";
+  bout << "  \"reps\": " << reps << ",\n";
+  bout << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n";
+  bout << "  \"results\": [\n";
+  for (std::size_t i = 0; i < brows.size(); ++i) {
+    const auto& r = brows[i];
+    bout << "    {\"codec\": \"" << r.codec << "\", \"op\": \"" << r.op
+         << "\", \"seconds\": " << r.seconds
+         << ", \"mpoints_per_s\": " << r.mpoints_per_s
+         << ", \"bytes_per_point\": " << r.bytes_per_point
+         << ", \"ratio_pct\": " << r.ratio_pct << "}"
+         << (i + 1 < brows.size() ? "," : "") << "\n";
+  }
+  bout << "  ]\n}\n";
+  std::cerr << "wrote " << baselines_out_path << "\n";
   return 0;
 }

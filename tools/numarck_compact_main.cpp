@@ -12,7 +12,8 @@
 namespace {
 const char* kUsage =
     "usage: numarck-compact --input FILE --output FILE [--stride K]\n"
-    "                       [--error-bound E] [--bits B] [--strategy NAME]\n";
+    "                       [--error-bound E] [--bits B] [--strategy NAME]\n"
+    "                       [--codec numarck|fpc|isabela|bspline]\n";
 }
 
 int main(int argc, char** argv) {
@@ -39,6 +40,13 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
     } else if (a == "--strategy") {
       job.options.strategy = numarck::tools::parse_strategy(value());
+    } else if (a == "--codec") {
+      try {
+        job.options.codec_id = numarck::tools::parse_codec(value());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
     } else if (a == "--help" || a == "-h") {
       std::fputs(kUsage, stdout);
       return 0;

@@ -20,6 +20,7 @@ const char* kUsage =
     "                        [--predictor previous|linear]\n"
     "                        [--kmeans-engine histogram|exact|lloyd]\n"
     "                        [--sampling-ratio R]  # learn-set fraction (0,1]\n"
+    "                        [--codec numarck|fpc|isabela|bspline]\n"
     "                        [--var NAME] [--no-postpass]\n";
 
 }  // namespace
@@ -54,6 +55,13 @@ int main(int argc, char** argv) {
       job.options.kmeans_engine = numarck::tools::parse_kmeans_engine(value());
     } else if (a == "--sampling-ratio") {
       job.options.sampling_ratio = std::strtod(value().c_str(), nullptr);
+    } else if (a == "--codec") {
+      try {
+        job.options.codec_id = numarck::tools::parse_codec(value());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
     } else if (a == "--var") {
       job.variable = value();
     } else if (a == "--no-postpass") {

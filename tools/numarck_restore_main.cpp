@@ -18,8 +18,11 @@ namespace {
 const char* kUsage =
     "usage: numarck-restore --checkpoint FILE --output FILE\n"
     "                       [--iteration K] [--var NAME] [--strict]\n"
+    "                       [--codec NAME]\n"
     "  --iteration K  restore iteration K (default: the last complete one)\n"
-    "  --strict       abort on any damage instead of salvaging the prefix\n";
+    "  --strict       abort on any damage instead of salvaging the prefix\n"
+    "  --codec NAME   require the restored delta chain to use this codec;\n"
+    "                 a mismatch aborts with a nonzero exit status\n";
 }
 
 int main(int argc, char** argv) {
@@ -43,6 +46,8 @@ int main(int argc, char** argv) {
       job.variable = value();
     } else if (a == "--strict") {
       job.strict = true;
+    } else if (a == "--codec") {
+      job.expected_codec = value();
     } else if (a == "--help" || a == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
