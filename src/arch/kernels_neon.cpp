@@ -1,0 +1,23 @@
+// NEON kernel table (aarch64). Placeholder: the table is wired into the
+// dispatcher so aarch64 builds report and select "neon", but every slot
+// currently points at the scalar reference (plus the wide u64 unpack and
+// popcount, which are ISA-independent). Real NEON bodies can drop in behind
+// the same bit-identity contract without touching the dispatcher.
+#include "kernels_common.hpp"
+
+namespace numarck::arch {
+
+const Kernels* neon_kernel_table() noexcept {
+  static const Kernels k = {
+      Level::kNeon,
+      &detail::classify_scalar,
+      &detail::change_ratios_scalar,
+      &detail::decode_span_grouped,
+      &detail::unpack_wide,
+      &detail::count_ones_wide,
+      &detail::fpc_xor_lzc_scalar,
+  };
+  return &k;
+}
+
+}  // namespace numarck::arch

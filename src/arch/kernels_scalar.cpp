@@ -1,0 +1,21 @@
+// Scalar kernel table: the portable reference every other level must match
+// bit for bit. Built with the project's baseline flags (no -m options), so
+// it runs on any CPU the binary loads on.
+#include "kernels_common.hpp"
+
+namespace numarck::arch {
+
+const Kernels* scalar_kernel_table() noexcept {
+  static const Kernels k = {
+      Level::kScalar,
+      &detail::classify_scalar,
+      &detail::change_ratios_scalar,
+      &detail::decode_span_scalar,
+      &detail::unpack_scalar,
+      &detail::count_ones_scalar,
+      &detail::fpc_xor_lzc_scalar,
+  };
+  return &k;
+}
+
+}  // namespace numarck::arch

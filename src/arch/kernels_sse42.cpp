@@ -1,0 +1,156 @@
+// SSE4.2 kernel table (compiled with -msse4.2; includes POPCNT).
+//
+// Two-lane classify plus the wide (u64-load) unpack/popcount/decode paths.
+// SSE4 has no gather, so decode reconstruction stays per-lane scalar on top
+// of the byte-grouped structure.
+#include <emmintrin.h>
+#include <smmintrin.h>
+
+#include <limits>
+
+#include "kernels_common.hpp"
+
+namespace numarck::arch {
+namespace {
+
+inline __m128d abs_pd(__m128d x) {
+  return _mm_andnot_pd(_mm_set1_pd(-0.0), x);
+}
+
+ClassifySpanStats classify_sse42(const double* previous, const double* current,
+                                 std::uint32_t* labels, std::size_t n,
+                                 double error_bound, double small_threshold) {
+  ClassifySpanStats s;
+  const __m128d vzero = _mm_setzero_pd();
+  const __m128d vsmall = _mm_set1_pd(small_threshold);
+  const __m128d vbound = _mm_set1_pd(error_bound);
+  const __m128d vinf = _mm_set1_pd(std::numeric_limits<double>::infinity());
+  const __m128d vone = _mm_set1_pd(1.0);
+  const bool use_small = small_threshold > 0.0;
+  alignas(16) double mag[2];
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128d p = _mm_loadu_pd(previous + j);
+    const __m128d c = _mm_loadu_pd(current + j);
+    unsigned small_m = 0;
+    if (use_small) {
+      const __m128d m = _mm_and_pd(_mm_cmplt_pd(abs_pd(c), vsmall),
+                                   _mm_cmple_pd(abs_pd(p), vsmall));
+      small_m = static_cast<unsigned>(_mm_movemask_pd(m));
+    }
+    const __m128d zerod = _mm_cmpeq_pd(p, vzero);
+    const unsigned zero_m = static_cast<unsigned>(_mm_movemask_pd(zerod));
+    // Masked divisor: prev == 0 lanes divide by 1.0; their result is dead
+    // (the zero mask wins) but the lane never raises FE_DIVBYZERO.
+    const __m128d denom = _mm_blendv_pd(p, vone, zerod);
+    const __m128d r = _mm_div_pd(_mm_sub_pd(c, p), denom);
+    const __m128d am = abs_pd(r);
+    _mm_store_pd(mag, am);
+    // finite <=> |r| < inf (ordered compare: false on NaN and ±inf)
+    const unsigned fin_m =
+        static_cast<unsigned>(_mm_movemask_pd(_mm_cmplt_pd(am, vinf)));
+    const unsigned below_m =
+        static_cast<unsigned>(_mm_movemask_pd(_mm_cmplt_pd(am, vbound)));
+    for (unsigned k = 0; k < 2; ++k) {
+      const unsigned bit = 1u << k;
+      if (small_m & bit) {
+        labels[j + k] = 0;
+        ++s.small;
+      } else if ((zero_m & bit) || !(fin_m & bit)) {
+        labels[j + k] = kLabelExact;
+        ++s.undefined;
+      } else if (below_m & bit) {
+        labels[j + k] = 0;
+        ++s.below;
+        s.err_sum += mag[k];
+        s.err_max = std::max(s.err_max, mag[k]);
+      } else {
+        labels[j + k] = kLabelNeedsBin;
+        ++s.needs_bin;
+      }
+    }
+  }
+  if (j < n) {
+    detail::merge_into(s, detail::classify_scalar(previous + j, current + j,
+                                                  labels + j, n - j,
+                                                  error_bound,
+                                                  small_threshold));
+  }
+  return s;
+}
+
+void change_ratios_sse42(const double* previous, const double* current,
+                         double* ratios, std::size_t n) {
+  const __m128d vzero = _mm_setzero_pd();
+  const __m128d vone = _mm_set1_pd(1.0);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128d p = _mm_loadu_pd(previous + j);
+    const __m128d c = _mm_loadu_pd(current + j);
+    const __m128d denom = _mm_blendv_pd(p, vone, _mm_cmpeq_pd(p, vzero));
+    _mm_storeu_pd(ratios + j, _mm_div_pd(_mm_sub_pd(c, p), denom));
+  }
+  if (j < n) {
+    detail::change_ratios_scalar(previous + j, current + j, ratios + j,
+                                 n - j);
+  }
+}
+
+void fpc_xor_lzc_sse42(const std::uint64_t* values,
+                       const std::uint64_t* pred_fcm,
+                       const std::uint64_t* pred_dfcm, std::size_t n,
+                       std::uint64_t* xr, std::uint8_t* nibble) {
+  const __m128i zero = _mm_setzero_si128();
+  alignas(16) std::uint64_t af[2];
+  alignas(16) std::uint64_t ad[2];
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i));
+    const __m128i xf = _mm_xor_si128(
+        v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(pred_fcm + i)));
+    const __m128i xd = _mm_xor_si128(
+        v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(pred_dfcm + i)));
+    // Per-byte zero masks: bit b of a lane's mask is set iff byte b (little
+    // endian, so byte 7 is most significant) is zero. Leading zero bytes is
+    // then countl_one of the lane's 8-bit mask.
+    const unsigned mf = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(xf, zero)));
+    const unsigned md = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(xd, zero)));
+    _mm_store_si128(reinterpret_cast<__m128i*>(af), xf);
+    _mm_store_si128(reinterpret_cast<__m128i*>(ad), xd);
+    for (unsigned k = 0; k < 2; ++k) {
+      const unsigned lf = static_cast<unsigned>(
+          std::countl_one(static_cast<std::uint8_t>(mf >> (8 * k))));
+      const unsigned ld = static_cast<unsigned>(
+          std::countl_one(static_cast<std::uint8_t>(md >> (8 * k))));
+      const bool use_dfcm = ld > lf;
+      xr[i + k] = use_dfcm ? ad[k] : af[k];
+      const unsigned code = detail::lzb_to_code(use_dfcm ? ld : lf);
+      nibble[i + k] =
+          static_cast<std::uint8_t>((use_dfcm ? 1u : 0u) | (code << 1));
+    }
+  }
+  if (i < n) {
+    detail::fpc_xor_lzc_scalar(values + i, pred_fcm + i, pred_dfcm + i,
+                               n - i, xr + i, nibble + i);
+  }
+}
+
+}  // namespace
+
+const Kernels* sse42_kernel_table() noexcept {
+  static const Kernels k = {
+      Level::kSse42,
+      &classify_sse42,
+      &change_ratios_sse42,
+      &detail::decode_span_grouped,
+      &detail::unpack_wide,
+      &detail::count_ones_wide,
+      &fpc_xor_lzc_sse42,
+  };
+  return &k;
+}
+
+}  // namespace numarck::arch

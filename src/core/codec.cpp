@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 
+#include "numarck/arch/arch.hpp"
 #include "numarck/util/bitpack.hpp"
 #include "numarck/util/expect.hpp"
 #include "numarck/util/parallel_for.hpp"
@@ -27,20 +29,24 @@ namespace numarck::core {
 //   its slice of the ζ / index streams and the element offset of its exact
 //   values. Chunks then pack disjoint regions concurrently (BitSpanWriter
 //   merges the shared straddle bytes atomically). Because every offset is
-//   absolute, the streams are bit-identical for any thread count; the
-//   sequential BitWriter path is kept as the reference and used for
-//   single-worker pools and small inputs.
+//   absolute, the streams are bit-identical for any thread count.
 //
 // decode_iteration is symmetric: a popcount pass over ζ recovers each
 // chunk's index/exact cursors from the same prefix sums, then chunks decode
 // concurrently.
+//
+// The per-point loops dispatch through numarck::arch — SIMD where the CPU
+// has it, the scalar reference otherwise. Every kernel table is bit-identical
+// (see arch.hpp), so the containers and stats do not depend on the selected
+// ISA any more than they depend on the thread count.
 
 namespace {
 
-// Final per-point labels. Index values occupy [0, 2^16 - 1] (index_bits is
-// at most 16), so the markers can never collide with a real index.
-constexpr std::uint32_t kLabelExact = 0xFFFFFFFFu;     // ζ = 0, value escapes
-constexpr std::uint32_t kLabelNeedsBin = 0xFFFFFFFEu;  // transient: pass A2
+// Final per-point labels, shared with the arch kernels. Index values occupy
+// [0, 2^16 - 1] (index_bits is at most 16), so the markers can never collide
+// with a real index.
+using arch::kLabelExact;     // ζ = 0, value escapes
+using arch::kLabelNeedsBin;  // transient: pass A2
 
 /// Eq. 1 for one point. Callers on needs-bin labels are guaranteed a finite
 /// result: classify_points already exact-escaped zero-denominator and
@@ -50,20 +56,13 @@ inline double change_ratio_at(std::span<const double> previous,
   return (current[j] - previous[j]) / previous[j];
 }
 
-struct ClassifyStats {
-  std::size_t small = 0;
-  std::size_t below = 0;
-  std::size_t undefined = 0;
-  std::size_t needs_bin = 0;
-  double err_sum = 0.0;
-  double err_max = 0.0;
-};
+using ClassifyStats = arch::ClassifySpanStats;
 
 /// Pass A1: model-free classification. Labels every point as index 0
 /// (small-value or below-threshold), exact (undefined ratio) or needs-bin;
-/// the needs-bin points are exactly the learn-set candidates. Ratios are
-/// computed inline (fused with Eq. 1) — no intermediate ratio vector exists
-/// anywhere on the encode path.
+/// the needs-bin points are exactly the learn-set candidates. Each chunk
+/// runs the fused change-ratio + classify kernel; partial stats combine in
+/// chunk order, so the sums match the scalar sweep bit for bit.
 ClassifyStats classify_points(std::span<const double> previous,
                               std::span<const double> current,
                               const Options& opts, util::ThreadPool& pool,
@@ -72,46 +71,12 @@ ClassifyStats classify_points(std::span<const double> previous,
   labels.resize(n);
   const double E = opts.error_bound;
   const double small = opts.resolved_small_value_threshold();
+  const auto& kernels = arch::active();
   return util::parallel_reduce<ClassifyStats>(
       pool, 0, n, ClassifyStats{},
       [&](std::size_t i0, std::size_t i1) {
-        ClassifyStats s;
-        for (std::size_t j = i0; j < i1; ++j) {
-          // Small-value rule (Algorithm 1 line 5): both sides below the
-          // absolute threshold -> "unchanged", index 0. Relative change of
-          // noise-scale values is meaningless; the absolute reconstruction
-          // error is <= 2*small.
-          if (small > 0.0 && std::abs(current[j]) < small &&
-              std::abs(previous[j]) <= small) {
-            labels[j] = 0;
-            ++s.small;  // counted as an unchanged point: zero ratio error
-            continue;
-          }
-          // Paper rule: zero denominator -> store exactly; extended to any
-          // non-finite ratio so the compressor is total on junk input.
-          if (previous[j] == 0.0) {
-            labels[j] = kLabelExact;
-            ++s.undefined;
-            continue;
-          }
-          const double r = change_ratio_at(previous, current, j);
-          if (!std::isfinite(r)) {
-            labels[j] = kLabelExact;
-            ++s.undefined;
-            continue;
-          }
-          const double mag = std::abs(r);
-          if (mag < E) {
-            labels[j] = 0;
-            ++s.below;
-            s.err_sum += mag;  // approximated ratio is exactly 0
-            s.err_max = std::max(s.err_max, mag);
-            continue;
-          }
-          labels[j] = kLabelNeedsBin;
-          ++s.needs_bin;
-        }
-        return s;
+        return kernels.classify(previous.data() + i0, current.data() + i0,
+                                labels.data() + i0, i1 - i0, E, small);
       },
       [](ClassifyStats a, const ClassifyStats& b) {
         a.small += b.small;
@@ -175,37 +140,63 @@ struct AssignStats {
   double err_max = 0.0;
 };
 
+/// Points per assign/ratio block: small enough for the ratio scratch to sit
+/// in L1, large enough to amortize the density scan.
+constexpr std::size_t kAssignBlock = 128;
+
 /// Pass A2: resolves every needs-bin label to a bin index (via the O(1)
 /// lookup) or an exact escape when the nearest center misses the bound. This
 /// is the pass that preserves the per-point error bound under sampling: it
 /// re-checks every point against the bound regardless of whether its ratio
 /// was in the (possibly sampled) learn set.
+///
+/// The divides are blocked through the wide change-ratio kernel when a block
+/// is dense with needs-bin points; the ratio of a needs-bin point is the
+/// same IEEE divide either way (previous != 0 is guaranteed by pass A1), so
+/// the path choice cannot change a single bit of output. Lookup and bound
+/// check stay scalar per point — BinLookup's repair step is already O(1).
 AssignStats assign_bins(std::span<const double> previous,
                         std::span<const double> current, const BinModel& model,
                         double error_bound, util::ThreadPool& pool,
                         std::vector<std::uint32_t>& labels) {
   const BinLookup lookup(model);
   const bool have_model = !model.empty();
+  const auto& kernels = arch::active();
   return util::parallel_reduce<AssignStats>(
       pool, 0, labels.size(), AssignStats{},
       [&](std::size_t i0, std::size_t i1) {
         AssignStats s;
-        for (std::size_t j = i0; j < i1; ++j) {
-          if (labels[j] != kLabelNeedsBin) continue;
-          if (have_model) {
-            const double r = change_ratio_at(previous, current, j);
-            const std::size_t c = lookup.nearest(r);
-            const double err = std::abs(model.centers[c] - r);
-            if (err <= error_bound) {
-              labels[j] = static_cast<std::uint32_t>(c + 1);
-              ++s.binned;
-              s.err_sum += err;
-              s.err_max = std::max(s.err_max, err);
-              continue;
-            }
+        double ratios[kAssignBlock];
+        for (std::size_t b = i0; b < i1; b += kAssignBlock) {
+          const std::size_t m = std::min(kAssignBlock, i1 - b);
+          std::size_t nb = 0;
+          for (std::size_t j = b; j < b + m; ++j) {
+            nb += labels[j] == kLabelNeedsBin;
           }
-          labels[j] = kLabelExact;
-          ++s.out_of_bound;
+          if (nb == 0) continue;
+          const bool dense = have_model && 2 * nb >= m;
+          if (dense) {
+            kernels.change_ratios(previous.data() + b, current.data() + b,
+                                  ratios, m);
+          }
+          for (std::size_t j = b; j < b + m; ++j) {
+            if (labels[j] != kLabelNeedsBin) continue;
+            if (have_model) {
+              const double r =
+                  dense ? ratios[j - b] : change_ratio_at(previous, current, j);
+              const std::size_t c = lookup.nearest(r);
+              const double err = std::abs(model.centers[c] - r);
+              if (err <= error_bound) {
+                labels[j] = static_cast<std::uint32_t>(c + 1);
+                ++s.binned;
+                s.err_sum += err;
+                s.err_max = std::max(s.err_max, err);
+                continue;
+              }
+            }
+            labels[j] = kLabelExact;
+            ++s.out_of_bound;
+          }
         }
         return s;
       },
@@ -218,35 +209,21 @@ AssignStats assign_bins(std::span<const double> previous,
       });
 }
 
-/// Pass B, reference path: one sequential append pass. This is the
-/// specification of the stream layout; the parallel path must match it
-/// byte for byte.
-void pack_streams_serial(std::span<const double> current,
-                         const std::vector<std::uint32_t>& labels,
-                         unsigned index_bits, EncodedIteration& enc) {
-  util::BitWriter zeta;
-  util::BitWriter idx;
-  for (std::size_t j = 0; j < labels.size(); ++j) {
-    if (labels[j] == kLabelExact) {
-      zeta.put_bit(false);
-      enc.exact_values.push_back(current[j]);
-    } else {
-      zeta.put_bit(true);
-      idx.put(labels[j], index_bits);
-    }
-  }
-  enc.zeta = zeta.finish();
-  enc.indices = idx.finish();
-}
-
-/// Pass B, parallel path: per-chunk compressible counts -> exclusive prefix
-/// sums -> concurrent packing of disjoint stream regions at absolute offsets.
-void pack_streams_parallel(std::span<const double> current,
-                           const std::vector<std::uint32_t>& labels,
-                           unsigned index_bits, util::ThreadPool& pool,
-                           const util::ChunkPlan& plan,
-                           EncodedIteration& enc) {
+/// Pass B: per-chunk compressible counts -> exclusive prefix sums ->
+/// packing of disjoint stream regions at absolute offsets (the single-chunk
+/// plan degenerates to a sequential pass over the whole range, so there is
+/// one layout and one code path for every thread count).
+///
+/// Within a chunk the labels are walked as runs: an exact run turns into a
+/// put_zeros cursor skip plus one memcpy of contiguous current values, a
+/// compressible run into put_ones plus a bulk put_many of the labels —
+/// replacing the old per-point branch + put_bit + put sequence.
+void pack_streams(std::span<const double> current,
+                  const std::vector<std::uint32_t>& labels,
+                  unsigned index_bits, util::ThreadPool& pool,
+                  EncodedIteration& enc) {
   const std::size_t n = labels.size();
+  const util::ChunkPlan plan(0, n, pool.size());
   std::vector<std::size_t> comp_before(plan.chunks);
   util::parallel_chunks(pool, plan,
                         [&](std::size_t c, std::size_t i0, std::size_t i1) {
@@ -274,30 +251,25 @@ void pack_streams_parallel(std::span<const double> current,
                                 comp_before[c] * index_bits);
         // Exact cursor: points before i0 minus compressible points before i0.
         std::size_t exact_pos = i0 - comp_before[c];
-        for (std::size_t j = i0; j < i1; ++j) {
+        std::size_t j = i0;
+        while (j < i1) {
+          std::size_t run = j;
           if (labels[j] == kLabelExact) {
-            zeta.put_bit(false);
-            enc.exact_values[exact_pos++] = current[j];
+            while (run < i1 && labels[run] == kLabelExact) ++run;
+            zeta.put_zeros(run - j);
+            std::memcpy(enc.exact_values.data() + exact_pos,
+                        current.data() + j, (run - j) * sizeof(double));
+            exact_pos += run - j;
           } else {
-            zeta.put_bit(true);
-            idx.put(labels[j], index_bits);
+            while (run < i1 && labels[run] != kLabelExact) ++run;
+            zeta.put_ones(run - j);
+            idx.put_many(labels.data() + j, run - j, index_bits);
           }
+          j = run;
         }
         zeta.finish();
         idx.finish();
       });
-}
-
-void pack_streams(std::span<const double> current,
-                  const std::vector<std::uint32_t>& labels,
-                  unsigned index_bits, util::ThreadPool& pool,
-                  EncodedIteration& enc) {
-  const util::ChunkPlan plan(0, labels.size(), pool.size());
-  if (plan.chunks <= 1 || pool.size() <= 1) {
-    pack_streams_serial(current, labels, index_bits, enc);
-  } else {
-    pack_streams_parallel(current, labels, index_bits, pool, plan, enc);
-  }
 }
 
 /// Learn-set stride for Options::sampling_ratio (1.0 -> 1, 0.01 -> 100).
@@ -379,45 +351,26 @@ EncodedIteration encode_iteration_with_model(std::span<const double> previous,
   return finish_encode(previous, current, model, opts, pool, labels, cs);
 }
 
-namespace {
-
-/// Reference decoder: one sequential pass over all three streams.
-void decode_serial(std::span<const double> previous,
-                   const EncodedIteration& enc, std::vector<double>& out) {
-  util::BitReader zeta(enc.zeta);
-  util::BitReader idx(enc.indices);
-  std::size_t exact_pos = 0;
-  for (std::size_t j = 0; j < enc.point_count; ++j) {
-    if (!zeta.get_bit()) {
-      NUMARCK_EXPECT(exact_pos < enc.exact_values.size(),
-                     "decode: exact stream exhausted");
-      out[j] = enc.exact_values[exact_pos++];
-      continue;
-    }
-    const std::uint32_t i = idx.get(enc.index_bits);
-    if (i == 0) {
-      out[j] = previous[j];  // |ΔD| < E: carry the previous value
-    } else {
-      NUMARCK_EXPECT(i <= enc.centers.size(), "decode: index out of table");
-      out[j] = previous[j] * (1.0 + enc.centers[i - 1]);
-    }
-  }
-  NUMARCK_EXPECT(exact_pos == enc.exact_values.size(),
-                 "decode: exact stream not fully consumed");
-}
-
-/// Parallel decoder: a popcount pass over ζ rebuilds the per-chunk
-/// compressible counts the encoder packed with, each chunk then seeks its
-/// index/exact cursors from the prefix sums and decodes independently.
-void decode_parallel(std::span<const double> previous,
-                     const EncodedIteration& enc, util::ThreadPool& pool,
-                     const util::ChunkPlan& plan, std::vector<double>& out) {
+std::vector<double> decode_iteration(std::span<const double> previous,
+                                     const EncodedIteration& enc,
+                                     util::ThreadPool* pool) {
+  NUMARCK_EXPECT(previous.size() == enc.point_count,
+                 "decode: previous snapshot has wrong length");
+  auto& tp = pool ? *pool : util::ThreadPool::global();
   const std::size_t n = enc.point_count;
+  std::vector<double> out(n);
+  const auto& kernels = arch::active();
+
+  // One validated span path for every thread count: a popcount pass over ζ
+  // rebuilds the per-chunk compressible counts the encoder packed with, the
+  // stream lengths are checked against those totals up front (the container
+  // may be forged), then each chunk decodes its span independently.
   NUMARCK_EXPECT(enc.zeta.size() * 8 >= n, "decode: ζ bitmap too short");
+  const util::ChunkPlan plan(0, n, tp.size());
   std::vector<std::size_t> comp_before(plan.chunks);
-  util::parallel_chunks(pool, plan,
+  util::parallel_chunks(tp, plan,
                         [&](std::size_t c, std::size_t i0, std::size_t i1) {
-                          comp_before[c] = util::count_ones(
+                          comp_before[c] = kernels.count_ones(
                               enc.zeta.data(), enc.zeta.size(), i0, i1);
                         });
   std::size_t total_comp = 0;
@@ -428,46 +381,32 @@ void decode_parallel(std::span<const double> previous,
   }
   NUMARCK_EXPECT(n - total_comp == enc.exact_values.size(),
                  "decode: exact stream length mismatch");
-  NUMARCK_EXPECT(enc.indices.size() * 8 >= total_comp * enc.index_bits,
-                 "decode: index stream too short");
-  util::parallel_chunks(
-      pool, plan, [&](std::size_t c, std::size_t i0, std::size_t i1) {
-        util::BitReader zeta(enc.zeta.data(), enc.zeta.size(), i0);
-        util::BitReader idx(enc.indices.data(), enc.indices.size(),
-                            comp_before[c] * enc.index_bits);
-        std::size_t exact_pos = i0 - comp_before[c];
-        for (std::size_t j = i0; j < i1; ++j) {
-          if (!zeta.get_bit()) {
-            out[j] = enc.exact_values[exact_pos++];
-            continue;
-          }
-          const std::uint32_t i = idx.get(enc.index_bits);
-          if (i == 0) {
-            out[j] = previous[j];
-          } else {
-            NUMARCK_EXPECT(i <= enc.centers.size(),
-                           "decode: index out of table");
-            out[j] = previous[j] * (1.0 + enc.centers[i - 1]);
-          }
-        }
-      });
-}
-
-}  // namespace
-
-std::vector<double> decode_iteration(std::span<const double> previous,
-                                     const EncodedIteration& enc,
-                                     util::ThreadPool* pool) {
-  NUMARCK_EXPECT(previous.size() == enc.point_count,
-                 "decode: previous snapshot has wrong length");
-  auto& tp = pool ? *pool : util::ThreadPool::global();
-  std::vector<double> out(enc.point_count);
-  const util::ChunkPlan plan(0, enc.point_count, tp.size());
-  if (plan.chunks <= 1 || tp.size() <= 1) {
-    decode_serial(previous, enc, out);
-  } else {
-    decode_parallel(previous, enc, tp, plan, out);
+  if (total_comp != 0) {
+    NUMARCK_EXPECT(enc.index_bits >= 1 && enc.index_bits <= 32,
+                   "decode: index width out of range");
+    NUMARCK_EXPECT(enc.indices.size() * 8 / enc.index_bits >= total_comp,
+                   "decode: index stream too short");
   }
+  util::parallel_chunks(
+      tp, plan, [&](std::size_t c, std::size_t i0, std::size_t i1) {
+        arch::DecodeSpan span;
+        span.previous = previous.data();
+        span.out = out.data();
+        span.i0 = i0;
+        span.i1 = i1;
+        span.zeta = enc.zeta.data();
+        span.zeta_size = enc.zeta.size();
+        span.indices = enc.indices.data();
+        span.indices_size = enc.indices.size();
+        span.index_bit_offset = comp_before[c] * enc.index_bits;
+        span.centers = enc.centers.data();
+        span.center_count = enc.centers.size();
+        span.exact = enc.exact_values.data();
+        span.exact_size = enc.exact_values.size();
+        span.exact_pos = i0 - comp_before[c];
+        span.index_bits = enc.index_bits;
+        kernels.decode_span(span);
+      });
   return out;
 }
 

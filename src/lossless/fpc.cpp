@@ -1,8 +1,10 @@
 #include "numarck/lossless/fpc.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
+#include "numarck/arch/arch.hpp"
 #include "numarck/util/bitpack.hpp"
 #include "numarck/util/byte_stream.hpp"
 #include "numarck/util/expect.hpp"
@@ -46,20 +48,12 @@ class Predictors {
   std::uint64_t last_ = 0;
 };
 
-unsigned leading_zero_bytes(std::uint64_t x) {
-  if (x == 0) return 8;
-  return static_cast<unsigned>(std::countl_zero(x)) / 8;
-}
-
-/// FPC's 3-bit leading-zero-byte code: {0,1,2,3,5,6,7,8} are representable;
-/// an actual count of 4 is demoted to 3 (one extra residual byte), as in the
-/// original encoder.
-unsigned lzb_to_code(unsigned lzb) {
-  if (lzb == 4) return 3;
-  return lzb <= 3 ? lzb : lzb - 1;
-}
-
+/// Inverse of the arch kernels' lzb_to_code: FPC's 3-bit code maps to
+/// {0,1,2,3,5,6,7,8} leading zero bytes (4 is not representable).
 unsigned code_to_lzb(unsigned code) { return code <= 3 ? code : code + 1; }
+
+/// Values per compress block: the five scratch arrays stay L1-resident.
+constexpr std::size_t kFpcBlock = 256;
 
 }  // namespace
 
@@ -71,24 +65,39 @@ std::vector<std::uint8_t> fpc_compress(std::span<const double> values,
   numarck::util::BitWriter header;
   std::vector<std::uint8_t> residual;
   residual.reserve(values.size() * 4);
+  const auto& kernels = numarck::arch::active();
 
-  for (double d : values) {
-    std::uint64_t v;
-    std::memcpy(&v, &d, sizeof v);
-    const std::uint64_t x_fcm = v ^ pred.predict_fcm();
-    const std::uint64_t x_dfcm = v ^ pred.predict_dfcm();
-    const bool use_dfcm = leading_zero_bytes(x_dfcm) > leading_zero_bytes(x_fcm);
-    const std::uint64_t xr = use_dfcm ? x_dfcm : x_fcm;
-    const unsigned code = lzb_to_code(leading_zero_bytes(xr));
-    const unsigned stored_bytes = 8 - code_to_lzb(code);
-    header.put(use_dfcm ? 1u : 0u, 1);
-    header.put(code, 3);
-    std::uint64_t rest = xr;
-    for (unsigned b = 0; b < stored_bytes; ++b) {
-      residual.push_back(static_cast<std::uint8_t>(rest & 0xffu));
-      rest >>= 8;
+  // Blocked three-stage loop. The predictor tables advance on every true
+  // value, so predictions must be drawn serially — but once both predictions
+  // per value are materialized, selecting the better residual (XOR +
+  // leading-zero-byte count) is data-parallel and runs through the wide
+  // kernel. The emitted header nibble is put(use_dfcm,1) + put(code,3)
+  // LSB-first, i.e. exactly the kernel's use_dfcm | code << 1.
+  std::uint64_t vbuf[kFpcBlock];
+  std::uint64_t pf[kFpcBlock];
+  std::uint64_t pd[kFpcBlock];
+  std::uint64_t xr[kFpcBlock];
+  std::uint8_t nib[kFpcBlock];
+  for (std::size_t base = 0; base < values.size(); base += kFpcBlock) {
+    const std::size_t m = std::min(kFpcBlock, values.size() - base);
+    for (std::size_t i = 0; i < m; ++i) {
+      std::uint64_t v;
+      std::memcpy(&v, &values[base + i], sizeof v);
+      vbuf[i] = v;
+      pf[i] = pred.predict_fcm();
+      pd[i] = pred.predict_dfcm();
+      pred.update(v);
     }
-    pred.update(v);
+    kernels.fpc_xor_lzc(vbuf, pf, pd, m, xr, nib);
+    for (std::size_t i = 0; i < m; ++i) {
+      header.put(nib[i], 4);
+      const unsigned stored_bytes = 8 - code_to_lzb((nib[i] >> 1) & 7u);
+      std::uint64_t rest = xr[i];
+      for (unsigned b = 0; b < stored_bytes; ++b) {
+        residual.push_back(static_cast<std::uint8_t>(rest & 0xffu));
+        rest >>= 8;
+      }
+    }
   }
 
   numarck::util::ByteWriter out;

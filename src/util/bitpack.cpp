@@ -1,40 +1,17 @@
 #include "numarck/util/bitpack.hpp"
 
-#include <bit>
+#include "numarck/arch/arch.hpp"
 
 namespace numarck::util {
 
+// Both bulk readers dispatch to the active arch kernel table: popcount runs
+// a u64-chunk (or byte-wise, on the scalar table) loop, unpack runs one
+// unaligned u64 load per value or a gathered SIMD batch. Every table is
+// bit-identical and enforces the same ContractViolation bounds semantics.
+
 std::size_t count_ones(const std::uint8_t* data, std::size_t size_bytes,
                        std::size_t bit_begin, std::size_t bit_end) {
-  if (bit_end <= bit_begin) return 0;
-  NUMARCK_EXPECT(bit_end <= size_bytes * 8,
-                 "count_ones: bit range past end of stream");
-  std::size_t count = 0;
-  std::size_t byte = bit_begin / 8;
-  const std::size_t last_byte = (bit_end - 1) / 8;
-  if (byte == last_byte) {
-    const unsigned lo = static_cast<unsigned>(bit_begin % 8);
-    const unsigned width = static_cast<unsigned>(bit_end - bit_begin);
-    const std::uint8_t mask =
-        static_cast<std::uint8_t>(((1u << width) - 1u) << lo);
-    return static_cast<std::size_t>(std::popcount(
-        static_cast<std::uint8_t>(data[byte] & mask)));
-  }
-  if (bit_begin % 8 != 0) {
-    const unsigned lo = static_cast<unsigned>(bit_begin % 8);
-    count += static_cast<std::size_t>(
-        std::popcount(static_cast<std::uint8_t>(data[byte] >> lo)));
-    ++byte;
-  }
-  for (; byte < last_byte; ++byte) {
-    count += static_cast<std::size_t>(std::popcount(data[byte]));
-  }
-  const unsigned tail = static_cast<unsigned>((bit_end - 1) % 8 + 1);
-  const std::uint8_t tail_mask =
-      tail == 8 ? 0xffu : static_cast<std::uint8_t>((1u << tail) - 1u);
-  count += static_cast<std::size_t>(
-      std::popcount(static_cast<std::uint8_t>(data[last_byte] & tail_mask)));
-  return count;
+  return arch::active().count_ones(data, size_bytes, bit_begin, bit_end);
 }
 
 std::vector<std::uint8_t> pack_indices(const std::vector<std::uint32_t>& values,
@@ -46,10 +23,9 @@ std::vector<std::uint8_t> pack_indices(const std::vector<std::uint32_t>& values,
 
 std::vector<std::uint32_t> unpack_indices(const std::vector<std::uint8_t>& bytes,
                                           unsigned width, std::size_t count) {
-  BitReader r(bytes);
-  std::vector<std::uint32_t> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) out.push_back(r.get(width));
+  std::vector<std::uint32_t> out(count);
+  arch::active().unpack(bytes.data(), bytes.size(), 0, width, out.data(),
+                        count);
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "numarck/util/expect.hpp"
@@ -86,24 +87,73 @@ class BitSpanWriter {
     }
     acc_ |= static_cast<std::uint64_t>(value) << nbits_;
     nbits_ += width;
-    while (nbits_ >= 8) {
-      NUMARCK_EXPECT(byte_ < size_, "BitSpanWriter: write past end of buffer");
-      const auto b = static_cast<std::uint8_t>(acc_ & 0xffu);
-      if (shared_head_) {
-        std::atomic_ref<std::uint8_t>(buf_[byte_])
-            .fetch_or(b, std::memory_order_relaxed);
-        shared_head_ = false;
-      } else {
-        buf_[byte_] = b;
-      }
-      ++byte_;
-      acc_ >>= 8;
-      nbits_ -= 8;
-    }
+    while (nbits_ >= 8) flush_byte();
   }
 
   /// Appends a single bit.
   void put_bit(bool b) { put(b ? 1u : 0u, 1); }
+
+  /// Appends `count` values of `width` bits each — put() with the width
+  /// check hoisted out of the loop (the packer's compressible-run path).
+  void put_many(const std::uint32_t* values, std::size_t count,
+                unsigned width) {
+    NUMARCK_EXPECT(width >= 1 && width <= 32, "bit width must be in [1,32]");
+    const std::uint64_t limit =
+        width == 32 ? 0xffffffffull : ((1ull << width) - 1);
+    for (std::size_t i = 0; i < count; ++i) {
+      NUMARCK_EXPECT(values[i] <= limit, "value does not fit in width");
+      acc_ |= static_cast<std::uint64_t>(values[i]) << nbits_;
+      nbits_ += width;
+      while (nbits_ >= 8) flush_byte();
+    }
+  }
+
+  /// Appends `count` zero bits. Interior bytes are skipped rather than
+  /// stored — the destination buffer starts zeroed (a class-level
+  /// requirement), so advancing the cursor IS the write. This turns the
+  /// ζ bitmap's exact runs into O(1) cursor moves.
+  void put_zeros(std::size_t count) {
+    if (count == 0) return;
+    if (nbits_ > 0) {
+      const unsigned room = 8 - nbits_;
+      if (count < room) {
+        nbits_ += static_cast<unsigned>(count);
+        return;
+      }
+      flush_byte_padded();
+      count -= room;
+    }
+    byte_ += count / 8;
+    NUMARCK_EXPECT(byte_ <= size_, "BitSpanWriter: write past end of buffer");
+    nbits_ = static_cast<unsigned>(count % 8);
+  }
+
+  /// Appends `count` one bits; whole bytes become a memset.
+  void put_ones(std::size_t count) {
+    if (count == 0) return;
+    if (nbits_ > 0) {
+      const unsigned room = 8 - nbits_;
+      const unsigned take =
+          count < room ? static_cast<unsigned>(count) : room;
+      acc_ |= ((1ull << take) - 1) << nbits_;
+      nbits_ += take;
+      count -= take;
+      if (nbits_ == 8) flush_byte();
+      if (count == 0) return;
+    }
+    const std::size_t whole = count / 8;
+    if (whole != 0) {
+      NUMARCK_EXPECT(byte_ + whole <= size_,
+                     "BitSpanWriter: write past end of buffer");
+      std::memset(buf_ + byte_, 0xff, whole);
+      byte_ += whole;
+    }
+    const unsigned rest = static_cast<unsigned>(count % 8);
+    if (rest != 0) {
+      acc_ = (1ull << rest) - 1;
+      nbits_ = rest;
+    }
+  }
 
   /// Merges the trailing partial byte (shared with the next range) into the
   /// buffer. Must be called once after the last put.
@@ -119,6 +169,31 @@ class BitSpanWriter {
   }
 
  private:
+  /// Stores the low byte of acc_ at the cursor (fetch_or for the shared
+  /// first byte) and shifts it out. Requires nbits_ >= 8.
+  void flush_byte() {
+    NUMARCK_EXPECT(byte_ < size_, "BitSpanWriter: write past end of buffer");
+    const auto b = static_cast<std::uint8_t>(acc_ & 0xffu);
+    if (shared_head_) {
+      std::atomic_ref<std::uint8_t>(buf_[byte_])
+          .fetch_or(b, std::memory_order_relaxed);
+      shared_head_ = false;
+    } else {
+      buf_[byte_] = b;
+    }
+    ++byte_;
+    acc_ >>= 8;
+    nbits_ -= 8;
+  }
+
+  /// Flushes a partial byte whose high bits are zero padding (put_zeros
+  /// crossing a byte boundary). Requires 0 < nbits_ < 8.
+  void flush_byte_padded() {
+    nbits_ = 8;
+    flush_byte();
+    acc_ = 0;
+  }
+
   std::uint8_t* buf_;
   std::size_t size_;
   std::size_t byte_;

@@ -12,9 +12,19 @@
 // cross-codec throughput/size comparison in BENCH_baselines.json (override
 // with --baselines-out). Usage:
 //
+// A fourth sweep times the codec end-to-end and each dispatched kernel under
+// every NUMARCK_ARCH level the host supports and lands in BENCH_simd.json
+// (override with --simd-out) — the record of what the SIMD dispatcher buys.
+//
+// The thread sweep covers {1, 2, 4, 8} clipped to the real
+// hardware_concurrency; on a single-core host only the 1-thread rows are
+// measured and the JSONs carry "thread_sweep_skipped": true so downstream
+// tooling does not mistake a missing sweep for a regression.
+//
 //   numarck-bench-codec [output.json] [--points N] [--reps R]
 //                       [--kmeans-out kmeans.json]
 //                       [--baselines-out baselines.json]
+//                       [--simd-out simd.json]
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -30,8 +40,11 @@
 #include <thread>
 #include <vector>
 
+#include "numarck/arch/arch.hpp"
 #include "numarck/codec/codec.hpp"
 #include "numarck/core/codec.hpp"
+#include "numarck/lossless/fpc.hpp"
+#include "numarck/util/bitpack.hpp"
 #include "numarck/util/rng.hpp"
 #include "numarck/util/thread_pool.hpp"
 
@@ -50,6 +63,18 @@ std::pair<std::vector<double>, std::vector<double>> snapshots(std::size_t n) {
     curr[j] = prev[j] * (1.0 + ratio);
   }
   return {std::move(prev), std::move(curr)};
+}
+
+/// {1, 2, 4, 8} clipped to what the machine can actually run in parallel.
+/// Thread counts above hardware_concurrency would only measure scheduler
+/// noise, so they are skipped (1 is always measured).
+std::vector<std::size_t> bench_thread_counts() {
+  const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> out{1};
+  for (const unsigned t : {2u, 4u, 8u}) {
+    if (t <= hc) out.push_back(t);
+  }
+  return out;
 }
 
 template <typename Fn>
@@ -105,7 +130,7 @@ std::vector<KmeansRow> kmeans_sweep(std::span<const double> prev,
       cluster::KMeansEngine::kSortedBoundary,
       cluster::KMeansEngine::kHistogramLloyd};
   const double samplings[] = {1.0, 0.1, 0.01};
-  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  const std::vector<std::size_t> thread_counts = bench_thread_counts();
   const double mp = static_cast<double>(curr.size()) / 1e6;
   std::vector<KmeansRow> rows;
   for (const auto engine : engines) {
@@ -193,12 +218,137 @@ std::vector<BaselineRow> baselines_sweep(std::size_t n, std::size_t reps) {
   return rows;
 }
 
+struct SimdRow {
+  std::string kernel;    ///< "encode"/"decode" or a dispatched kernel name
+  std::string strategy;  ///< "-" for micro-kernel rows
+  std::string arch;
+  double seconds;
+  double mpoints_per_s;
+  double speedup_vs_scalar;  ///< scalar seconds / this row's seconds
+};
+
+/// Kernel x ISA x strategy sweep: the codec end-to-end (single-threaded, per
+/// strategy) plus each dispatched kernel in isolation, once per NUMARCK_ARCH
+/// level the host supports. All kernel calls go through the dispatch table's
+/// function pointers, so nothing inlines away. Every level produces
+/// byte-identical output (tests/arch_test.cpp enforces that); this sweep
+/// records what the wider tables buy in throughput.
+std::vector<SimdRow> simd_sweep(std::span<const double> prev,
+                                std::span<const double> curr,
+                                std::size_t reps) {
+  const arch::Level saved = arch::active_level();
+  const std::size_t n = curr.size();
+  const double mp = static_cast<double>(n) / 1e6;
+  const core::Strategy strategies[] = {core::Strategy::kEqualWidth,
+                                       core::Strategy::kLogScale,
+                                       core::Strategy::kClustering};
+
+  // Shared inputs for the micro-kernel rows, built once so every level times
+  // the same work. The reference container comes from the scalar table.
+  arch::force_level(arch::Level::kScalar);
+  util::ThreadPool pool(1);
+  core::Options ref_opts;
+  ref_opts.pool = &pool;
+  const core::EncodedIteration ref_enc =
+      core::encode_iteration(prev, curr, ref_opts);
+  std::vector<std::uint32_t> labels(n);
+  std::vector<double> ratios(n);
+  std::vector<double> decoded(n);
+  std::vector<std::uint32_t> packed_src(n);
+  util::Pcg32 rng(7);
+  for (auto& v : packed_src) v = rng.next() & 0x7ffu;
+  const std::vector<std::uint8_t> packed = util::pack_indices(packed_src, 11);
+  std::vector<std::uint32_t> unpacked(n);
+  std::vector<std::uint64_t> fpc_v(n), fpc_pf(n), fpc_pd(n), fpc_xr(n);
+  std::vector<std::uint8_t> fpc_nib(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fpc_v[i] = (static_cast<std::uint64_t>(rng.next()) << 32) | rng.next();
+    fpc_pf[i] = fpc_v[i] ^ (rng.next() & 0xffffffu);
+    fpc_pd[i] = (static_cast<std::uint64_t>(rng.next()) << 32) | rng.next();
+  }
+
+  std::vector<SimdRow> rows;
+  for (const arch::Level level : arch::available_levels()) {
+    arch::force_level(level);
+    const auto& k = arch::active();
+    const std::string name = arch::to_string(level);
+    for (const auto strategy : strategies) {
+      core::Options opts;
+      opts.strategy = strategy;
+      opts.pool = &pool;
+      core::EncodedIteration enc;
+      const double enc_s = best_seconds(
+          reps, [&] { enc = core::encode_iteration(prev, curr, opts); });
+      const double dec_s = best_seconds(
+          reps, [&] { (void)core::decode_iteration(prev, enc, &pool); });
+      rows.push_back(
+          {"encode", core::to_string(strategy), name, enc_s, mp / enc_s, 1.0});
+      rows.push_back(
+          {"decode", core::to_string(strategy), name, dec_s, mp / dec_s, 1.0});
+    }
+    const auto micro = [&](const char* kernel, double seconds) {
+      rows.push_back({kernel, "-", name, seconds, mp / seconds, 1.0});
+    };
+    micro("classify", best_seconds(reps, [&] {
+            (void)k.classify(prev.data(), curr.data(), labels.data(), n, 0.01,
+                             1e-7);
+          }));
+    micro("change_ratios", best_seconds(reps, [&] {
+            k.change_ratios(prev.data(), curr.data(), ratios.data(), n);
+          }));
+    micro("unpack", best_seconds(reps, [&] {
+            k.unpack(packed.data(), packed.size(), 0, 11, unpacked.data(), n);
+          }));
+    micro("count_ones", best_seconds(reps, [&] {
+            (void)k.count_ones(ref_enc.zeta.data(), ref_enc.zeta.size(), 0, n);
+          }));
+    micro("decode_span", best_seconds(reps, [&] {
+            arch::DecodeSpan span;
+            span.previous = prev.data();
+            span.out = decoded.data();
+            span.i0 = 0;
+            span.i1 = n;
+            span.zeta = ref_enc.zeta.data();
+            span.zeta_size = ref_enc.zeta.size();
+            span.indices = ref_enc.indices.data();
+            span.indices_size = ref_enc.indices.size();
+            span.centers = ref_enc.centers.data();
+            span.center_count = ref_enc.centers.size();
+            span.exact = ref_enc.exact_values.data();
+            span.exact_size = ref_enc.exact_values.size();
+            span.index_bits = ref_enc.index_bits;
+            k.decode_span(span);
+          }));
+    micro("fpc_xor_lzc", best_seconds(reps, [&] {
+            k.fpc_xor_lzc(fpc_v.data(), fpc_pf.data(), fpc_pd.data(), n,
+                          fpc_xr.data(), fpc_nib.data());
+          }));
+  }
+  arch::force_level(saved);
+
+  for (auto& r : rows) {
+    for (const auto& base : rows) {
+      if (base.arch == "scalar" && base.kernel == r.kernel &&
+          base.strategy == r.strategy) {
+        r.speedup_vs_scalar = base.seconds / r.seconds;
+        break;
+      }
+    }
+    std::fprintf(stderr,
+                 "simd    %-13s %-12s %-7s %8.3f ms  %7.1f Mpt/s  %5.2fx\n",
+                 r.kernel.c_str(), r.strategy.c_str(), r.arch.c_str(),
+                 r.seconds * 1e3, r.mpoints_per_s, r.speedup_vs_scalar);
+  }
+  return rows;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_codec.json";
   std::string kmeans_out_path = "BENCH_kmeans.json";
   std::string baselines_out_path = "BENCH_baselines.json";
+  std::string simd_out_path = "BENCH_simd.json";
   std::size_t n = std::size_t{1} << 17;
   std::size_t reps = 5;
   const auto count_arg = [&](const char* flag, int& i) -> std::size_t {
@@ -232,13 +382,22 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       baselines_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--simd-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--simd-out requires a value\n");
+        std::exit(2);
+      }
+      simd_out_path = argv[++i];
     } else {
       out_path = argv[i];
     }
   }
 
+  // Which kernel tables this run dispatches to (honors NUMARCK_ARCH).
+  std::cerr << "numarck-bench-codec: " << arch::describe() << "\n";
+
   const auto [prev, curr] = snapshots(n);
-  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  const std::vector<std::size_t> thread_counts = bench_thread_counts();
   const core::Strategy strategies[] = {core::Strategy::kEqualWidth,
                                        core::Strategy::kLogScale,
                                        core::Strategy::kClustering};
@@ -282,12 +441,21 @@ int main(int argc, char** argv) {
     std::cerr << "cannot open " << out_path << " for writing\n";
     return 1;
   }
+  const std::size_t max_threads = thread_counts.back();
   out << "{\n";
   out << "  \"benchmark\": \"codec\",\n";
   out << "  \"points\": " << n << ",\n";
   out << "  \"reps\": " << reps << ",\n";
   out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
       << ",\n";
+  out << "  \"arch\": \"" << arch::to_string(arch::active_level()) << "\",\n";
+  out << "  \"thread_counts\": [";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    out << (i ? ", " : "") << thread_counts[i];
+  }
+  out << "],\n";
+  out << "  \"thread_sweep_skipped\": "
+      << (max_threads == 1 ? "true" : "false") << ",\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
@@ -297,20 +465,25 @@ int main(int argc, char** argv) {
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
-  out << "  \"speedup_8t_over_1t\": {\n";
+  // Parallel speedup at the widest measured thread count. On a single-core
+  // host this object is empty (there is nothing meaningful to divide).
+  out << "  \"max_threads\": " << max_threads << ",\n";
+  out << "  \"speedup_maxt_over_1t\": {";
   bool first = true;
-  for (const char* op : {"encode", "decode"}) {
-    for (const auto strategy : strategies) {
-      const Row* t1 = find(op, core::to_string(strategy), 1);
-      const Row* t8 = find(op, core::to_string(strategy), 8);
-      if (!t1 || !t8) continue;
-      if (!first) out << ",\n";
-      first = false;
-      out << "    \"" << op << "/" << core::to_string(strategy)
-          << "\": " << t1->seconds / t8->seconds;
+  if (max_threads > 1) {
+    for (const char* op : {"encode", "decode"}) {
+      for (const auto strategy : strategies) {
+        const Row* t1 = find(op, core::to_string(strategy), 1);
+        const Row* tm = find(op, core::to_string(strategy), max_threads);
+        if (!t1 || !tm) continue;
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    \"" << op << "/" << core::to_string(strategy)
+            << "\": " << t1->seconds / tm->seconds;
+      }
     }
   }
-  out << "\n  }\n}\n";
+  out << (first ? "" : "\n  ") << "}\n}\n";
   std::cerr << "wrote " << out_path << "\n";
 
   // ---- K-means sweep (engine x sampling x threads) -> BENCH_kmeans.json --
@@ -336,6 +509,8 @@ int main(int argc, char** argv) {
   kout << "  \"k\": " << ((std::size_t{1} << 8) - 1) << ",\n";
   kout << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n";
+  kout << "  \"thread_sweep_skipped\": "
+       << (max_threads == 1 ? "true" : "false") << ",\n";
   kout << "  \"results\": [\n";
   for (std::size_t i = 0; i < krows.size(); ++i) {
     const auto& r = krows[i];
@@ -392,5 +567,52 @@ int main(int argc, char** argv) {
   }
   bout << "  ]\n}\n";
   std::cerr << "wrote " << baselines_out_path << "\n";
+
+  // ---- SIMD dispatch sweep (kernel x ISA x strategy) -> BENCH_simd.json ---
+  const std::vector<SimdRow> srows = simd_sweep(prev, curr, reps);
+  std::ofstream sout(simd_out_path);
+  if (!sout) {
+    std::cerr << "cannot open " << simd_out_path << " for writing\n";
+    return 1;
+  }
+  sout << "{\n";
+  sout << "  \"benchmark\": \"simd\",\n";
+  sout << "  \"points\": " << n << ",\n";
+  sout << "  \"reps\": " << reps << ",\n";
+  sout << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n";
+  sout << "  \"detected\": \"" << arch::to_string(arch::detect_best())
+       << "\",\n";
+  sout << "  \"levels\": [";
+  const auto levels = arch::available_levels();
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    sout << (i ? ", " : "") << "\"" << arch::to_string(levels[i]) << "\"";
+  }
+  sout << "],\n";
+  sout << "  \"results\": [\n";
+  for (std::size_t i = 0; i < srows.size(); ++i) {
+    const auto& r = srows[i];
+    sout << "    {\"kernel\": \"" << r.kernel << "\", \"strategy\": \""
+         << r.strategy << "\", \"arch\": \"" << r.arch
+         << "\", \"seconds\": " << r.seconds
+         << ", \"mpoints_per_s\": " << r.mpoints_per_s
+         << ", \"speedup_vs_scalar\": " << r.speedup_vs_scalar << "}"
+         << (i + 1 < srows.size() ? "," : "") << "\n";
+  }
+  sout << "  ],\n";
+  // Headline numbers the CI bench-smoke job gates on: the widest table's
+  // best win over scalar, kernel-level and end-to-end.
+  double best_kernel = 0.0, best_encode = 0.0;
+  for (const auto& r : srows) {
+    if (r.strategy == "-") {
+      best_kernel = std::max(best_kernel, r.speedup_vs_scalar);
+    } else if (r.kernel == "encode") {
+      best_encode = std::max(best_encode, r.speedup_vs_scalar);
+    }
+  }
+  sout << "  \"best_kernel_speedup_vs_scalar\": " << best_kernel << ",\n";
+  sout << "  \"best_encode_speedup_vs_scalar\": " << best_encode << "\n";
+  sout << "}\n";
+  std::cerr << "wrote " << simd_out_path << "\n";
   return 0;
 }

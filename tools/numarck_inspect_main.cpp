@@ -1,14 +1,23 @@
 // numarck-inspect — print the contents of a NUMARCK checkpoint container.
 //
 //   numarck-inspect run.ckpt
+//   numarck-inspect --arch        # report the SIMD dispatch decision
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
+#include "numarck/arch/arch.hpp"
 #include "numarck/tools/cli.hpp"
 
 int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--arch") == 0) {
+    // What would this process run with? Honors NUMARCK_ARCH, so
+    // `NUMARCK_ARCH=scalar numarck-inspect --arch` shows the override too.
+    std::cout << numarck::arch::describe() << "\n";
+    return 0;
+  }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: numarck-inspect FILE.ckpt\n");
+    std::fprintf(stderr, "usage: numarck-inspect FILE.ckpt | --arch\n");
     return 2;
   }
   try {
