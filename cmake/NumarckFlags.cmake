@@ -13,6 +13,23 @@ if(NUMARCK_WERROR)
   target_compile_options(numarck_warnings INTERFACE -Werror)
 endif()
 
+# ----------------------------------------------------- thread-safety analysis --
+# Clang's -Wthread-safety consumes the GUARDED_BY/REQUIRES/ACQUIRE annotations
+# in numarck/util/thread_annotations.hpp (ThreadPool, mpisim::World, the
+# sharded writer, the adaptive checkpointer). Compile-time only — zero runtime
+# cost — and complementary to TSan: the analysis proves lock discipline on
+# every path, TSan observes the paths a run actually takes.
+if(NUMARCK_THREAD_SAFETY)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    target_compile_options(numarck_warnings INTERFACE
+      -Wthread-safety -Werror=thread-safety-analysis)
+  else()
+    message(WARNING "NUMARCK_THREAD_SAFETY needs Clang; the annotations "
+                    "compile away under ${CMAKE_CXX_COMPILER_ID} and no "
+                    "analysis runs")
+  endif()
+endif()
+
 # --------------------------------------------------------------- sanitizers --
 set(_numarck_san_count 0)
 foreach(opt NUMARCK_SANITIZE NUMARCK_SANITIZE_THREAD NUMARCK_SANITIZE_UNDEFINED)
@@ -62,9 +79,9 @@ if(NUMARCK_RUN_CLANG_TIDY AND NUMARCK_CLANG_TIDY)
     COMMAND ${NUMARCK_RUN_CLANG_TIDY}
             -clang-tidy-binary ${NUMARCK_CLANG_TIDY}
             -p ${CMAKE_BINARY_DIR} -quiet
-            "${CMAKE_SOURCE_DIR}/(src|tools|fuzz)/.*\\.cpp$"
+            "${CMAKE_SOURCE_DIR}/(src|tools|fuzz|tests|bench)/.*\\.cpp$"
     WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
-    COMMENT "clang-tidy over src/, tools/ and fuzz/ (fails on findings)"
+    COMMENT "clang-tidy over src/, tools/, fuzz/, tests/ and bench/ (fails on findings)"
     VERBATIM USES_TERMINAL)
 else()
   add_custom_target(tidy

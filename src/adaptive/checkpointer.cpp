@@ -120,23 +120,25 @@ core::CompressedStep AdaptiveCheckpointer::encode_delta(
   return fallback.payload.size() <= chosen.payload.size() ? fallback : chosen;
 }
 
+void AdaptiveCheckpointer::write_full(std::span<const double> snapshot,
+                                      StepDecision& d) {
+  d.action = Action::kFull;
+  d.step = core::CompressedStep::full_from(snapshot);
+  d.bytes_written = d.step.payload.size();
+  last_written_.assign(snapshot.begin(), snapshot.end());
+  since_write_ = 0;
+  writes_since_full_ = 0;
+  ++stats_.fulls;
+  stats_.bytes_written += d.bytes_written;
+}
+
 StepDecision AdaptiveCheckpointer::push(std::span<const double> snapshot) {
+  util::MutexLock lk(mu_);
   StepDecision d;
   ++stats_.snapshots;
 
-  auto write_full = [&] {
-    d.action = Action::kFull;
-    d.step = core::CompressedStep::full_from(snapshot);
-    d.bytes_written = d.step.payload.size();
-    last_written_.assign(snapshot.begin(), snapshot.end());
-    since_write_ = 0;
-    writes_since_full_ = 0;
-    ++stats_.fulls;
-    stats_.bytes_written += d.bytes_written;
-  };
-
   if (last_written_.empty()) {
-    write_full();
+    write_full(snapshot, d);
     return d;
   }
   NUMARCK_EXPECT(snapshot.size() == last_written_.size(),
@@ -159,7 +161,7 @@ StepDecision AdaptiveCheckpointer::push(std::span<const double> snapshot) {
   const bool degraded =
       step.stats.incompressible_ratio() > opts_.gamma_rebase;
   if (degraded || writes_since_full_ + 1 >= opts_.rebase_interval) {
-    write_full();
+    write_full(snapshot, d);
     return d;
   }
   d.action = Action::kDelta;

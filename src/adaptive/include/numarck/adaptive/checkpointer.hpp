@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "numarck/core/compressor.hpp"
+#include "numarck/util/thread_annotations.hpp"
 
 namespace numarck::adaptive {
 
@@ -75,8 +76,10 @@ class AdaptiveCheckpointer {
   explicit AdaptiveCheckpointer(const AdaptiveOptions& opts);
 
   /// Feeds the next simulation snapshot and returns the decision. The first
-  /// snapshot is always a full checkpoint.
-  StepDecision push(std::span<const double> snapshot);
+  /// snapshot is always a full checkpoint. Serialized by mu_: the drift
+  /// reference and interval counters form one consistent stream, so the
+  /// controller is safe to drive from any thread (e.g. a writer pool).
+  StepDecision push(std::span<const double> snapshot) EXCLUDES(mu_);
 
   struct Stats {
     std::size_t snapshots = 0;
@@ -85,26 +88,41 @@ class AdaptiveCheckpointer {
     std::size_t skips = 0;
     std::size_t bytes_written = 0;
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot of the counters; by value so the caller's copy cannot tear
+  /// against a concurrent push().
+  [[nodiscard]] Stats stats() const EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return stats_;
+  }
 
   /// Snapshots elapsed since the last written record (staleness a failure
   /// right now would cost).
-  [[nodiscard]] std::size_t staleness() const noexcept { return since_write_; }
+  [[nodiscard]] std::size_t staleness() const EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return since_write_;
+  }
 
  private:
-  [[nodiscard]] double estimate_drift(std::span<const double> snapshot) const;
+  [[nodiscard]] double estimate_drift(std::span<const double> snapshot) const
+      REQUIRES(mu_);
 
   /// Encodes the pending delta with the configured backend, or — in auto
   /// mode — with the winner of a strided trial across all non-temporal-safe
   /// candidates, floored by NUMARCK so auto never loses to the fixed default.
   [[nodiscard]] core::CompressedStep encode_delta(
-      std::span<const double> snapshot) const;
+      std::span<const double> snapshot) const REQUIRES(mu_);
 
-  AdaptiveOptions opts_;
-  std::vector<double> last_written_;   ///< reference for drift + delta coding
-  std::size_t since_write_ = 0;
-  std::size_t writes_since_full_ = 0;
-  Stats stats_;
+  /// Writes a lossless full checkpoint into `d` and resets the delta chain.
+  void write_full(std::span<const double> snapshot, StepDecision& d)
+      REQUIRES(mu_);
+
+  AdaptiveOptions opts_;  ///< immutable after construction
+  mutable util::Mutex mu_;
+  /// Reference for drift + delta coding.
+  std::vector<double> last_written_ GUARDED_BY(mu_);
+  std::size_t since_write_ GUARDED_BY(mu_) = 0;
+  std::size_t writes_since_full_ GUARDED_BY(mu_) = 0;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace numarck::adaptive

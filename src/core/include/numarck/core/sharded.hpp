@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "numarck/core/compressor.hpp"
+#include "numarck/util/thread_annotations.hpp"
 
 namespace numarck::core {
 
@@ -46,9 +47,12 @@ class ShardedCompressor {
   explicit ShardedCompressor(const ShardedOptions& opts);
 
   /// Compresses the next snapshot; shards run concurrently on the pool.
-  ShardedStep push(std::span<const double> snapshot);
+  /// Serialized by mu_: interleaving two push() calls would corrupt every
+  /// shard's delta chain, so concurrent callers queue up instead.
+  ShardedStep push(std::span<const double> snapshot) EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t shard_count() const noexcept {
+  [[nodiscard]] std::size_t shard_count() const EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
     return compressors_.size();
   }
 
@@ -59,8 +63,14 @@ class ShardedCompressor {
   /// the shared pool would deadlock it: shard tasks would block on inner
   /// tasks queued behind other shard tasks.
   util::ThreadPool inner_pool_{1};
-  std::vector<VariableCompressor> compressors_;
-  std::vector<std::size_t> boundaries_;  ///< size shards+1, set on first push
+  /// Guards the stream state below. Within one push() the elements of
+  /// compressors_ are lent to pool workers one-per-shard (disjoint, never
+  /// aliased), which the analysis cannot express; the workers therefore
+  /// receive raw element pointers captured while mu_ is held.
+  mutable util::Mutex mu_;
+  std::vector<VariableCompressor> compressors_ GUARDED_BY(mu_);
+  /// Size shards+1, set on first push.
+  std::vector<std::size_t> boundaries_ GUARDED_BY(mu_);
 };
 
 class ShardedReconstructor {

@@ -1,6 +1,7 @@
 #include "numarck/core/sharded.hpp"
 
 #include <cmath>
+#include <exception>
 #include <future>
 
 #include "numarck/util/expect.hpp"
@@ -45,6 +46,9 @@ ShardedCompressor::ShardedCompressor(const ShardedOptions& opts) : opts_(opts) {
 }
 
 ShardedStep ShardedCompressor::push(std::span<const double> snapshot) {
+  // Held for the whole step, including the joins: push() is the unit the
+  // delta chains are consistent at, so a second caller must wait it out.
+  util::MutexLock lk(mu_);
   if (boundaries_.empty()) {
     NUMARCK_EXPECT(snapshot.size() >= compressors_.size(),
                    "fewer points than shards");
@@ -64,13 +68,26 @@ ShardedStep ShardedCompressor::push(std::span<const double> snapshot) {
   std::vector<std::future<void>> futs;
   futs.reserve(compressors_.size());
   for (std::size_t s = 0; s < compressors_.size(); ++s) {
-    futs.push_back(pool.submit([this, s, snapshot, &out] {
-      const auto shard = snapshot.subspan(boundaries_[s],
-                                          boundaries_[s + 1] - boundaries_[s]);
-      out.shard_steps[s] = compressors_[s].push(shard);
-    }));
+    // Hand each worker raw pointers to its own shard's state, carved out
+    // under mu_; the lambda itself touches no guarded member.
+    VariableCompressor* comp = &compressors_[s];
+    const auto shard =
+        snapshot.subspan(boundaries_[s], boundaries_[s + 1] - boundaries_[s]);
+    CompressedStep* slot = &out.shard_steps[s];
+    futs.push_back(
+        pool.submit([comp, shard, slot] { *slot = comp->push(shard); }));
   }
-  for (auto& f : futs) f.get();
+  // Drain every shard before rethrowing (same discipline as parallel_chunks):
+  // unwinding while a worker still writes into `out` would be UB.
+  std::exception_ptr err;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "numarck/io/checkpoint_file.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -97,10 +98,20 @@ CheckpointWriter::CheckpointWriter(std::unique_ptr<ByteSink> sink,
 
 CheckpointWriter::~CheckpointWriter() {
   // A destructor cannot surface I/O errors; paths that need the durability
-  // contract call close() and get the exception there.
+  // contract call close() and get the exception there. An error here still
+  // means the checkpoint on disk may be truncated, so it must not vanish
+  // silently: log it before swallowing.
   try {
     if (impl_) impl_->close();
-  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "numarck: checkpoint close failed in destructor (file may be "
+                 "incomplete): %s\n",
+                 e.what());
+  } catch (...) {
+    std::fprintf(stderr,
+                 "numarck: checkpoint close failed in destructor (file may be "
+                 "incomplete): unknown error\n");
   }
 }
 

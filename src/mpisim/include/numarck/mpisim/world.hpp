@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "numarck/util/thread_annotations.hpp"
+
 namespace numarck::mpisim {
 
 class World;
@@ -129,7 +131,8 @@ class World {
   [[nodiscard]] std::vector<int> failed_ranks() const;
 
   /// Total bytes moved between ranks so far (point-to-point + collectives).
-  [[nodiscard]] std::uint64_t bytes_moved() const noexcept;
+  /// Takes the world lock: safe to call while ranks are still communicating.
+  [[nodiscard]] std::uint64_t bytes_moved() const;
 
  private:
   friend class Communicator;
@@ -141,14 +144,15 @@ class World {
   // --- fault machinery ---
   /// Counts an operation for `rank`; kills it (internal signal caught by
   /// run()) when the fault plan says so.
-  void check_fault(int rank);
+  void check_fault(int rank) EXCLUDES(mu_);
   /// Throws RankFailedError when any rank has died (collectives can never
   /// complete after a death). Caller holds mu_.
-  void throw_if_poisoned_locked(const char* what) const;
+  void throw_if_poisoned_locked(const char* what) const REQUIRES(mu_);
   /// Waits on cv_ until `done` holds; throws RankFailedError on rank death
-  /// or timeout. Caller holds mu_ via `lk`.
-  void wait_or_fail(std::unique_lock<std::mutex>& lk,
-                    const std::function<bool()>& done, const char* what);
+  /// or timeout. Caller holds mu_ via `lk`. `done` is evaluated with mu_
+  /// held: predicates reading guarded state start with mu_.assert_held().
+  void wait_or_fail(util::UniqueLock& lk, const std::function<bool()>& done,
+                    const char* what) REQUIRES(mu_);
 
   // --- point to point ---
   void post(int source, int dest, int tag, std::vector<std::uint8_t> payload);
@@ -167,28 +171,30 @@ class World {
   std::vector<std::vector<std::uint8_t>> do_gather(
       int rank, std::vector<std::uint8_t> payload, int root);
 
-  int size_;
-  std::mutex mu_;
+  int size_;  ///< immutable after construction, read lock-free
+  mutable util::Mutex mu_;
   std::condition_variable cv_;
-  std::map<std::tuple<int, int, int>, Mailbox> mailboxes_;
+  std::map<std::tuple<int, int, int>, Mailbox> mailboxes_ GUARDED_BY(mu_);
 
   // Barrier and collective state (generation counted).
-  std::uint64_t barrier_gen_ = 0;
-  int barrier_waiting_ = 0;
-  std::uint64_t coll_gen_ = 0;
-  int coll_arrived_ = 0;
-  int coll_left_ = 0;
-  std::vector<double> coll_accum_;
-  std::vector<std::vector<std::uint8_t>> coll_gather_;
-  bool coll_has_accum_ = false;
+  std::uint64_t barrier_gen_ GUARDED_BY(mu_) = 0;
+  int barrier_waiting_ GUARDED_BY(mu_) = 0;
+  std::uint64_t coll_gen_ GUARDED_BY(mu_) = 0;
+  int coll_arrived_ GUARDED_BY(mu_) = 0;
+  int coll_left_ GUARDED_BY(mu_) = 0;
+  std::vector<double> coll_accum_ GUARDED_BY(mu_);
+  std::vector<std::vector<std::uint8_t>> coll_gather_ GUARDED_BY(mu_);
+  bool coll_has_accum_ GUARDED_BY(mu_) = false;
 
-  // Fault state (guarded by mu_).
-  FaultPlan fault_plan_;
-  std::vector<std::size_t> ops_;    ///< per-rank communication op counter
-  std::vector<int> failed_ranks_;  ///< ranks killed by the fault plan
-  std::chrono::milliseconds timeout_{10000};
+  // Fault state.
+  FaultPlan fault_plan_ GUARDED_BY(mu_);
+  /// Per-rank communication op counter.
+  std::vector<std::size_t> ops_ GUARDED_BY(mu_);
+  /// Ranks killed by the fault plan.
+  std::vector<int> failed_ranks_ GUARDED_BY(mu_);
+  std::chrono::milliseconds timeout_ GUARDED_BY(mu_){10000};
 
-  std::uint64_t bytes_moved_ = 0;
+  std::uint64_t bytes_moved_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace numarck::mpisim

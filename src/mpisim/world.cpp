@@ -30,18 +30,18 @@ World::~World() = default;
 
 void World::set_fault_plan(const FaultPlan& plan) {
   NUMARCK_EXPECT(plan.victim < size_, "fault plan victim outside the world");
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   fault_plan_ = plan;
 }
 
 void World::set_timeout(std::chrono::milliseconds timeout) {
   NUMARCK_EXPECT(timeout.count() > 0, "world timeout must be positive");
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   timeout_ = timeout;
 }
 
 std::vector<int> World::failed_ranks() const {
-  std::lock_guard<std::mutex> lk(const_cast<std::mutex&>(mu_));
+  util::MutexLock lk(mu_);
   return failed_ranks_;
 }
 
@@ -68,10 +68,15 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
   }
 }
 
-std::uint64_t World::bytes_moved() const noexcept { return bytes_moved_; }
+std::uint64_t World::bytes_moved() const {
+  // Previously a lock-free read: racy against post()/reduce_all() while a
+  // run() is live. The annotations made the hole visible; take the lock.
+  util::MutexLock lk(mu_);
+  return bytes_moved_;
+}
 
 void World::check_fault(int rank) {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::UniqueLock lk(mu_);
   const std::size_t op = ops_[static_cast<std::size_t>(rank)]++;
   if (rank == fault_plan_.victim && op >= fault_plan_.at_op &&
       std::find(failed_ranks_.begin(), failed_ranks_.end(), rank) ==
@@ -91,12 +96,13 @@ void World::throw_if_poisoned_locked(const char* what) const {
   }
 }
 
-void World::wait_or_fail(std::unique_lock<std::mutex>& lk,
+void World::wait_or_fail(util::UniqueLock& lk,
                          const std::function<bool()>& done, const char* what) {
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
   while (!done()) {
     throw_if_poisoned_locked(what);
-    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout && !done()) {
+    if (cv_.wait_until(lk.native(), deadline) == std::cv_status::timeout &&
+        !done()) {
       throw_if_poisoned_locked(what);
       throw RankFailedError(
           -1, std::string(what) + " timed out after " +
@@ -108,7 +114,7 @@ void World::wait_or_fail(std::unique_lock<std::mutex>& lk,
 void World::post(int source, int dest, int tag,
                  std::vector<std::uint8_t> payload) {
   check_fault(source);
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   bytes_moved_ += payload.size();
   mailboxes_[{source, dest, tag}].messages.push_back(std::move(payload));
   cv_.notify_all();
@@ -116,7 +122,7 @@ void World::post(int source, int dest, int tag,
 
 std::vector<std::uint8_t> World::take(int source, int dest, int tag) {
   check_fault(dest);
-  std::unique_lock<std::mutex> lk(mu_);
+  util::UniqueLock lk(mu_);
   auto& box = mailboxes_[{source, dest, tag}];
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
   // A message posted before the sender died is still deliverable (matching
@@ -127,7 +133,7 @@ std::vector<std::uint8_t> World::take(int source, int dest, int tag) {
       throw RankFailedError(source, "recv: source rank " +
                                         std::to_string(source) + " failed");
     }
-    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+    if (cv_.wait_until(lk.native(), deadline) == std::cv_status::timeout &&
         box.messages.empty()) {
       throw RankFailedError(-1, "recv timed out after " +
                                     std::to_string(timeout_.count()) +
@@ -141,7 +147,7 @@ std::vector<std::uint8_t> World::take(int source, int dest, int tag) {
 
 void World::enter_barrier(int rank) {
   check_fault(rank);
-  std::unique_lock<std::mutex> lk(mu_);
+  util::UniqueLock lk(mu_);
   throw_if_poisoned_locked("barrier");
   const std::uint64_t gen = barrier_gen_;
   if (++barrier_waiting_ == size_) {
@@ -150,7 +156,13 @@ void World::enter_barrier(int rank) {
     cv_.notify_all();
     return;
   }
-  wait_or_fail(lk, [&] { return barrier_gen_ != gen; }, "barrier");
+  wait_or_fail(
+      lk,
+      [&] {
+        mu_.assert_held();  // evaluated under the wait loop's lock
+        return barrier_gen_ != gen;
+      },
+      "barrier");
 }
 
 std::vector<double> World::reduce_all(
@@ -158,10 +170,16 @@ std::vector<double> World::reduce_all(
     const std::function<void(std::vector<double>&, const std::vector<double>&)>&
         combine) {
   check_fault(rank);
-  std::unique_lock<std::mutex> lk(mu_);
+  util::UniqueLock lk(mu_);
   throw_if_poisoned_locked("allreduce");
   // Wait for the previous collective round to fully drain.
-  wait_or_fail(lk, [&] { return coll_arrived_ < size_; }, "allreduce");
+  wait_or_fail(
+      lk,
+      [&] {
+        mu_.assert_held();
+        return coll_arrived_ < size_;
+      },
+      "allreduce");
   const std::uint64_t gen = coll_gen_;
   bytes_moved_ += local.size() * sizeof(double);
   if (!coll_has_accum_) {
@@ -174,8 +192,13 @@ std::vector<double> World::reduce_all(
     coll_left_ = 0;
     cv_.notify_all();
   }
-  wait_or_fail(lk, [&] { return coll_arrived_ == size_ && coll_gen_ == gen; },
-               "allreduce");
+  wait_or_fail(
+      lk,
+      [&] {
+        mu_.assert_held();
+        return coll_arrived_ == size_ && coll_gen_ == gen;
+      },
+      "allreduce");
   std::vector<double> result = coll_accum_;
   bytes_moved_ += result.size() * sizeof(double);
   if (++coll_left_ == size_) {
@@ -202,9 +225,15 @@ std::vector<double> World::do_broadcast(int rank, std::vector<double> values,
 std::vector<std::vector<std::uint8_t>> World::do_gather(
     int rank, std::vector<std::uint8_t> payload, int root) {
   check_fault(rank);
-  std::unique_lock<std::mutex> lk(mu_);
+  util::UniqueLock lk(mu_);
   throw_if_poisoned_locked("gather");
-  wait_or_fail(lk, [&] { return coll_arrived_ < size_; }, "gather");
+  wait_or_fail(
+      lk,
+      [&] {
+        mu_.assert_held();
+        return coll_arrived_ < size_;
+      },
+      "gather");
   const std::uint64_t gen = coll_gen_;
   if (coll_gather_.size() != static_cast<std::size_t>(size_)) {
     coll_gather_.assign(static_cast<std::size_t>(size_), {});
@@ -215,8 +244,13 @@ std::vector<std::vector<std::uint8_t>> World::do_gather(
     coll_left_ = 0;
     cv_.notify_all();
   }
-  wait_or_fail(lk, [&] { return coll_arrived_ == size_ && coll_gen_ == gen; },
-               "gather");
+  wait_or_fail(
+      lk,
+      [&] {
+        mu_.assert_held();
+        return coll_arrived_ == size_ && coll_gen_ == gen;
+      },
+      "gather");
   std::vector<std::vector<std::uint8_t>> result;
   if (rank == root) result = coll_gather_;
   if (++coll_left_ == size_) {

@@ -7,6 +7,14 @@
 // per-chunk partial results with a user-supplied binary op in chunk order —
 // the shared-memory analogue of MPI_Allreduce, deterministic for a fixed
 // pool size.
+//
+// Thread-safety contract (checked by -Wthread-safety where expressible, see
+// numarck/util/thread_annotations.hpp): these helpers take no locks of their
+// own — correctness rests on chunks being disjoint index ranges, so workers
+// never write the same element. A `body` that touches shared state beyond
+// its [i0, i1) slice must bring its own annotated Mutex; ThreadPool::submit
+// is EXCLUDES(pool.mu_), so the body must also never block on the pool it
+// runs inside (the deadlock ShardedCompressor's inner_pool_ design avoids).
 #pragma once
 
 #include <algorithm>

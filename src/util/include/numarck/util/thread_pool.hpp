@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "numarck/util/thread_annotations.hpp"
+
 namespace numarck::util {
 
 class ThreadPool {
@@ -41,9 +43,14 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues a callable; the returned future carries its result or exception.
+  /// Racing a concurrent destructor is well defined: either the task is
+  /// enqueued (and its future will be satisfied — the destructor drains the
+  /// queue before the workers exit) or submit throws std::runtime_error.
+  /// Never call this while holding a lock a queued task needs (EXCLUDES
+  /// guards against self-deadlock through mu_ itself).
   template <typename F, typename... Args>
   auto submit(F&& f, Args&&... args)
-      -> std::future<std::invoke_result_t<F, Args...>> {
+      -> std::future<std::invoke_result_t<F, Args...>> EXCLUDES(mu_) {
     using R = std::invoke_result_t<F, Args...>;
     auto task = std::make_shared<std::packaged_task<R()>>(
         [fn = std::forward<F>(f),
@@ -52,7 +59,7 @@ class ThreadPool {
         });
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
       queue_.emplace_back([task]() { (*task)(); });
     }
@@ -65,13 +72,13 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace numarck::util

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -29,12 +29,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      UniqueLock lk(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lk.native());
+      // Drain-before-exit: tasks enqueued before stopping_ was set still
+      // run, so every future submit() handed out gets satisfied.
+      if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }

@@ -1,0 +1,133 @@
+#include "DecodeThrowsCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/DenseSet.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::numarck {
+
+namespace {
+
+bool isDecodeEntryName(const FunctionDecl *FD) {
+  if (!FD->getDeclName().isIdentifier())
+    return false;
+  StringRef Name = FD->getName();
+  return Name.contains_insensitive("deserialize") ||
+         Name.contains_insensitive("decode");
+}
+
+/// Collects the canonical decls of functions directly called inside `S`.
+void collectCallees(const Stmt *S,
+                    llvm::DenseSet<const FunctionDecl *> &Out) {
+  if (!S)
+    return;
+  if (const auto *CE = dyn_cast<CallExpr>(S)) {
+    if (const FunctionDecl *FD = CE->getDirectCallee())
+      Out.insert(FD->getCanonicalDecl());
+  } else if (const auto *CC = dyn_cast<CXXConstructExpr>(S)) {
+    if (const CXXConstructorDecl *CD = CC->getConstructor())
+      Out.insert(CD->getCanonicalDecl());
+  }
+  for (const Stmt *Child : S->children())
+    collectCallees(Child, Out);
+}
+
+/// True when the thrown type is ContractViolation or derives from it.
+bool throwsContractViolation(const CXXThrowExpr *Throw) {
+  const Expr *Sub = Throw->getSubExpr();
+  if (!Sub)
+    return true; // `throw;` rethrows an already-vetted exception
+  QualType T = Sub->getType().getCanonicalType().getUnqualifiedType();
+  const CXXRecordDecl *RD = T->getAsCXXRecordDecl();
+  if (!RD)
+    return false; // throwing an int/string literal: never the contract type
+  llvm::SmallVector<const CXXRecordDecl *, 8> Work{RD};
+  llvm::DenseSet<const CXXRecordDecl *> Seen;
+  while (!Work.empty()) {
+    const CXXRecordDecl *Cur = Work.pop_back_val();
+    if (!Seen.insert(Cur).second)
+      continue;
+    if (Cur->getName() == "ContractViolation")
+      return true;
+    if (!Cur->hasDefinition())
+      continue;
+    for (const CXXBaseSpecifier &Base : Cur->bases())
+      if (const CXXRecordDecl *BRD = Base.getType()->getAsCXXRecordDecl())
+        Work.push_back(BRD);
+  }
+  return false;
+}
+
+void collectThrows(const Stmt *S,
+                   llvm::SmallVectorImpl<const CXXThrowExpr *> &Out) {
+  if (!S)
+    return;
+  if (const auto *Throw = dyn_cast<CXXThrowExpr>(S))
+    Out.push_back(Throw);
+  for (const Stmt *Child : S->children())
+    collectThrows(Child, Out);
+}
+
+} // namespace
+
+void DecodeThrowsCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      functionDecl(isDefinition(), hasBody(stmt()), isExpansionInMainFile())
+          .bind("def"),
+      this);
+}
+
+void DecodeThrowsCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *FD = Result.Nodes.getNodeAs<FunctionDecl>("def"))
+    Definitions.push_back(FD);
+}
+
+void DecodeThrowsCheck::onStartOfTranslationUnit() { Definitions.clear(); }
+
+void DecodeThrowsCheck::onEndOfTranslationUnit() {
+  // Intra-TU call graph over the collected definitions, keyed by canonical
+  // decl so out-of-line definitions meet their declarations.
+  llvm::DenseMap<const FunctionDecl *, const FunctionDecl *> DefOf;
+  for (const FunctionDecl *FD : Definitions)
+    DefOf[FD->getCanonicalDecl()] = FD;
+
+  llvm::DenseSet<const FunctionDecl *> Reachable; // canonical decls
+  llvm::SmallVector<const FunctionDecl *, 32> Work;
+  for (const FunctionDecl *FD : Definitions) {
+    if (isDecodeEntryName(FD) &&
+        Reachable.insert(FD->getCanonicalDecl()).second)
+      Work.push_back(FD);
+  }
+  while (!Work.empty()) {
+    const FunctionDecl *FD = Work.pop_back_val();
+    llvm::DenseSet<const FunctionDecl *> Callees;
+    collectCallees(FD->getBody(), Callees);
+    for (const FunctionDecl *Callee : Callees) {
+      auto It = DefOf.find(Callee);
+      if (It == DefOf.end())
+        continue; // defined elsewhere: outside this TU-local analysis
+      if (Reachable.insert(Callee).second)
+        Work.push_back(It->second);
+    }
+  }
+
+  for (const FunctionDecl *FD : Definitions) {
+    if (!Reachable.contains(FD->getCanonicalDecl()))
+      continue;
+    llvm::SmallVector<const CXXThrowExpr *, 8> Throws;
+    collectThrows(FD->getBody(), Throws);
+    for (const CXXThrowExpr *Throw : Throws) {
+      if (throwsContractViolation(Throw))
+        continue;
+      diag(Throw->getThrowLoc(),
+           "%0 is reachable from a decode/deserialize entry point but throws "
+           "a type other than ContractViolation; corrupted input must "
+           "surface as the single contract type the restart path handles")
+          << FD;
+    }
+  }
+}
+
+} // namespace clang::tidy::numarck

@@ -1,0 +1,43 @@
+// numarck-decode-throws — functions reachable (intra-TU) from a deserialize
+// or decode entry point may throw only ContractViolation.
+//
+// The restart path's error contract: corrupted or truncated checkpoint input
+// surfaces as exactly one exception type, so recovery code can distinguish
+// "bad data" (fall back to the previous complete checkpoint) from "bug"
+// (anything else escaping is a defect). A std::runtime_error thrown three
+// calls below decode() silently widens that contract; this check pins it.
+//
+// The analysis is a call-graph BFS over function definitions in the main
+// file: roots are functions whose name contains "deserialize" or "decode";
+// edges are direct calls; every CXXThrowExpr in a reachable body must throw
+// ContractViolation (or a type derived from it). Rethrows (`throw;`) are
+// allowed — they only propagate what a caller-side handler already vetted.
+#ifndef NUMARCK_TOOLS_LINT_DECODE_THROWS_CHECK_H
+#define NUMARCK_TOOLS_LINT_DECODE_THROWS_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/SmallVector.h"
+
+namespace clang::tidy::numarck {
+
+class DecodeThrowsCheck : public ClangTidyCheck {
+public:
+  DecodeThrowsCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void onStartOfTranslationUnit() override;
+  void onEndOfTranslationUnit() override;
+
+private:
+  /// Function definitions seen in the main file, in visitation order.
+  llvm::SmallVector<const FunctionDecl *, 32> Definitions;
+};
+
+} // namespace clang::tidy::numarck
+
+#endif // NUMARCK_TOOLS_LINT_DECODE_THROWS_CHECK_H

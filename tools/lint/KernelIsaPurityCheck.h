@@ -1,0 +1,41 @@
+// numarck-kernel-isa-purity — enforces the per-TU ISA discipline of the
+// runtime-dispatched kernel layer (src/arch/kernels_*.cpp):
+//
+//  * every namespace-scope helper must have internal linkage (static or an
+//    anonymous namespace) so one TU's helper can never satisfy another TU's
+//    reference after LTO/ODR merging — only the registered kernel-table
+//    accessors (declared in kernels_common.hpp) may be visible;
+//  * FMA intrinsics are forbidden everywhere: the decode path guarantees
+//    bit-identical reconstruction across ISA levels, and fused multiply-add
+//    changes rounding;
+//  * vector intrinsics must match the TU's ISA suffix (kernels_avx2.cpp may
+//    use _mm/_mm256 but not _mm512; kernels_scalar.cpp none at all), so a
+//    kernel can never execute an instruction the dispatcher did not probe
+//    for.
+#ifndef NUMARCK_TOOLS_LINT_KERNEL_ISA_PURITY_CHECK_H
+#define NUMARCK_TOOLS_LINT_KERNEL_ISA_PURITY_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::numarck {
+
+class KernelIsaPurityCheck : public ClangTidyCheck {
+public:
+  KernelIsaPurityCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+private:
+  /// ISA token from the main file name (`kernels_avx2.cpp` -> "avx2"), empty
+  /// when the TU is not a kernel TU (check inert).
+  std::string isaToken(const SourceManager &SM) const;
+};
+
+} // namespace clang::tidy::numarck
+
+#endif // NUMARCK_TOOLS_LINT_KERNEL_ISA_PURITY_CHECK_H

@@ -1,0 +1,182 @@
+#include "UncheckedDeserializeCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::numarck {
+
+namespace {
+
+/// True for `reader.get*()` where `reader` is a ByteReader/BitReader, and for
+/// any call whose callee name mentions varint — the untrusted-input sources.
+bool isReaderGetCall(const Expr *E) {
+  E = E->IgnoreParenImpCasts();
+  if (const auto *MCE = dyn_cast<CXXMemberCallExpr>(E)) {
+    const CXXRecordDecl *RD = MCE->getRecordDecl();
+    const CXXMethodDecl *MD = MCE->getMethodDecl();
+    if (RD && MD && RD->getName().contains("Reader") &&
+        MD->getName().starts_with("get"))
+      return true;
+  }
+  if (const auto *CE = dyn_cast<CallExpr>(E)) {
+    if (const FunctionDecl *FD = CE->getDirectCallee()) {
+      if (FD->getDeclName().isIdentifier() && FD->getName().contains("varint"))
+        return true;
+    }
+  }
+  return false;
+}
+
+/// Depth-first search for a reader read anywhere inside `E`.
+const Expr *findReaderCall(const Expr *E) {
+  if (!E)
+    return nullptr;
+  if (isReaderGetCall(E))
+    return E;
+  for (const Stmt *Child : E->children()) {
+    if (const auto *CE = dyn_cast_or_null<Expr>(Child))
+      if (const Expr *Found = findReaderCall(CE))
+        return Found;
+  }
+  return nullptr;
+}
+
+/// First DeclRefExpr inside `E` whose VarDecl is initialized from a reader
+/// read (the one-hop indirect flow: `auto n = r.get_varint(); v.resize(n);`).
+const VarDecl *findTaintedVarUse(const Expr *E) {
+  if (!E)
+    return nullptr;
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(E->IgnoreParenImpCasts())) {
+    if (const auto *VD = dyn_cast<VarDecl>(DRE->getDecl())) {
+      if (VD->hasInit() && findReaderCall(VD->getInit()))
+        return VD;
+    }
+  }
+  for (const Stmt *Child : E->children()) {
+    if (const auto *CE = dyn_cast_or_null<Expr>(Child))
+      if (const VarDecl *VD = findTaintedVarUse(CE))
+        return VD;
+  }
+  return nullptr;
+}
+
+bool mentionsVar(const Stmt *S, const VarDecl *VD) {
+  if (!S)
+    return false;
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(S))
+    if (DRE->getDecl() == VD)
+      return true;
+  for (const Stmt *Child : S->children())
+    if (mentionsVar(Child, VD))
+      return true;
+  return false;
+}
+
+bool isGuardCalleeName(StringRef Name) {
+  return Name.contains_insensitive("expect") ||
+         Name.contains_insensitive("check") ||
+         Name.contains_insensitive("valid") ||
+         Name.contains_insensitive("assert") ||
+         Name.contains_insensitive("remaining") ||
+         Name.contains_insensitive("min") || Name.contains_insensitive("clamp");
+}
+
+/// Collects source locations where `VD` participates in a validation: a
+/// control-flow condition, a comparison, or a call to an expect/check-style
+/// helper (NUMARCK_EXPECT expands to an if-condition, so it is covered).
+void collectGuards(const Stmt *S, const VarDecl *VD,
+                   llvm::SmallVectorImpl<SourceLocation> &Out) {
+  if (!S)
+    return;
+  const Stmt *GuardExpr = nullptr;
+  if (const auto *If = dyn_cast<IfStmt>(S))
+    GuardExpr = If->getCond();
+  else if (const auto *While = dyn_cast<WhileStmt>(S))
+    GuardExpr = While->getCond();
+  else if (const auto *For = dyn_cast<ForStmt>(S))
+    GuardExpr = For->getCond();
+  else if (const auto *Cond = dyn_cast<ConditionalOperator>(S))
+    GuardExpr = Cond->getCond();
+  else if (const auto *BO = dyn_cast<BinaryOperator>(S)) {
+    if (BO->isComparisonOp())
+      GuardExpr = BO;
+  } else if (const auto *CE = dyn_cast<CallExpr>(S)) {
+    if (const FunctionDecl *FD = CE->getDirectCallee())
+      if (FD->getDeclName().isIdentifier() && isGuardCalleeName(FD->getName()))
+        GuardExpr = CE;
+  }
+  if (GuardExpr && mentionsVar(GuardExpr, VD))
+    Out.push_back(S->getBeginLoc());
+  for (const Stmt *Child : S->children())
+    collectGuards(Child, VD, Out);
+}
+
+} // namespace
+
+void UncheckedDeserializeCheck::registerMatchers(MatchFinder *Finder) {
+  auto EnclosingFn = hasAncestor(functionDecl(hasBody(stmt())).bind("fn"));
+  Finder->addMatcher(
+      cxxMemberCallExpr(isExpansionInMainFile(),
+                        callee(cxxMethodDecl(hasAnyName("resize", "reserve"))),
+                        hasArgument(0, expr().bind("size")), EnclosingFn)
+          .bind("sink"),
+      this);
+  Finder->addMatcher(arraySubscriptExpr(isExpansionInMainFile(),
+                                        hasIndex(expr().bind("size")),
+                                        EnclosingFn)
+                         .bind("sink"),
+                     this);
+  Finder->addMatcher(
+      cxxOperatorCallExpr(isExpansionInMainFile(),
+                          hasOverloadedOperatorName("[]"),
+                          hasArgument(1, expr().bind("size")), EnclosingFn)
+          .bind("sink"),
+      this);
+  Finder->addMatcher(cxxNewExpr(isExpansionInMainFile(), isArray(),
+                                hasArraySize(expr().bind("size")), EnclosingFn)
+                         .bind("sink"),
+                     this);
+}
+
+void UncheckedDeserializeCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Size = Result.Nodes.getNodeAs<Expr>("size");
+  const auto *Sink = Result.Nodes.getNodeAs<Stmt>("sink");
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (!Size || !Sink || !Fn)
+    return;
+
+  // Direct flow: the sink argument itself contains the reader read. There is
+  // no program point at which it could have been validated — always flag.
+  if (const Expr *Read = findReaderCall(Size)) {
+    diag(Sink->getBeginLoc(),
+         "deserialized value flows directly into an allocation size or "
+         "subscript; validate it against the remaining input first")
+        << Read->getSourceRange();
+    return;
+  }
+
+  // Indirect flow through a local initialized from a read: accept any
+  // validation of that variable earlier in source order (condition,
+  // comparison, or expect/check-style call).
+  const VarDecl *Tainted = findTaintedVarUse(Size);
+  if (!Tainted)
+    return;
+  llvm::SmallVector<SourceLocation, 4> Guards;
+  collectGuards(Fn->getBody(), Tainted, Guards);
+  const SourceManager &SM = *Result.SourceManager;
+  for (SourceLocation G : Guards) {
+    if (G.isValid() && SM.isBeforeInTranslationUnit(G, Sink->getBeginLoc()))
+      return;
+  }
+  diag(Sink->getBeginLoc(),
+       "deserialized value %0 is used as an allocation size or subscript "
+       "without a prior bounds check against the remaining input")
+      << Tainted << Size->getSourceRange();
+  diag(Tainted->getLocation(), "%0 acquires its untrusted value here",
+       DiagnosticIDs::Note)
+      << Tainted;
+}
+
+} // namespace clang::tidy::numarck

@@ -1,0 +1,31 @@
+// numarck-unchecked-deserialize — flags values read from a ByteReader /
+// BitReader (or a varint decode) that flow into an allocation size or a
+// subscript without first being validated against the remaining input.
+//
+// The deserializers are the repository's untrusted-input boundary: every
+// fuzz finding to date has been a length field used before it was checked.
+// The check is a deliberately shallow taint pass (single function, source
+// order) — precise enough to catch the real pattern, simple enough to stay
+// maintainable next to the code it polices. See docs/ANALYSIS.md.
+#ifndef NUMARCK_TOOLS_LINT_UNCHECKED_DESERIALIZE_CHECK_H
+#define NUMARCK_TOOLS_LINT_UNCHECKED_DESERIALIZE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::numarck {
+
+class UncheckedDeserializeCheck : public ClangTidyCheck {
+public:
+  UncheckedDeserializeCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::numarck
+
+#endif // NUMARCK_TOOLS_LINT_UNCHECKED_DESERIALIZE_CHECK_H

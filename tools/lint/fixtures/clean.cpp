@@ -1,0 +1,53 @@
+// Clean fixture: compiles under all three numarck-* checks with zero
+// diagnostics. Exercises the patterns closest to each check's trigger so a
+// regression toward over-matching fails the self-test, not the real tree.
+
+using size_t = decltype(sizeof(0));
+
+struct ContractViolation {
+  explicit ContractViolation(const char *what);
+};
+
+namespace numarck::util {
+
+struct ByteReader {
+  unsigned long long get_varint();
+  size_t remaining() const;
+};
+
+} // namespace numarck::util
+
+template <typename T> struct Vec {
+  void resize(size_t n);
+  T &operator[](size_t i);
+  size_t size() const;
+};
+
+void numarck_expect(bool ok, const char *what);
+
+// Validated deserialize: every tainted value is checked before use.
+void deserialize_payload(numarck::util::ByteReader &r, Vec<double> &out) {
+  const size_t n = static_cast<size_t>(r.get_varint());
+  numarck_expect(n <= r.remaining() / 8, "count exceeds remaining payload");
+  out.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = 0.0;
+  }
+  if (n == 0)
+    throw ContractViolation("empty payload");
+}
+
+// decode entry that only throws the contract type.
+double decode_first(Vec<double> &v) {
+  if (v.size() == 0)
+    throw ContractViolation("decode on empty state");
+  return v[0];
+}
+
+// Plain sizes with no taint anywhere near them.
+void plain_resize(Vec<double> &v, size_t n) {
+  v.resize(n);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = 1.0;
+  }
+}

@@ -1,0 +1,62 @@
+// Fixture for numarck-decode-throws. Local stand-ins for the exception
+// hierarchy; the check keys on the record name "ContractViolation" and on
+// entry points whose name contains decode/deserialize.
+
+struct ContractViolation {
+  explicit ContractViolation(const char *what);
+};
+
+struct TruncatedInput : ContractViolation {
+  using ContractViolation::ContractViolation;
+};
+
+struct IoError {
+  explicit IoError(const char *what);
+};
+
+// --- violations ------------------------------------------------------------
+
+static int read_header(int x) {
+  if (x < 0)
+    throw IoError("bad header"); // EXPECT: numarck-decode-throws
+  return x;
+}
+
+static int read_body(int x) {
+  if (x > 100)
+    throw 42; // EXPECT: numarck-decode-throws
+  return x;
+}
+
+int decode_step(int x) { return read_header(x) + read_body(x); }
+
+int deserialize_table(int x) {
+  if (x == 7)
+    throw IoError("seven"); // EXPECT: numarck-decode-throws
+  return x;
+}
+
+// --- clean patterns (must not be flagged) ----------------------------------
+
+static int read_footer(int x) {
+  if (x == 0)
+    throw ContractViolation("empty footer");
+  if (x == 1)
+    throw TruncatedInput("short footer"); // derived: still the contract type
+  return x;
+}
+
+int decode_footer(int x) {
+  try {
+    return read_footer(x);
+  } catch (...) {
+    throw; // bare rethrow: propagates what the caller already vetted
+  }
+}
+
+// Not reachable from any decode/deserialize entry point: may throw anything.
+int unrelated_helper(int x) {
+  if (x < 0)
+    throw IoError("unrelated");
+  return x;
+}

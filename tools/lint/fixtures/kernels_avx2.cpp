@@ -1,0 +1,67 @@
+// Fixture for numarck-kernel-isa-purity. The file name trips the kernel-TU
+// gate (kernels_<isa>.cpp with isa=avx2: _mm_ and _mm256_ allowed, _mm512_
+// and every FMA spelling forbidden, helpers must have internal linkage).
+// Intrinsics are declared locally so the fixture needs no <immintrin.h> or
+// target flags; the check keys on callee names only.
+
+struct __m256d_t {
+  double v[4];
+};
+struct __m512d_t {
+  double v[8];
+};
+
+__m256d_t _mm256_add_pd(__m256d_t a, __m256d_t b);
+__m256d_t _mm256_mul_pd(__m256d_t a, __m256d_t b);
+__m256d_t _mm256_fmadd_pd(__m256d_t a, __m256d_t b, __m256d_t c);
+__m512d_t _mm512_add_pd(__m512d_t a, __m512d_t b);
+double vfmaq_f64(double a, double b, double c);
+
+namespace numarck::arch {
+
+// --- violations ------------------------------------------------------------
+
+// External-linkage helper: visible to other kernel TUs after ODR merging.
+double leaky_helper(double x) { // EXPECT: numarck-kernel-isa-purity
+  return x * 2.0;
+}
+
+static __m256d_t uses_fma(__m256d_t a, __m256d_t b, __m256d_t c) {
+  return _mm256_fmadd_pd(a, b, c); // EXPECT: numarck-kernel-isa-purity
+}
+
+static __m512d_t uses_wider_isa(__m512d_t a, __m512d_t b) {
+  return _mm512_add_pd(a, b); // EXPECT: numarck-kernel-isa-purity
+}
+
+static double uses_neon_fma(double a, double b, double c) {
+  return vfmaq_f64(a, b, c); // EXPECT: numarck-kernel-isa-purity
+}
+
+// --- clean patterns (must not be flagged) ----------------------------------
+
+namespace {
+
+__m256d_t blend(__m256d_t a, __m256d_t b) {
+  return _mm256_add_pd(_mm256_mul_pd(a, a), b);
+}
+
+} // namespace
+
+static double internal_helper(double x) { return x * 3.0; }
+
+static double consume(__m256d_t a, __m512d_t w, double x) {
+  return blend(a, a).v[0] + internal_helper(x) + uses_fma(a, a, a).v[0] +
+         uses_wider_isa(w, w).v[0] + uses_neon_fma(x, x, x);
+}
+
+// Keeps the internal helpers referenced. External linkage with no header
+// declaration, so it is itself a linkage finding (in the real tree the only
+// export, the table accessor, is declared in kernels_common.hpp and exempt).
+double fixture_entry() { // EXPECT: numarck-kernel-isa-purity
+  __m256d_t a{};
+  __m512d_t w{};
+  return consume(a, w, 1.0) + leaky_helper(1.0);
+}
+
+} // namespace numarck::arch

@@ -1,0 +1,76 @@
+// Fixture for numarck-unchecked-deserialize. Self-contained stand-ins for
+// the real ByteReader/vector so the fixture compiles with no includes; the
+// check keys on the "Reader" class-name suffix and get* method names.
+// `// EXPECT: <check>` marks the line that must carry a diagnostic.
+
+using size_t = decltype(sizeof(0));
+
+namespace numarck::util {
+
+struct ByteReader {
+  unsigned long long get_varint();
+  unsigned get_u32();
+  double get_f64();
+  size_t remaining() const;
+};
+
+struct BitReader {
+  unsigned get(unsigned bits);
+};
+
+} // namespace numarck::util
+
+template <typename T> struct Vec {
+  void resize(size_t n);
+  void reserve(size_t n);
+  T &operator[](size_t i);
+  size_t size() const;
+};
+
+void numarck_expect(bool ok, const char *what);
+
+// --- violations ------------------------------------------------------------
+
+void direct_flow(numarck::util::ByteReader &r) {
+  Vec<double> v;
+  v.resize(r.get_varint()); // EXPECT: numarck-unchecked-deserialize
+}
+
+void direct_flow_reserve(numarck::util::ByteReader &r) {
+  Vec<int> v;
+  v.reserve(r.get_u32()); // EXPECT: numarck-unchecked-deserialize
+}
+
+void indirect_flow_unguarded(numarck::util::ByteReader &r) {
+  Vec<double> v;
+  const size_t n = static_cast<size_t>(r.get_varint());
+  v.resize(n); // EXPECT: numarck-unchecked-deserialize
+}
+
+double subscript_unguarded(numarck::util::BitReader &br, Vec<double> &table) {
+  const size_t idx = br.get(8);
+  return table[idx]; // EXPECT: numarck-unchecked-deserialize
+}
+
+int *array_new_unguarded(numarck::util::ByteReader &r) {
+  const size_t n = static_cast<size_t>(r.get_varint());
+  return new int[n]; // EXPECT: numarck-unchecked-deserialize
+}
+
+// --- clean patterns (must not be flagged) ----------------------------------
+
+void guarded_by_expect(numarck::util::ByteReader &r) {
+  Vec<double> v;
+  const size_t n = static_cast<size_t>(r.get_varint());
+  numarck_expect(n <= r.remaining() / 8, "count exceeds payload");
+  v.resize(n);
+}
+
+void guarded_by_if(numarck::util::ByteReader &r, Vec<double> &table) {
+  const size_t idx = static_cast<size_t>(r.get_u32());
+  if (idx >= table.size())
+    return;
+  table[idx] = 1.0;
+}
+
+void untainted_size(Vec<double> &v, size_t n) { v.resize(n); }

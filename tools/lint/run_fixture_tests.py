@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Self-test harness for the numarck-* clang-tidy checks.
+
+Runs clang-tidy (with the numarck plugin loaded) over every fixture in
+fixtures/ and compares the diagnostics against the fixture's own
+``// EXPECT: <check-name>`` annotations:
+
+  * a fixture line annotated ``// EXPECT: numarck-foo`` must receive exactly
+    that diagnostic on that line;
+  * any numarck-* diagnostic on an unannotated line is a failure
+    (over-matching would eventually fire on the real tree);
+  * fixtures with no EXPECT lines (clean.cpp) must produce zero numarck-*
+    diagnostics.
+
+Exit code 0 iff every fixture matches. Deliberately framework-free so the
+same script runs under ctest and bare in CI.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([a-z0-9-]+)")
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:]+):(?P<line>\d+):\d+:\s+(?:warning|error):\s+.*"
+    r"\[(?P<checks>[a-zA-Z0-9.,-]+)\]\s*$"
+)
+
+
+def expected_diags(fixture: Path):
+    out = set()
+    for lineno, text in enumerate(fixture.read_text().splitlines(), start=1):
+        for m in EXPECT_RE.finditer(text):
+            out.add((lineno, m.group(1)))
+    return out
+
+
+def actual_diags(output: str, fixture: Path):
+    out = set()
+    for line in output.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if not m:
+            continue
+        if Path(m.group("file")).name != fixture.name:
+            continue
+        for check in m.group("checks").split(","):
+            if check.startswith("numarck-"):
+                out.add((int(m.group("line")), check))
+    return out
+
+
+def run_clang_tidy(clang_tidy: str, plugin: str, fixture: Path) -> str:
+    cmd = [
+        clang_tidy,
+        f"--load={plugin}",
+        "--checks=-*,numarck-*",
+        # The repo .clang-tidy sets WarningsAsErrors: '*'; neutralize it so
+        # parsing sees a uniform severity (the glob list is last-match-wins).
+        "--warnings-as-errors=-*",
+        str(fixture),
+        "--",
+        "-std=c++17",
+        "-Wno-everything",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.stdout + proc.stderr
+
+
+def check_plugin_registered(clang_tidy: str, plugin: str) -> bool:
+    proc = subprocess.run(
+        [clang_tidy, f"--load={plugin}", "--list-checks", "--checks=-*,numarck-*"],
+        capture_output=True,
+        text=True,
+    )
+    return "numarck-unchecked-deserialize" in proc.stdout
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--clang-tidy", required=True)
+    ap.add_argument("--plugin", required=True, help="path to numarck-tidy-module")
+    ap.add_argument("--fixtures", required=True, help="fixture directory")
+    args = ap.parse_args()
+
+    if not check_plugin_registered(args.clang_tidy, args.plugin):
+        print(
+            f"FAIL: {args.clang_tidy} --load={args.plugin} registers no "
+            "numarck-* checks (plugin/binary version mismatch?)",
+            file=sys.stderr,
+        )
+        return 1
+
+    fixtures = sorted(Path(args.fixtures).glob("*.cpp"))
+    if not fixtures:
+        print(f"FAIL: no fixtures found in {args.fixtures}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for fixture in fixtures:
+        expected = expected_diags(fixture)
+        output = run_clang_tidy(args.clang_tidy, args.plugin, fixture)
+        actual = actual_diags(output, fixture)
+        missing = expected - actual
+        unexpected = actual - expected
+        status = "ok" if not missing and not unexpected else "FAIL"
+        print(f"[{status}] {fixture.name}: expected {len(expected)}, got {len(actual)}")
+        for lineno, check in sorted(missing):
+            print(f"    missing  {fixture.name}:{lineno} [{check}]")
+        for lineno, check in sorted(unexpected):
+            print(f"    spurious {fixture.name}:{lineno} [{check}]")
+        if missing or unexpected:
+            failures += 1
+            print("    --- clang-tidy output ---")
+            for line in output.splitlines():
+                print(f"    {line}")
+
+    if failures:
+        print(f"FAIL: {failures}/{len(fixtures)} fixtures mismatched", file=sys.stderr)
+        return 1
+    print(f"All {len(fixtures)} fixtures matched their expected diagnostics.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

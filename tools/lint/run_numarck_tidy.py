@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Parallel clang-tidy driver with plugin support.
+
+run-clang-tidy only learned to forward ``-load`` in recent LLVM releases;
+this driver does the same job for any clang-tidy version: read
+compile_commands.json, filter translation units by regex, fan clang-tidy out
+over a process pool, and fail on any diagnostic (the repo .clang-tidy sets
+WarningsAsErrors: '*').
+
+Used by the ``tidy-plugin`` CMake target to run the numarck-* project checks
+over the full tree; see docs/ANALYSIS.md.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+
+def tidy_one(clang_tidy, plugin, checks, build_dir, source):
+    cmd = [clang_tidy, "-p", str(build_dir), "-quiet"]
+    if plugin:
+        cmd.append(f"--load={plugin}")
+    if checks:
+        cmd.append(f"--checks={checks}")
+    cmd.append(str(source))
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # clang-tidy prints "N warnings generated" chatter to stderr; diagnostics
+    # go to stdout. A nonzero exit with empty stdout is a hard error (crash,
+    # bad flags) and must fail the run too.
+    return source, proc.returncode, proc.stdout, proc.stderr
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--clang-tidy", required=True)
+    ap.add_argument("--plugin", default=None, help="plugin shared object to -load")
+    ap.add_argument("--checks", default=None, help="-checks= value (default: .clang-tidy)")
+    ap.add_argument("-p", "--build-dir", required=True)
+    ap.add_argument(
+        "--file-filter",
+        default=r"/(src|tools|fuzz|tests|bench)/.*\.cpp$",
+        help="regex selecting translation units from compile_commands.json",
+    )
+    ap.add_argument(
+        "--exclude",
+        default=r"/tools/lint/fixtures/",
+        help="regex removing translation units (fixtures violate on purpose)",
+    )
+    ap.add_argument("-j", "--jobs", type=int, default=0)
+    args = ap.parse_args()
+
+    db_path = Path(args.build_dir) / "compile_commands.json"
+    if not db_path.exists():
+        print(f"FAIL: {db_path} not found (configure with CMake first)", file=sys.stderr)
+        return 1
+    select = re.compile(args.file_filter)
+    reject = re.compile(args.exclude) if args.exclude else None
+    files = sorted(
+        {
+            str(Path(entry["directory"], entry["file"]).resolve())
+            for entry in json.loads(db_path.read_text())
+        }
+    )
+    files = [f for f in files if select.search(f) and not (reject and reject.search(f))]
+    if not files:
+        print("FAIL: no translation units matched the filter", file=sys.stderr)
+        return 1
+
+    jobs = args.jobs if args.jobs > 0 else None
+    failed = []
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        results = pool.map(
+            lambda f: tidy_one(args.clang_tidy, args.plugin, args.checks,
+                               args.build_dir, f),
+            files,
+        )
+        for source, code, out, err in results:
+            has_diag = bool(out.strip())
+            if code != 0 or has_diag:
+                failed.append(source)
+                print(f"--- {source} (exit {code})")
+                if out.strip():
+                    print(out.strip())
+                if code != 0 and not has_diag:
+                    print(err.strip())
+
+    total = len(files)
+    if failed:
+        print(f"FAIL: {len(failed)}/{total} translation units had findings", file=sys.stderr)
+        return 1
+    print(f"clang-tidy clean over {total} translation units.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
