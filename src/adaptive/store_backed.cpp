@@ -1,0 +1,51 @@
+#include "numarck/adaptive/store_backed.hpp"
+
+#include <map>
+#include <utility>
+
+#include "numarck/util/expect.hpp"
+
+namespace numarck::adaptive {
+
+StoreBackedCheckpointer::StoreBackedCheckpointer(store::CheckpointStore& store,
+                                                 const AdaptiveOptions& opts)
+    : store_(store), inner_(opts) {
+  NUMARCK_EXPECT(store_.variables().size() == 1,
+                 "StoreBackedCheckpointer drives a single-variable store");
+  variable_ = store_.variables().front();
+}
+
+StoreStepReport StoreBackedCheckpointer::push(std::size_t iteration,
+                                              double sim_time,
+                                              std::span<const double> snapshot) {
+  StepDecision decision = inner_.push(snapshot);
+  StoreStepReport report;
+  report.action = decision.action;
+  report.estimated_drift = decision.estimated_drift;
+  if (decision.action == Action::kSkip) return report;
+
+  if (pending_rebase_ && decision.action == Action::kDelta) {
+    // The previous write was never acknowledged (its put() threw), so the
+    // delta the controller just coded would chain against an entry the store
+    // does not have. The controller's reference is this very snapshot, so a
+    // lossless full of it both restarts the chain and keeps drift accounting
+    // consistent.
+    decision.step = core::CompressedStep::full_from(snapshot);
+    report.action = Action::kFull;
+  }
+
+  std::map<std::string, core::CompressedStep> steps;
+  report.bytes_written = decision.step.stored_bytes();
+  steps.emplace(variable_, std::move(decision.step));
+  try {
+    store_.put(iteration, sim_time, steps);
+  } catch (...) {
+    pending_rebase_ = true;
+    throw;
+  }
+  pending_rebase_ = false;
+  report.acknowledged = true;
+  return report;
+}
+
+}  // namespace numarck::adaptive

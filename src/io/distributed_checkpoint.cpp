@@ -122,6 +122,10 @@ void RankCheckpointWriter::close() { writer_->close(); }
 DistributedRestartEngine::DistributedRestartEngine(const std::string& base,
                                                    TailPolicy policy)
     : manifest_(Manifest::load(Manifest::manifest_path(base))) {
+  // A writer killed between writing `<manifest>.tmp` and renaming it leaves
+  // the tmp behind; the published manifest just loaded is the authoritative
+  // one, so the stale tmp is swept (and logged) instead of accumulating.
+  remove_stale_tmp(Manifest::manifest_path(base) + ".tmp");
   readers_.reserve(manifest_.ranks);
   damage_.resize(manifest_.ranks);
   for (std::size_t k = 0; k < manifest_.ranks; ++k) {

@@ -108,6 +108,41 @@ void FaultyFile::close() {
   inner_->close();
 }
 
+// ------------------------------------------------------------- ErringFile --
+
+ErringFile::ErringFile(std::unique_ptr<ByteSink> inner, Op fail_op,
+                       std::size_t after_ops, int err)
+    : inner_(std::move(inner)), fail_op_(fail_op), after_ops_(after_ops),
+      err_(err) {
+  NUMARCK_EXPECT(inner_ != nullptr, "ErringFile needs an inner sink");
+}
+
+void ErringFile::fail_if_scheduled(Op op, const char* what) {
+  if (op != fail_op_) return;
+  if (seen_ < after_ops_) {
+    ++seen_;
+    return;
+  }
+  // Persistent, like the real condition: a disk that filled up stays full.
+  NUMARCK_EXPECT(false, std::string(what) + " failed (injected): " +
+                            std::strerror(err_));
+}
+
+void ErringFile::write(const void* data, std::size_t size) {
+  fail_if_scheduled(Op::kWrite, "checkpoint write");
+  inner_->write(data, size);
+}
+
+void ErringFile::sync() {
+  fail_if_scheduled(Op::kSync, "fsync");
+  inner_->sync();
+}
+
+void ErringFile::close() {
+  fail_if_scheduled(Op::kClose, "checkpoint close");
+  inner_->close();
+}
+
 // --------------------------------------------------------- atomic_replace --
 
 void atomic_replace(const std::string& tmp_path,
@@ -128,6 +163,17 @@ void atomic_replace(const std::string& tmp_path,
     NUMARCK_EXPECT(rc == 0 || saved == EINVAL,
                    errno_detail("directory fsync failed", dir));
   }
+}
+
+// --------------------------------------------------------- stale tmp sweep --
+
+bool remove_stale_tmp(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) return false;
+  std::fprintf(stderr,
+               "numarck: removed stale temporary left by an interrupted "
+               "publish: %s\n",
+               path.c_str());
+  return true;
 }
 
 }  // namespace numarck::io

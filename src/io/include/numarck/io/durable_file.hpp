@@ -117,9 +117,47 @@ class FaultyFile final : public ByteSink {
   bool dead_ = false;
 };
 
+/// Error-injection sink: forwards operations to `inner` until the scheduled
+/// one, then fails it — and every later call of the same operation — with
+/// ContractViolation carrying the errno text, exactly as FileSink surfaces a
+/// real ENOSPC or EIO. Where FaultyFile models a process that dies mid-write,
+/// ErringFile models a disk that lives on but errors: callers must surface
+/// the failure (a failed append can never masquerade as an acknowledged
+/// checkpoint) and leave the file reopenable.
+class ErringFile final : public ByteSink {
+ public:
+  enum class Op : std::uint8_t { kWrite = 0, kSync = 1, kClose = 2 };
+
+  /// Fails the (`after_ops`+1)-th call of `fail_op` — and all later calls of
+  /// it — as if the syscall returned `err` (e.g. ENOSPC, EIO). Calls before
+  /// the scheduled one, and every other operation, pass through to `inner`.
+  ErringFile(std::unique_ptr<ByteSink> inner, Op fail_op,
+             std::size_t after_ops, int err);
+
+  void write(const void* data, std::size_t size) override;
+  void sync() override;
+  void close() override;
+
+ private:
+  void fail_if_scheduled(Op op, const char* what);
+
+  std::unique_ptr<ByteSink> inner_;
+  Op fail_op_;
+  std::size_t after_ops_;
+  std::size_t seen_ = 0;
+  int err_;
+};
+
 /// Atomically publishes `tmp_path` as `final_path` (rename + parent
 /// directory fsync): readers see either the old file or the complete new
 /// one, never a half-written manifest.
 void atomic_replace(const std::string& tmp_path, const std::string& final_path);
+
+/// Deletes `path` if it exists, logging the removal to stderr. The cleanup
+/// half of the tmp+fsync+rename publish discipline: a process killed between
+/// writing `<manifest>.tmp` and renaming it leaves the tmp behind, and every
+/// open of the published artifact sweeps it so interrupted publishes never
+/// accumulate silently. Returns true when a file was removed.
+bool remove_stale_tmp(const std::string& path);
 
 }  // namespace numarck::io

@@ -1,0 +1,205 @@
+// Durability error paths: injected ENOSPC/EIO on append, fsync, and close
+// must surface as exceptions — a failed write can never masquerade as an
+// acknowledged checkpoint — and must leave the container / store directory
+// reopenable afterwards. ErringFile (io/durable_file.hpp) models the disk
+// that lives on but errors, complementing the FaultyFile process-death model
+// the crashtest campaigns use.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "numarck/core/compressor.hpp"
+#include "numarck/io/checkpoint_file.hpp"
+#include "numarck/io/durable_file.hpp"
+#include "numarck/store/checkpoint_store.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace fs = std::filesystem;
+namespace nk = numarck::core;
+namespace nio = numarck::io;
+namespace ns = numarck::store;
+
+namespace {
+
+constexpr const char* kVar = "state";
+
+struct TempPath {
+  std::string path;
+  explicit TempPath(const char* name) {
+    path = std::string("/tmp/numarck_errpath_") + name + "_" +
+           std::to_string(::getpid());
+    fs::remove_all(path);
+  }
+  ~TempPath() { fs::remove_all(path); }
+};
+
+std::vector<double> snap(std::size_t n, double t) {
+  std::vector<double> v(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    v[j] = 1.0 + 0.3 * static_cast<double>(j % 5) + 0.01 * t;
+  }
+  return v;
+}
+
+nk::CompressedStep full_step(double t) {
+  return nk::CompressedStep::full_from(snap(48, t));
+}
+
+/// Store options whose container/manifest sinks fail the (`after`+1)-th call
+/// of `op` with `err`, persistently — the ErringFile disk model.
+ns::StoreOptions erring_options(nio::ErringFile::Op op, std::size_t after,
+                                int err) {
+  ns::StoreOptions opts;
+  opts.sink_factory = [op, after,
+                       err](const std::string& path)
+      -> std::unique_ptr<nio::ByteSink> {
+    return std::make_unique<nio::ErringFile>(
+        std::make_unique<nio::FileSink>(path), op, after, err);
+  };
+  return opts;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- writer paths --
+
+TEST(DurabilityErrors, AppendSurfacesEnospc) {
+  TempPath t("append");
+  nio::CheckpointWriter writer(
+      std::make_unique<nio::ErringFile>(std::make_unique<nio::FileSink>(t.path),
+                                        nio::ErringFile::Op::kWrite,
+                                        /*after_ops=*/2, ENOSPC),
+      {kVar}, nio::Durability::kNone);
+  try {
+    // Header writes may already exhaust the budget; either append throws.
+    writer.append(kVar, 0, 0.0, full_step(0.0));
+    writer.append(kVar, 1, 1.0, full_step(1.0));
+    FAIL() << "ENOSPC on append did not surface";
+  } catch (const numarck::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("No space left"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DurabilityErrors, FsyncFailureSurfacesOnClose) {
+  TempPath t("fsync");
+  nio::CheckpointWriter writer(
+      std::make_unique<nio::ErringFile>(std::make_unique<nio::FileSink>(t.path),
+                                        nio::ErringFile::Op::kSync,
+                                        /*after_ops=*/0, EIO),
+      {kVar}, nio::Durability::kFsyncOnClose);
+  writer.append(kVar, 0, 0.0, full_step(0.0));
+  try {
+    writer.close();
+    FAIL() << "EIO on fsync did not surface";
+  } catch (const numarck::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("Input/output error"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DurabilityErrors, CloseFailureSurfaces) {
+  TempPath t("close");
+  nio::CheckpointWriter writer(
+      std::make_unique<nio::ErringFile>(std::make_unique<nio::FileSink>(t.path),
+                                        nio::ErringFile::Op::kClose,
+                                        /*after_ops=*/0, EIO),
+      {kVar}, nio::Durability::kNone);
+  writer.append(kVar, 0, 0.0, full_step(0.0));
+  EXPECT_THROW(writer.close(), numarck::ContractViolation);
+}
+
+// ------------------------------------------------------------- store paths --
+
+TEST(DurabilityErrors, StorePutEnospcIsNeverASilentAck) {
+  TempPath t("storeput");
+  { ns::CheckpointStore create(t.path, {kVar}); }
+
+  // The first few files write fine; then the disk fills and every later
+  // file fails its first write — so some put() mid-campaign hits ENOSPC.
+  ns::StoreOptions opts;
+  auto files = std::make_shared<std::atomic<std::size_t>>(0);
+  opts.sink_factory =
+      [files](const std::string& path) -> std::unique_ptr<nio::ByteSink> {
+    auto inner = std::make_unique<nio::FileSink>(path);
+    if (files->fetch_add(1) < 4) return inner;
+    return std::make_unique<nio::ErringFile>(
+        std::move(inner), nio::ErringFile::Op::kWrite, 0, ENOSPC);
+  };
+  {
+    ns::CheckpointStore s(t.path, opts);
+    std::map<std::string, nk::CompressedStep> steps;
+    steps.emplace(kVar, full_step(0.0));
+    s.put(0, 0.0, steps);
+    bool threw = false;
+    for (std::size_t i = 1; i < 64 && !threw; ++i) {
+      try {
+        std::map<std::string, nk::CompressedStep> more;
+        more.emplace(kVar, full_step(static_cast<double>(i)));
+        s.put(i, static_cast<double>(i), more);
+      } catch (const numarck::ContractViolation& e) {
+        threw = true;
+        EXPECT_NE(std::string(e.what()).find("No space left"),
+                  std::string::npos)
+            << e.what();
+        // The failed iteration is not acknowledged: list() excludes it.
+        for (const auto& entry : s.list()) {
+          EXPECT_NE(entry.iteration, i);
+        }
+      }
+    }
+    EXPECT_TRUE(threw) << "ENOSPC budget was never reached";
+  }
+
+  // The directory reopens cleanly on a healthy disk: every acknowledged
+  // entry restores, nothing references a missing file, no tmp residue.
+  ns::CheckpointStore reopened(t.path);
+  ASSERT_FALSE(reopened.list().empty());
+  for (const auto& entry : reopened.list()) {
+    EXPECT_EQ(reopened.get_variable(kVar, entry.iteration),
+              snap(48, static_cast<double>(entry.iteration)));
+  }
+  const auto insp = ns::inspect_store(t.path);
+  EXPECT_TRUE(insp.stale_tmps.empty());
+  for (const auto& f : insp.files) {
+    EXPECT_EQ(f.health, ns::FileHealth::kIntact) << f.entry.file;
+  }
+}
+
+TEST(DurabilityErrors, ManifestPublishFailureRollsBackTheAck) {
+  TempPath t("storemanifest");
+  { ns::CheckpointStore create(t.path, {kVar}); }
+
+  // Fail every fsync: the container write survives (kFsyncPerIteration is
+  // the default durability, so its sync fails first) and no put is ever
+  // acknowledged.
+  {
+    ns::CheckpointStore s(t.path,
+                          erring_options(nio::ErringFile::Op::kSync,
+                                         /*after_ops=*/0, EIO));
+    std::map<std::string, nk::CompressedStep> steps;
+    steps.emplace(kVar, full_step(0.0));
+    EXPECT_THROW(s.put(0, 0.0, steps), numarck::ContractViolation);
+    EXPECT_TRUE(s.list().empty());
+    EXPECT_FALSE(s.latest().has_value());
+  }
+
+  // Reopen: the store is still the empty store it was before the failed put
+  // (an unacknowledged container left behind is quarantined, not adopted).
+  ns::CheckpointStore reopened(t.path);
+  EXPECT_TRUE(reopened.list().empty());
+  std::map<std::string, nk::CompressedStep> steps;
+  steps.emplace(kVar, full_step(7.0));
+  reopened.put(7, 7.0, steps);
+  EXPECT_EQ(reopened.get_variable(kVar, 7), snap(48, 7.0));
+}

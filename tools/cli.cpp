@@ -1,12 +1,16 @@
 #include "numarck/tools/cli.hpp"
 
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <map>
 #include <ostream>
 
 #include "numarck/codec/codec.hpp"
 #include "numarck/core/compressor.hpp"
 #include "numarck/io/checkpoint_file.hpp"
+#include "numarck/io/distributed_checkpoint.hpp"
+#include "numarck/store/checkpoint_store.hpp"
 #include "numarck/util/expect.hpp"
 #include "numarck/util/stats.hpp"
 
@@ -197,6 +201,204 @@ CompactReport compact_file(const CompactJob& job) {
   report.kept_iterations = out_it;
   report.output_bytes = writer.bytes_written();
   return report;
+}
+
+namespace {
+
+const char* rank_state_name(io::RankFileState s) {
+  switch (s) {
+    case io::RankFileState::kIntact:
+      return "intact";
+    case io::RankFileState::kTornTail:
+      return "torn-tail";
+    case io::RankFileState::kMissing:
+      return "missing";
+    case io::RankFileState::kUnreadable:
+      return "unreadable";
+  }
+  return "?";
+}
+
+void list_single_container(const std::string& path, std::ostream& out) {
+  const io::CheckpointReader reader(path, io::TailPolicy::kSalvage);
+  out << "checkpoint container: " << path << "\n";
+  out << "variables (" << reader.variables().size() << "):";
+  for (const auto& v : reader.variables()) out << " " << v;
+  out << "\n";
+  if (reader.tail_was_damaged()) {
+    out << "tail: DAMAGED (torn record dropped; later records unscanned)\n";
+  } else {
+    out << "tail: intact\n";
+  }
+  out << "\niteration  sim-time  coverage\n";
+  for (std::size_t it = 0; it < reader.iteration_count(); ++it) {
+    std::size_t present = 0;
+    double sim_time = 0.0;
+    for (const auto& v : reader.variables()) {
+      const auto info = reader.info(v, it);
+      if (info) {
+        ++present;
+        sim_time = info->sim_time;
+      }
+    }
+    out << "  " << it << "  " << sim_time << "  " << present << "/"
+        << reader.variables().size()
+        << (present == reader.variables().size() ? " complete" : " PARTIAL")
+        << "\n";
+  }
+  const auto last = reader.last_complete_iteration();
+  if (last.has_value()) {
+    out << "\nsafe restart target: iteration " << *last << "\n";
+  } else {
+    out << "\nsafe restart target: NONE (no complete iteration)\n";
+  }
+}
+
+void list_distributed_base(const std::string& base, std::ostream& out) {
+  const io::DistributedRestartEngine engine(base, io::TailPolicy::kSalvage);
+  const auto& damage = engine.damage_report();
+  out << "distributed checkpoint base: " << base << "\n";
+  out << "ranks: " << damage.size() << "\n\nrank  state  last-complete\n";
+  for (std::size_t r = 0; r < damage.size(); ++r) {
+    const auto& d = damage[r];
+    out << "  " << r << "  " << rank_state_name(d.state) << "  ";
+    if (d.last_complete.has_value()) {
+      out << *d.last_complete;
+    } else {
+      out << "-";
+    }
+    if (!d.detail.empty()) out << "  (" << d.detail << ")";
+    out << "\n";
+  }
+  const auto last = engine.last_complete_iteration();
+  if (last.has_value()) {
+    out << "\nsafe restart target: iteration " << *last
+        << (engine.degraded() ? " (degraded set)" : "") << "\n";
+  } else {
+    out << "\nsafe restart target: NONE (some rank holds no complete "
+           "iteration)\n";
+  }
+}
+
+}  // namespace
+
+void list_checkpoint(const std::string& path, std::ostream& out) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(path) &&
+      fs::exists(io::Manifest::manifest_path(path))) {
+    list_distributed_base(path, out);
+    return;
+  }
+  list_single_container(path, out);
+}
+
+// -------------------------------------------------------------- store verbs --
+
+void inspect_store_dir(const std::string& dir, std::ostream& out) {
+  const auto insp = store::inspect_store(dir);
+  out << "checkpoint store: " << dir << "\n";
+  out << "variables (" << insp.variables.size() << "):";
+  for (const auto& v : insp.variables) out << " " << v;
+  out << "\nentries: " << insp.files.size() << "\n\n";
+  out << std::left << std::setw(10) << "iteration" << std::setw(9) << "tier"
+      << std::setw(10) << "sim-time" << std::setw(12) << "chain"
+      << std::setw(14) << "health" << std::setw(8) << "bytes" << "file\n";
+  for (const auto& f : insp.files) {
+    out << std::left << std::setw(10) << f.entry.iteration << std::setw(9)
+        << store::to_string(f.entry.tier) << std::setw(10) << f.entry.sim_time
+        << std::setw(12) << (f.entry.reference_free ? "standalone" : "delta")
+        << std::setw(14) << store::to_string(f.health) << std::setw(8)
+        << f.bytes << f.entry.file;
+    if (!f.detail.empty()) out << "  (" << f.detail << ")";
+    out << "\n";
+  }
+  if (!insp.stale_tmps.empty()) {
+    out << "\nstale temporaries (swept at next open):\n";
+    for (const auto& t : insp.stale_tmps) out << "  " << t << "\n";
+  }
+  if (!insp.orphans.empty()) {
+    out << "\nunacknowledged containers (quarantined at next open):\n";
+    for (const auto& o : insp.orphans) out << "  " << o << "\n";
+  }
+  if (!insp.quarantined.empty()) {
+    out << "\nquarantined files:\n";
+    for (const auto& q : insp.quarantined) out << "  " << q << "\n";
+  }
+}
+
+std::size_t store_put(const StorePutJob& job) {
+  namespace fs = std::filesystem;
+  const std::vector<double> raw = read_doubles(job.input_path);
+  NUMARCK_EXPECT(!raw.empty(), "input file is empty: " + job.input_path);
+  std::unique_ptr<store::CheckpointStore> s;
+  if (fs::exists(std::string(job.dir) + "/" +
+                 store::CheckpointStore::kManifestName)) {
+    s = std::make_unique<store::CheckpointStore>(job.dir);
+  } else {
+    s = std::make_unique<store::CheckpointStore>(
+        job.dir, std::vector<std::string>{job.variable});
+  }
+  NUMARCK_EXPECT(s->variables().size() == 1,
+                 "store-put drives a single-variable store");
+  std::map<std::string, core::CompressedStep> steps;
+  steps.emplace(s->variables().front(), core::CompressedStep::full_from(raw));
+  s->put(job.iteration, job.sim_time, steps);
+  return s->list().size();
+}
+
+StoreRestoreReport store_restore(const StoreRestoreJob& job) {
+  const store::CheckpointStore s(job.dir);
+  std::string variable = job.variable;
+  if (variable.empty()) {
+    NUMARCK_EXPECT(s.variables().size() == 1,
+                   "store has several variables; pass --var");
+    variable = s.variables().front();
+  }
+  StoreRestoreReport report;
+  if (job.iteration.has_value()) {
+    report.iteration = *job.iteration;
+  } else {
+    const auto latest = s.latest();
+    NUMARCK_EXPECT(latest.has_value(), "store is empty: " + job.dir);
+    report.iteration = *latest;
+  }
+  const auto snapshot = s.get_variable(variable, report.iteration);
+  write_doubles(job.output_path, snapshot);
+  report.points = snapshot.size();
+  return report;
+}
+
+void store_prune(const StorePruneJob& job, std::ostream& out) {
+  store::CheckpointStore s(job.dir);
+  const auto report = s.prune(job.keep_last, job.keep_every);
+  out << "pruned " << job.dir << ": kept " << report.kept << ", dropped "
+      << report.dropped << ", rewrote " << report.rewritten
+      << " standalone\n";
+}
+
+void store_promote(const std::string& dir, std::size_t iteration,
+                   const std::string& tier, std::ostream& out) {
+  store::Tier t = store::Tier::kBest;
+  if (tier == "best") {
+    t = store::Tier::kBest;
+  } else if (tier == "epoch") {
+    t = store::Tier::kEpoch;
+  } else if (tier == "rolling") {
+    t = store::Tier::kRolling;
+  } else {
+    NUMARCK_EXPECT(false, "unknown tier (want best | epoch | rolling): " + tier);
+  }
+  store::CheckpointStore s(dir);
+  s.promote(iteration, t);
+  out << "iteration " << iteration << " is now tier " << tier << "\n";
+}
+
+void store_compact(const std::string& dir, std::ostream& out) {
+  store::CheckpointStore s(dir);
+  std::size_t merged = 0;
+  while (s.compact_once()) ++merged;
+  out << "compacted " << dir << ": merged " << merged
+      << (merged == 1 ? " entry" : " entries") << " into standalone form\n";
 }
 
 RestoreReport restore_file(const RestoreJob& job) {

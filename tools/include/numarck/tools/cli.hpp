@@ -114,4 +114,68 @@ struct CompactReport {
 /// weeklies forever, ...).
 CompactReport compact_file(const CompactJob& job);
 
+/// `numarck-restore --list`: prints what is salvageable without restoring
+/// anything. For a single container: the variables, every iteration's record
+/// coverage, and the last complete (safe restart) iteration. For a
+/// distributed checkpoint base (no file at `path` but `<path>.manifest`
+/// exists): the per-rank damage report and the last globally complete
+/// iteration. Read-only in both cases.
+void list_checkpoint(const std::string& path, std::ostream& out);
+
+// ------------------------------------------------------------ tiered store --
+
+/// `numarck-inspect DIR` / `numarck-store list`: prints the store's tier
+/// table (iteration, tier, sim-time, file, standalone/delta) with per-file
+/// health, plus any stale temporaries, unacknowledged orphans, and
+/// quarantined files. Read-only: nothing is repaired.
+void inspect_store_dir(const std::string& dir, std::ostream& out);
+
+struct StorePutJob {
+  std::string dir;
+  std::string input_path;  ///< raw little-endian float64 snapshot
+  std::size_t iteration = 0;
+  double sim_time = 0.0;
+  /// Variable for `create` when the store does not exist yet; must match
+  /// the store's variable afterwards.
+  std::string variable = "data";
+};
+
+/// Stores one raw snapshot as a lossless full (reference-free) entry,
+/// creating the store on first use. Returns the entry count after the put.
+std::size_t store_put(const StorePutJob& job);
+
+struct StoreRestoreJob {
+  std::string dir;
+  std::string output_path;
+  /// Iteration to restore; nullopt = the newest retained entry.
+  std::optional<std::size_t> iteration;
+  std::string variable;  ///< empty = the store's only variable
+};
+
+struct StoreRestoreReport {
+  std::size_t points = 0;
+  std::size_t iteration = 0;
+};
+
+/// Reconstructs one retained iteration (replaying its delta chain) and
+/// writes it as raw float64.
+StoreRestoreReport store_restore(const StoreRestoreJob& job);
+
+struct StorePruneJob {
+  std::string dir;
+  std::size_t keep_last = 4;
+  std::size_t keep_every = 0;
+};
+
+/// Retention sweep over the store; prints the kept/dropped/rewritten counts.
+void store_prune(const StorePruneJob& job, std::ostream& out);
+
+/// Manifest-only tier transaction. `tier` is "best" | "epoch" | "rolling".
+void store_promote(const std::string& dir, std::size_t iteration,
+                   const std::string& tier, std::ostream& out);
+
+/// Drains all pending compaction work synchronously (the same merges the
+/// background compactor performs); prints how many entries were merged.
+void store_compact(const std::string& dir, std::ostream& out);
+
 }  // namespace numarck::tools

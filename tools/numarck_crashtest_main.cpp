@@ -1,12 +1,16 @@
 // numarck-crashtest — randomized crash-injection campaign over the
-// distributed checkpoint stack (docs/RESILIENCE.md).
+// distributed checkpoint stack and the tiered store (docs/RESILIENCE.md).
 //
 //   numarck-crashtest --trials 200 [--seed 1] [--mode all] [--base PATH]
 //
-// Every trial kills one rank mid-checkpoint (in-process injection, forked
-// SIGKILL, or a simulated node death in the mpisim world) and verifies that
-// restart recovers exactly the last globally complete iteration within the
-// error bound. Exits non-zero when any trial's contract is violated.
+// The distributed modes (injected/sigkill/world) kill one rank
+// mid-checkpoint and verify that restart recovers exactly the last globally
+// complete iteration within the error bound. The store mode drives a
+// seed-replayable put/promote/prune/compact schedule against a tiered
+// CheckpointStore and kills the process (or its background compactor) at a
+// random byte budget, verifying that the reopen recovers, every acknowledged
+// checkpoint restores bit-exactly, and the manifest never references a
+// missing file. Exits non-zero when any trial's contract is violated.
 #include <unistd.h>
 
 #include <cstdint>
@@ -16,13 +20,14 @@
 #include <vector>
 
 #include "numarck/tools/crashtest.hpp"
+#include "numarck/tools/store_crashtest.hpp"
 
 namespace {
 
 void usage() {
   std::cerr
       << "usage: numarck-crashtest [--trials N] [--seed S]\n"
-         "                         [--mode all|injected|sigkill|world]\n"
+         "                         [--mode all|injected|sigkill|world|store]\n"
          "                         [--base PATH] [--ranks R] [--iterations I]\n";
 }
 
@@ -32,6 +37,53 @@ const char* mode_name(int m) {
     case 1: return "sigkill";
     default: return "world";
   }
+}
+
+const char* store_mode_name(int m) {
+  switch (m) {
+    case 0: return "store-throw";
+    case 1: return "store-sigkill";
+    default: return "store-compactor";
+  }
+}
+
+/// The store campaign: rotates throw / sigkill / background-compactor death.
+int run_store_campaign(std::size_t trials, std::uint64_t seed,
+                       const std::string& base) {
+  numarck::tools::StoreCrashTrialConfig cfg;
+  cfg.dir = base + ".store";
+  std::size_t failures = 0;
+  std::size_t crashes = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    cfg.seed = seed + t;
+    const int m = static_cast<int>(t % 3);
+    numarck::tools::StoreCrashTrialResult result;
+    try {
+      if (m == 0) {
+        result = numarck::tools::run_store_throw_trial(cfg);
+      } else if (m == 1) {
+        result = numarck::tools::run_store_sigkill_trial(cfg);
+      } else {
+        result = numarck::tools::run_store_compactor_trial(cfg);
+      }
+    } catch (const std::exception& e) {
+      result.failure = std::string("unexpected exception: ") + e.what();
+    }
+    numarck::tools::remove_store_trial_files(cfg);
+    if (result.crash_fired) ++crashes;
+    if (!result.ok()) {
+      ++failures;
+      std::cerr << "FAIL store trial " << t << " (" << store_mode_name(m)
+                << ", seed=" << cfg.seed
+                << ", crash_point=" << result.crash_point
+                << ", acked=" << result.acked_ops
+                << "): " << result.failure << "\n";
+    }
+  }
+  std::cout << "numarck-crashtest (store): " << trials << " trials, "
+            << failures << " failures (" << crashes << " killed mid-op, "
+            << (trials - crashes) << " ran to completion)\n";
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -69,9 +121,13 @@ int main(int argc, char** argv) {
     }
   }
   if (mode != "all" && mode != "injected" && mode != "sigkill" &&
-      mode != "world") {
+      mode != "world" && mode != "store") {
     std::cerr << "bad --mode: " << mode << "\n";
     return 2;
+  }
+
+  if (mode == "store") {
+    return run_store_campaign(trials, seed, cfg.base);
   }
 
   std::size_t failures = 0;

@@ -3,13 +3,17 @@
 //
 //   numarck-restore --checkpoint run.ckpt --output snap.f64
 //                   [--iteration K] [--var dens] [--strict]
+//   numarck-restore --checkpoint run.ckpt --list
 //
 // This is the restart path, so damaged files salvage by default: without
 // --iteration the last complete iteration is restored, a torn tail is
 // reported on stderr, and the exit status is 0 whenever the salvage
 // succeeded. --strict restores the old any-damage-aborts behaviour.
+// --list prints what is salvageable — iteration coverage and, for a
+// distributed base, the per-rank damage report — without restoring anything.
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 
 #include "numarck/tools/cli.hpp"
@@ -19,14 +23,18 @@ const char* kUsage =
     "usage: numarck-restore --checkpoint FILE --output FILE\n"
     "                       [--iteration K] [--var NAME] [--strict]\n"
     "                       [--codec NAME]\n"
+    "       numarck-restore --checkpoint FILE|BASE --list\n"
     "  --iteration K  restore iteration K (default: the last complete one)\n"
     "  --strict       abort on any damage instead of salvaging the prefix\n"
     "  --codec NAME   require the restored delta chain to use this codec;\n"
-    "                 a mismatch aborts with a nonzero exit status\n";
+    "                 a mismatch aborts with a nonzero exit status\n"
+    "  --list         print salvageable iterations and the damage report\n"
+    "                 (per rank for a distributed base) without restoring\n";
 }
 
 int main(int argc, char** argv) {
   numarck::tools::RestoreJob job;
+  bool list_only = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto value = [&]() -> std::string {
@@ -46,6 +54,8 @@ int main(int argc, char** argv) {
       job.variable = value();
     } else if (a == "--strict") {
       job.strict = true;
+    } else if (a == "--list") {
+      list_only = true;
     } else if (a == "--codec") {
       job.expected_codec = value();
     } else if (a == "--help" || a == "-h") {
@@ -56,11 +66,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (job.checkpoint_path.empty() || job.output_path.empty()) {
+  if (job.checkpoint_path.empty() || (!list_only && job.output_path.empty())) {
     std::fputs(kUsage, stderr);
     return 2;
   }
   try {
+    if (list_only) {
+      numarck::tools::list_checkpoint(job.checkpoint_path, std::cout);
+      return 0;
+    }
     const auto report = numarck::tools::restore_file(job);
     if (report.tail_damaged) {
       std::fprintf(stderr,

@@ -1,0 +1,139 @@
+// numarck-store — operate on a tiered checkpoint store directory
+// (docs/RESILIENCE.md "Tiered store", docs/FORMAT.md §8).
+//
+//   numarck-store put DIR --input snap.f64 --iteration K [--time T] [--var V]
+//   numarck-store restore DIR --output snap.f64 [--iteration K] [--var V]
+//   numarck-store list DIR
+//   numarck-store prune DIR [--keep-last N] [--keep-every M]
+//   numarck-store promote DIR --iteration K --tier best|epoch|rolling
+//   numarck-store compact DIR
+//
+// Every verb opens the store with recovery-by-default semantics: stale
+// temporaries are swept, damaged containers are quarantined, and the
+// manifest is repaired before the verb runs ("list" alone is read-only).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "numarck/tools/cli.hpp"
+
+namespace {
+
+const char* kUsage =
+    "usage: numarck-store VERB DIR [flags]\n"
+    "  put DIR --input FILE --iteration K [--time T] [--var NAME]\n"
+    "      store a raw float64 snapshot as a standalone entry\n"
+    "      (creates the store on first use)\n"
+    "  restore DIR --output FILE [--iteration K] [--var NAME]\n"
+    "      reconstruct a retained iteration (default: the newest)\n"
+    "  list DIR\n"
+    "      print the tier table and per-file health (read-only)\n"
+    "  prune DIR [--keep-last N] [--keep-every M]\n"
+    "      retention sweep; retained deltas are rewritten standalone\n"
+    "  promote DIR --iteration K --tier best|epoch|rolling\n"
+    "      manifest-only tier transaction (\"best\" pins forever)\n"
+    "  compact DIR\n"
+    "      drain all pending standalone merges synchronously\n";
+
+int fail_usage(const std::string& why) {
+  std::fprintf(stderr, "%s\n%s", why.c_str(), kUsage);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 &&
+      (std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  if (argc < 3) return fail_usage("missing verb or store directory");
+  const std::string verb = argv[1];
+  const std::string dir = argv[2];
+
+  std::string input;
+  std::string output;
+  std::string var;
+  std::string tier;
+  std::optional<std::size_t> iteration;
+  double sim_time = 0.0;
+  std::size_t keep_last = 4;
+  std::size_t keep_every = 0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n%s", a.c_str(), kUsage);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--input") {
+      input = value();
+    } else if (a == "--output") {
+      output = value();
+    } else if (a == "--var") {
+      var = value();
+    } else if (a == "--tier") {
+      tier = value();
+    } else if (a == "--iteration") {
+      iteration = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--time") {
+      sim_time = std::strtod(value().c_str(), nullptr);
+    } else if (a == "--keep-last") {
+      keep_last = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--keep-every") {
+      keep_every = std::strtoull(value().c_str(), nullptr, 10);
+    } else {
+      return fail_usage("unknown flag " + a);
+    }
+  }
+
+  try {
+    if (verb == "put") {
+      if (input.empty()) return fail_usage("put needs --input");
+      numarck::tools::StorePutJob job;
+      job.dir = dir;
+      job.input_path = input;
+      job.iteration = iteration.value_or(0);
+      job.sim_time = sim_time;
+      if (!var.empty()) job.variable = var;
+      const std::size_t entries = numarck::tools::store_put(job);
+      std::printf("stored iteration %zu (%zu entries retained)\n",
+                  job.iteration, entries);
+    } else if (verb == "restore") {
+      if (output.empty()) return fail_usage("restore needs --output");
+      numarck::tools::StoreRestoreJob job;
+      job.dir = dir;
+      job.output_path = output;
+      job.iteration = iteration;
+      job.variable = var;
+      const auto report = numarck::tools::store_restore(job);
+      std::printf("restored iteration %zu (%zu points) to %s\n",
+                  report.iteration, report.points, output.c_str());
+    } else if (verb == "list") {
+      numarck::tools::inspect_store_dir(dir, std::cout);
+    } else if (verb == "prune") {
+      numarck::tools::StorePruneJob job;
+      job.dir = dir;
+      job.keep_last = keep_last;
+      job.keep_every = keep_every;
+      numarck::tools::store_prune(job, std::cout);
+    } else if (verb == "promote") {
+      if (!iteration.has_value()) return fail_usage("promote needs --iteration");
+      if (tier.empty()) return fail_usage("promote needs --tier");
+      numarck::tools::store_promote(dir, *iteration, tier, std::cout);
+    } else if (verb == "compact") {
+      numarck::tools::store_compact(dir, std::cout);
+    } else {
+      return fail_usage("unknown verb " + verb);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,503 @@
+#include "numarck/tools/store_crashtest.hpp"
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "numarck/core/compressor.hpp"
+#include "numarck/io/durable_file.hpp"
+#include "numarck/store/checkpoint_store.hpp"
+#include "numarck/util/expect.hpp"
+#include "numarck/util/rng.hpp"
+
+namespace numarck::tools {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kVar = "state";
+
+// ------------------------------------------------------ schedule and model --
+
+struct StoreOp {
+  enum class Kind : std::uint8_t { kPut, kPromote, kPrune, kCompact };
+  Kind kind = Kind::kPut;
+  std::size_t iteration = 0;  ///< put target / promote target
+  std::size_t keep_last = 0;
+  std::size_t keep_every = 0;
+  double sim_time = 0.0;
+};
+
+struct ModelEntry {
+  std::size_t iteration = 0;
+  bool best = false;
+};
+
+/// The whole trial, precomputed and deterministic from the seed: the op
+/// schedule, the encoded steps each put stores, the decoder ground truth per
+/// iteration, and the model of the visible entry set after every op prefix.
+struct StorePlan {
+  std::vector<StoreOp> ops;
+  std::vector<core::CompressedStep> put_steps;  ///< one per put op, in order
+  std::map<std::size_t, std::vector<double>> expected;
+  /// after[j] = entries visible once ops [0, j) are acknowledged.
+  std::vector<std::vector<ModelEntry>> after;
+  std::size_t max_iteration = 0;
+};
+
+core::Options plan_codec_options(const StoreCrashTrialConfig& cfg) {
+  core::Options opts;
+  opts.error_bound = cfg.error_bound;
+  opts.index_bits = 6;
+  opts.strategy = core::Strategy::kEqualWidth;
+  // Closed loop, so replaying the stored chain reproduces the decoder's
+  // state bit for bit at every iteration.
+  opts.reference = core::Reference::kReconstructedPrevious;
+  return opts;
+}
+
+/// The store's own retention rule, re-derived independently from the spec so
+/// the harness cross-checks prune rather than mirroring its code.
+void model_prune(std::vector<ModelEntry>& cur, std::size_t keep_last,
+                 std::size_t keep_every) {
+  const std::size_t n = cur.size();
+  std::vector<ModelEntry> kept;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ModelEntry& e = cur[i];
+    if (i + keep_last >= n || e.best ||
+        (keep_every > 0 && e.iteration % keep_every == 0)) {
+      kept.push_back(e);
+    }
+  }
+  cur = std::move(kept);
+}
+
+StorePlan make_plan(const StoreCrashTrialConfig& cfg) {
+  NUMARCK_EXPECT(cfg.operations >= 2, "store trial needs >= 2 operations");
+  StorePlan plan;
+  util::Pcg32 rng(cfg.seed, 0x5707e5u);
+
+  std::vector<double> v(cfg.points);
+  for (auto& x : v) x = rng.uniform(1.5, 4.0);
+  core::VariableCompressor comp(plan_codec_options(cfg));
+  core::VariableReconstructor recon;
+
+  std::vector<ModelEntry> cur;
+  plan.after.push_back(cur);
+  std::size_t next_iteration = 0;
+  for (std::size_t i = 0; i < cfg.operations; ++i) {
+    const std::uint32_t roll = i == 0 ? 0 : rng.bounded(100);
+    StoreOp op;
+    if (roll < 55 || (roll < 70 && cur.empty())) {
+      op.kind = StoreOp::Kind::kPut;
+      op.iteration = next_iteration++;
+      op.sim_time = 0.5 * static_cast<double>(op.iteration);
+      core::CompressedStep step = comp.push(v);
+      recon.push(step);
+      // Occasionally force a rebase: full_from of the reconstructed state is
+      // bit-identical to the chain replay, so the stream stays consistent.
+      if (rng.bounded(8) == 0 && !step.is_full) {
+        step = core::CompressedStep::full_from(recon.state());
+      }
+      plan.expected[op.iteration] = recon.state();
+      plan.put_steps.push_back(std::move(step));
+      plan.max_iteration = op.iteration;
+      cur.push_back({op.iteration, false});
+      for (auto& x : v) x *= 1.0 + rng.uniform(-0.03, 0.03);
+    } else if (roll < 70) {
+      op.kind = StoreOp::Kind::kPromote;
+      ModelEntry& target =
+          cur[rng.bounded(static_cast<std::uint32_t>(cur.size()))];
+      op.iteration = target.iteration;
+      target.best = true;
+    } else if (roll < 88) {
+      op.kind = StoreOp::Kind::kPrune;
+      op.keep_last = 2 + rng.bounded(3);
+      op.keep_every = rng.bounded(2) == 0 ? 0 : cfg.epoch_every;
+      model_prune(cur, op.keep_last, op.keep_every);
+    } else {
+      op.kind = StoreOp::Kind::kCompact;  // set-preserving by contract
+    }
+    plan.ops.push_back(op);
+    plan.after.push_back(cur);
+  }
+  return plan;
+}
+
+// ------------------------------------------------------------------ sinks --
+
+/// Byte-counting pass-through used by the clean sizing run.
+class CountingSink final : public io::ByteSink {
+ public:
+  CountingSink(std::unique_ptr<io::ByteSink> inner,
+               std::shared_ptr<std::atomic<std::uint64_t>> counter)
+      : inner_(std::move(inner)), counter_(std::move(counter)) {}
+
+  void write(const void* data, std::size_t size) override {
+    counter_->fetch_add(size, std::memory_order_relaxed);
+    inner_->write(data, size);
+  }
+  void sync() override { inner_->sync(); }
+  void close() override { inner_->close(); }
+
+ private:
+  std::unique_ptr<io::ByteSink> inner_;
+  std::shared_ptr<std::atomic<std::uint64_t>> counter_;
+};
+
+bool is_merge_write(const std::string& path) {
+  return path.size() >= 14 &&
+         path.compare(path.size() - 14, 14, ".epoch.nck.tmp") == 0;
+}
+
+store::StoreOptions plain_store_options(const StoreCrashTrialConfig& cfg) {
+  store::StoreOptions opts;
+  opts.epoch_every = cfg.epoch_every;
+  return opts;
+}
+
+store::StoreOptions faulty_store_options(
+    const StoreCrashTrialConfig& cfg,
+    std::shared_ptr<io::CrashBudget> budget, io::FaultyFile::CrashMode mode,
+    bool merge_writes_only) {
+  store::StoreOptions opts = plain_store_options(cfg);
+  opts.sink_factory = [budget, mode, merge_writes_only](
+                          const std::string& path)
+      -> std::unique_ptr<io::ByteSink> {
+    std::unique_ptr<io::ByteSink> sink = std::make_unique<io::FileSink>(path);
+    if (!budget || (merge_writes_only && !is_merge_write(path))) return sink;
+    return std::make_unique<io::FaultyFile>(std::move(sink), budget, mode);
+  };
+  return opts;
+}
+
+// -------------------------------------------------------------- execution --
+
+/// Runs the schedule, bumping `done` and appending one ack byte after each
+/// operation returns — so a post-mortem reader knows ops [0, done) were
+/// acknowledged and at most the next one was in flight.
+void run_ops(store::CheckpointStore& s, const StorePlan& plan,
+             std::size_t& done, io::ByteSink* ack) {
+  std::size_t put_index = 0;
+  for (const auto& op : plan.ops) {
+    switch (op.kind) {
+      case StoreOp::Kind::kPut: {
+        std::map<std::string, core::CompressedStep> steps;
+        steps.emplace(kVar, plan.put_steps[put_index]);
+        ++put_index;
+        s.put(op.iteration, op.sim_time, steps);
+        break;
+      }
+      case StoreOp::Kind::kPromote:
+        s.promote(op.iteration, store::Tier::kBest);
+        break;
+      case StoreOp::Kind::kPrune:
+        (void)s.prune(op.keep_last, op.keep_every);
+        break;
+      case StoreOp::Kind::kCompact:
+        (void)s.compact_once();
+        break;
+    }
+    ++done;
+    if (ack != nullptr) {
+      const char byte = '+';
+      ack->write(&byte, 1);
+    }
+  }
+}
+
+struct CleanBytes {
+  std::uint64_t total = 0;
+  std::uint64_t merge = 0;  ///< bytes of *.epoch.nck.tmp writes only
+};
+
+/// Replays the schedule cleanly in "<dir>.clean" to size the byte budgets.
+/// The op stream is deterministic, so the faulty run writes the identical
+/// byte sequence and any budget below `total` is guaranteed to fire.
+CleanBytes clean_sizing_run(const StoreCrashTrialConfig& cfg,
+                            const StorePlan& plan) {
+  const std::string dir = cfg.dir + ".clean";
+  fs::remove_all(dir);
+  { store::CheckpointStore create(dir, {kVar}, plain_store_options(cfg)); }
+  auto total = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto merge = std::make_shared<std::atomic<std::uint64_t>>(0);
+  store::StoreOptions opts = plain_store_options(cfg);
+  opts.sink_factory =
+      [total, merge](const std::string& path) -> std::unique_ptr<io::ByteSink> {
+    return std::make_unique<CountingSink>(
+        std::make_unique<io::FileSink>(path),
+        is_merge_write(path) ? merge : total);
+  };
+  {
+    store::CheckpointStore s(dir, opts);
+    std::size_t done = 0;
+    run_ops(s, plan, done, nullptr);
+  }
+  fs::remove_all(dir);
+  // Merge writes are part of the process's total stream too.
+  return {total->load() + merge->load(), merge->load()};
+}
+
+// ----------------------------------------------------------- verification --
+
+bool best_in(const std::vector<ModelEntry>& model, std::size_t iteration) {
+  for (const auto& e : model) {
+    if (e.iteration == iteration) return e.best;
+  }
+  return false;
+}
+
+/// Post-crash assertions shared by all three trial kinds. `acked` ops are
+/// known complete; the (acked+1)-th may have committed before the kill.
+std::string verify_store_recovery(const StoreCrashTrialConfig& cfg,
+                                  const StorePlan& plan, std::size_t acked,
+                                  StoreCrashTrialResult& out) {
+  // Read-only pass FIRST: the published manifest of the crashed directory
+  // must not reference a missing or damaged container — recovery is allowed
+  // to repair, but there must be nothing of that kind to repair.
+  try {
+    const auto pre = store::inspect_store(cfg.dir);
+    for (const auto& f : pre.files) {
+      if (f.health != store::FileHealth::kIntact) {
+        return std::string("crashed manifest references a ") +
+               store::to_string(f.health) + " file: " + f.entry.file;
+      }
+    }
+  } catch (const numarck::ContractViolation& e) {
+    return std::string("store manifest unreadable after crash: ") + e.what();
+  }
+
+  std::unique_ptr<store::CheckpointStore> s;
+  try {
+    s = std::make_unique<store::CheckpointStore>(cfg.dir,
+                                                 plain_store_options(cfg));
+  } catch (const std::exception& e) {
+    return std::string("store reopen failed: ") + e.what();
+  }
+
+  const auto entries = s->list();
+  out.listed_entries = entries.size();
+  const auto matches = [&](const std::vector<ModelEntry>& model) {
+    if (model.size() != entries.size()) return false;
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      if (model[i].iteration != entries[i].iteration) return false;
+    }
+    return true;
+  };
+  const std::size_t hi = std::min(acked + 1, plan.ops.size());
+  if (!matches(plan.after[acked]) && !matches(plan.after[hi])) {
+    return "listed iterations match neither the last acknowledged state nor "
+           "the in-flight one";
+  }
+
+  // kBest pins: everything acknowledged must survive; nothing may appear
+  // that the schedule (including the in-flight op) never pinned.
+  for (const auto& e : entries) {
+    const bool actual_best = e.tier == store::Tier::kBest;
+    if (best_in(plan.after[acked], e.iteration) && !actual_best) {
+      return "acknowledged kBest pin lost: iteration " +
+             std::to_string(e.iteration);
+    }
+    if (actual_best && !best_in(plan.after[hi], e.iteration)) {
+      return "spurious kBest pin: iteration " + std::to_string(e.iteration);
+    }
+  }
+
+  // Every retained checkpoint restores bit-exactly.
+  for (const auto& e : entries) {
+    const auto got = s->get_variable(kVar, e.iteration);
+    if (got != plan.expected.at(e.iteration)) {
+      return "iteration " + std::to_string(e.iteration) +
+             " does not restore bit-exactly";
+    }
+  }
+
+  // Recovery left the directory clean: no stale tmps, no unquarantined
+  // orphans, every referenced file intact.
+  const auto post = store::inspect_store(cfg.dir);
+  if (!post.stale_tmps.empty()) return "stale tmp survived recovery";
+  if (!post.orphans.empty()) return "orphan container survived recovery";
+  for (const auto& f : post.files) {
+    if (f.health != store::FileHealth::kIntact) {
+      return std::string("recovered manifest references a ") +
+             store::to_string(f.health) + " file: " + f.entry.file;
+    }
+  }
+
+  // And writable: the next put and its readback must round-trip.
+  const std::size_t next = plan.max_iteration + 1;
+  std::map<std::string, core::CompressedStep> steps;
+  steps.emplace(kVar, core::CompressedStep::full_from(
+                          plan.expected.at(plan.max_iteration)));
+  try {
+    s->put(next, 0.5 * static_cast<double>(next), steps);
+  } catch (const std::exception& e) {
+    return std::string("put into the recovered store failed: ") + e.what();
+  }
+  if (s->get_variable(kVar, next) != plan.expected.at(plan.max_iteration)) {
+    return "post-recovery put does not read back bit-exactly";
+  }
+  return "";
+}
+
+std::uint64_t draw_store_budget(util::Pcg32& rng, std::uint64_t clean_total) {
+  NUMARCK_EXPECT(clean_total > 32, "store trial writes implausibly few bytes");
+  return 16 + rng.bounded(static_cast<std::uint32_t>(clean_total - 16));
+}
+
+void prepare_store_dir(const StoreCrashTrialConfig& cfg) {
+  fs::remove_all(cfg.dir);
+  std::remove((cfg.dir + ".ack").c_str());
+  // Created clean so every trial starts from a valid published (empty)
+  // manifest; the injected schedule then reopens it.
+  store::CheckpointStore create(cfg.dir, {kVar}, plain_store_options(cfg));
+}
+
+std::size_t read_ack_count(const std::string& path) {
+  struct ::stat st = {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::size_t>(st.st_size);
+}
+
+}  // namespace
+
+void remove_store_trial_files(const StoreCrashTrialConfig& cfg) {
+  fs::remove_all(cfg.dir);
+  fs::remove_all(cfg.dir + ".clean");
+  std::remove((cfg.dir + ".ack").c_str());
+}
+
+StoreCrashTrialResult run_store_throw_trial(const StoreCrashTrialConfig& cfg) {
+  StoreCrashTrialResult out;
+  const StorePlan plan = make_plan(cfg);
+  prepare_store_dir(cfg);
+  const CleanBytes bytes = clean_sizing_run(cfg, plan);
+  util::Pcg32 rng(cfg.seed, 0x57c4a5u);
+  out.crash_point = draw_store_budget(rng, bytes.total);
+  const auto budget = std::make_shared<io::CrashBudget>(out.crash_point);
+
+  std::size_t acked = 0;
+  try {
+    store::CheckpointStore s(
+        cfg.dir, faulty_store_options(cfg, budget,
+                                      io::FaultyFile::CrashMode::kThrow,
+                                      /*merge_writes_only=*/false));
+    run_ops(s, plan, acked, nullptr);
+  } catch (const io::InjectedCrash&) {
+    out.crash_fired = true;
+  }
+  if (!out.crash_fired) {
+    out.failure = "crash budget was never exhausted";
+    return out;
+  }
+  out.acked_ops = acked;
+  out.failure = verify_store_recovery(cfg, plan, acked, out);
+  return out;
+}
+
+StoreCrashTrialResult run_store_sigkill_trial(const StoreCrashTrialConfig& cfg) {
+  StoreCrashTrialResult out;
+  const StorePlan plan = make_plan(cfg);
+  prepare_store_dir(cfg);
+  const CleanBytes bytes = clean_sizing_run(cfg, plan);
+  util::Pcg32 rng(cfg.seed, 0x51c511u);
+  out.crash_point = draw_store_budget(rng, bytes.total);
+  const std::string ack_path = cfg.dir + ".ack";
+
+  const pid_t pid = ::fork();
+  NUMARCK_EXPECT(pid >= 0, "fork failed for the store crash child");
+  if (pid == 0) {
+    try {
+      const auto budget = std::make_shared<io::CrashBudget>(out.crash_point);
+      io::FileSink ack(ack_path);
+      store::CheckpointStore s(
+          cfg.dir, faulty_store_options(cfg, budget,
+                                        io::FaultyFile::CrashMode::kSigkill,
+                                        /*merge_writes_only=*/false));
+      std::size_t done = 0;
+      run_ops(s, plan, done, &ack);
+      ::_exit(42);  // budget never exhausted — unreachable, the stream is det.
+    } catch (...) {
+      ::_exit(43);
+    }
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (!(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)) {
+    out.failure = "store crash child was not SIGKILLed at the byte budget";
+    return out;
+  }
+  out.crash_fired = true;
+  out.acked_ops = read_ack_count(ack_path);
+  out.failure = verify_store_recovery(cfg, plan, out.acked_ops, out);
+  return out;
+}
+
+StoreCrashTrialResult run_store_compactor_trial(
+    const StoreCrashTrialConfig& cfg) {
+  StoreCrashTrialResult out;
+  const StorePlan plan = make_plan(cfg);
+  prepare_store_dir(cfg);
+  const CleanBytes bytes = clean_sizing_run(cfg, plan);
+  util::Pcg32 rng(cfg.seed, 0xc09ac7u);
+  // Budget scoped to standalone-merge writes; when the schedule produced no
+  // merge work the trial still runs (uninjected) to exercise the thread.
+  const bool injected = bytes.merge > 32;
+  if (injected) out.crash_point = draw_store_budget(rng, bytes.merge);
+  const std::string ack_path = cfg.dir + ".ack";
+
+  const pid_t pid = ::fork();
+  NUMARCK_EXPECT(pid >= 0, "fork failed for the compactor crash child");
+  if (pid == 0) {
+    try {
+      const auto budget =
+          injected ? std::make_shared<io::CrashBudget>(out.crash_point)
+                   : std::shared_ptr<io::CrashBudget>();
+      io::FileSink ack(ack_path);
+      store::StoreOptions opts = faulty_store_options(
+          cfg, budget, io::FaultyFile::CrashMode::kSigkill,
+          /*merge_writes_only=*/true);
+      opts.compact_interval = std::chrono::milliseconds(1);
+      store::CheckpointStore s(cfg.dir, opts);
+      s.start_compactor();
+      std::size_t done = 0;
+      run_ops(s, plan, done, &ack);
+      s.stop_compactor();
+      // Drain the remaining merge work on this thread so a live budget is
+      // always exhausted even when the background thread lost every race.
+      while (s.compact_once()) {
+      }
+      ::_exit(42);
+    } catch (...) {
+      ::_exit(43);
+    }
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+    out.crash_fired = true;
+  } else if (WIFEXITED(status) && WEXITSTATUS(status) == 42) {
+    // No merge work reached the budget (or the trial ran uninjected): the
+    // schedule completed — verify the final state instead.
+    out.crash_fired = false;
+  } else {
+    out.failure = "compactor crash child failed unexpectedly";
+    return out;
+  }
+  out.acked_ops = read_ack_count(ack_path);
+  out.failure = verify_store_recovery(cfg, plan, out.acked_ops, out);
+  return out;
+}
+
+}  // namespace numarck::tools
