@@ -14,11 +14,14 @@
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   try {
+    // Fully coded records have no bits-per-point floor (RLE ζ + 0-bit index
+    // frames), so the harness supplies the forged-count budget every
+    // context-free caller is expected to pick; allocations below are then
+    // bounded by it rather than by the input size.
+    constexpr std::size_t kMaxPoints = std::size_t{1} << 21;
     const auto rec =
-        numarck::core::EncodedIteration::deserialize({data, size});
+        numarck::core::EncodedIteration::deserialize({data, size}, kMaxPoints);
     // A surviving record must decode cleanly against a matching snapshot.
-    // point_count is bounded by 8 * input size at deserialize time, so this
-    // allocation cannot exceed a small multiple of the input.
     std::vector<double> prev(rec.point_count, 1.0);
     const auto out = numarck::core::decode_iteration(prev, rec);
     if (out.size() != rec.point_count) __builtin_trap();

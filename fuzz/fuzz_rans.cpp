@@ -1,0 +1,81 @@
+// Fuzz target: the interleaved rANS coder.
+//
+// Two contracts in one harness. Round-trip: the input tail is a cluster-index
+// stream; rans_encode at the forged ways/width must decode back to exactly
+// those symbols at every dispatch level the host supports. Hostile decode:
+// the whole input is fed to rans_decode, which must either return a bounded
+// symbol vector or throw ContractViolation — no UB, no forged-count
+// allocation — and every ISA level must agree with the scalar reference
+// bit for bit, including on WHETHER it threw. Any divergence traps.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numarck/arch/arch.hpp"
+#include "numarck/lossless/rans.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace {
+
+struct DecodeResult {
+  bool threw = false;
+  std::vector<std::uint32_t> symbols;
+};
+
+DecodeResult run_decode(std::span<const std::uint8_t> stream,
+                        std::size_t max_count) {
+  DecodeResult r;
+  try {
+    r.symbols = numarck::lossless::rans_decode(stream, max_count);
+  } catch (const numarck::ContractViolation&) {
+    r.threw = true;
+    r.symbols.clear();
+  }
+  return r;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 2) return 0;
+  const unsigned ways = 1u << (data[0] % 3u);           // 1, 2 or 4
+  const unsigned index_bits = 2u + data[1] % 15u;       // 2..16
+  const std::uint32_t alphabet = std::uint32_t{1} << index_bits;
+
+  std::vector<std::uint32_t> symbols(size - 2);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    // Spread bytes over wide alphabets too, not just the low 256 symbols.
+    symbols[i] = (static_cast<std::uint32_t>(data[2 + i]) * 257u +
+                  static_cast<std::uint32_t>(i)) %
+                 alphabet;
+  }
+
+  const auto levels = numarck::arch::available_levels();
+  const numarck::arch::Level active = numarck::arch::active_level();
+
+  const auto encoded = numarck::lossless::rans_encode(symbols, alphabet, ways);
+  for (const numarck::arch::Level level : levels) {
+    numarck::arch::force_level(level);
+    const DecodeResult got = run_decode(encoded, symbols.size());
+    if (got.threw || got.symbols != symbols) __builtin_trap();
+  }
+
+  // The policy heuristic must be total on any symbol stream.
+  (void)numarck::lossless::choose_index_coder(symbols, index_bits,
+                                              /*allow_huffman=*/true,
+                                              /*allow_rans=*/true);
+
+  // Hostile decode: arbitrary bytes, scalar first as the reference.
+  constexpr std::size_t kMaxCount = std::size_t{1} << 18;
+  numarck::arch::force_level(levels.front());
+  const DecodeResult ref = run_decode({data, size}, kMaxCount);
+  if (!ref.threw && ref.symbols.size() > kMaxCount) __builtin_trap();
+  for (const numarck::arch::Level level : levels) {
+    numarck::arch::force_level(level);
+    const DecodeResult got = run_decode({data, size}, kMaxCount);
+    if (got.threw != ref.threw || got.symbols != ref.symbols) __builtin_trap();
+  }
+  numarck::arch::force_level(active);
+  return 0;
+}

@@ -182,7 +182,7 @@ std::string describe() {
     out += " (NUMARCK_ARCH)";
   }
   out += " kernels=classify,change_ratios,decode_span,unpack,count_ones,"
-         "fpc_xor_lzc";
+         "fpc_xor_lzc,rans_decode";
   return out;
 }
 

@@ -112,6 +112,36 @@ using CountOnesFn = std::size_t (*)(const std::uint8_t* data,
                                     std::size_t size_bytes,
                                     std::size_t bit_begin, std::size_t bit_end);
 
+/// rANS decode table (docs/FORMAT.md §9), built and fully validated by
+/// lossless::rans_decode before any kernel call: slot_symbol maps each of
+/// the 1 << scale_bits slots to its symbol; freq/cum are per symbol, with
+/// cum[s] <= slot < cum[s] + freq[s] for every slot mapped to s.
+struct RansDecodeTable {
+  const std::uint16_t* slot_symbol = nullptr;  ///< 1 << scale_bits entries
+  const std::uint32_t* freq = nullptr;         ///< per symbol
+  const std::uint32_t* cum = nullptr;          ///< per symbol
+  unsigned scale_bits = 12;                    ///< table is 2^scale_bits slots
+};
+
+/// One rANS interleave lane: a 32-bit state plus a forward byte cursor over
+/// the lane's 16-bit little-endian renormalization words.
+struct RansLane {
+  std::uint32_t state = 0;
+  const std::uint8_t* cur = nullptr;
+  const std::uint8_t* end = nullptr;
+};
+
+/// Decodes `count` symbols round-robin from `ways` interleaved lanes
+/// (symbol i comes from lane i % ways; 1 <= ways <= 4), updating lane
+/// states and cursors in place. Implementations must throw
+/// ContractViolation when a lane's renormalization words run out before
+/// `count` symbols are produced — same end-of-stream contract as
+/// util::BitReader — and must agree with the scalar reference bit for bit,
+/// including on WHETHER they threw (fuzz_rans enforces this).
+using RansDecodeFn = void (*)(const RansDecodeTable& table, RansLane* lanes,
+                              unsigned ways, std::uint32_t* out,
+                              std::size_t count);
+
 /// FPC selection stage for a block: xr[i] is the chosen predictor residual
 /// and nibble[i] the 4-bit header entry (bit 0 = use_dfcm, bits 1..3 = the
 /// 3-bit leading-zero-byte code), given the true values and both
@@ -130,6 +160,7 @@ struct Kernels {
   UnpackFn unpack = nullptr;
   CountOnesFn count_ones = nullptr;
   FpcXorLzcFn fpc_xor_lzc = nullptr;
+  RansDecodeFn rans_decode = nullptr;
 };
 
 /// Widest level this CPU supports (cpuid probe; cached).

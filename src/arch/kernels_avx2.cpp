@@ -276,6 +276,7 @@ const Kernels* avx2_kernel_table() noexcept {
       &unpack_avx2,
       &detail::count_ones_wide,
       &fpc_xor_lzc_avx2,
+      &detail::rans_decode_interleaved,
   };
   return &k;
 }

@@ -241,6 +241,7 @@ const Kernels* avx512_kernel_table() noexcept {
       &unpack_avx512,
       &detail::count_ones_wide,
       &fpc_xor_lzc_avx512,
+      &detail::rans_decode_interleaved,
   };
   return &k;
 }

@@ -301,6 +301,100 @@ static inline void decode_span_grouped(const DecodeSpan& sp) {
   decode_run(j, sp.i1);
 }
 
+/// rANS state floor: states live in [kRansLow, 2^32). One 16-bit word per
+/// renormalization, so decode refills at most once per symbol.
+inline constexpr std::uint32_t kRansLow = 1u << 16;
+
+/// One rANS decode step against `t`, refilling `lane` from its word stream
+/// when the state drops below kRansLow. The division-free update is the
+/// standard 32/16 rANS transform; every ISA variant must execute exactly
+/// this sequence so states (and therefore throw behaviour) never diverge.
+static inline std::uint32_t rans_step(const RansDecodeTable& t,
+                                      RansLane& lane) {
+  const std::uint32_t mask = (1u << t.scale_bits) - 1u;
+  const std::uint32_t slot = lane.state & mask;
+  const std::uint32_t s = t.slot_symbol[slot];
+  lane.state =
+      t.freq[s] * (lane.state >> t.scale_bits) + slot - t.cum[s];
+  if (lane.state < kRansLow) {
+    NUMARCK_EXPECT(lane.cur + 2 <= lane.end,
+                   "rans: lane stream exhausted mid-renormalization");
+    const std::uint32_t w = static_cast<std::uint32_t>(lane.cur[0]) |
+                            (static_cast<std::uint32_t>(lane.cur[1]) << 8);
+    lane.cur += 2;
+    lane.state = (lane.state << 16) | w;
+  }
+  return s;
+}
+
+/// Reference interleaved decoder: strict round-robin, one symbol at a time.
+static inline void rans_decode_scalar(const RansDecodeTable& t,
+                                      RansLane* lanes, unsigned ways,
+                                      std::uint32_t* out, std::size_t count) {
+  NUMARCK_EXPECT(ways >= 1 && ways <= 4, "rans: ways must be in [1,4]");
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = rans_step(t, lanes[i % ways]);
+  }
+}
+
+/// Multi-way decoder: lane states live in locals across the unrolled body,
+/// so the `ways` dependency chains retire in parallel (the rANS transform
+/// is integer-serial per lane; interleaving is where the speedup comes
+/// from). Bit-identical to rans_decode_scalar by construction — same
+/// per-lane step in the same round-robin order.
+static inline void rans_decode_interleaved(const RansDecodeTable& t,
+                                           RansLane* lanes, unsigned ways,
+                                           std::uint32_t* out,
+                                           std::size_t count) {
+  NUMARCK_EXPECT(ways >= 1 && ways <= 4, "rans: ways must be in [1,4]");
+  if (ways == 4) {
+    RansLane l0 = lanes[0], l1 = lanes[1], l2 = lanes[2], l3 = lanes[3];
+    std::size_t i = 0;
+    try {
+      for (; i + 4 <= count; i += 4) {
+        out[i + 0] = rans_step(t, l0);
+        out[i + 1] = rans_step(t, l1);
+        out[i + 2] = rans_step(t, l2);
+        out[i + 3] = rans_step(t, l3);
+      }
+    } catch (...) {
+      // Keep the lanes' committed progress observable (the caller's
+      // post-decode invariant checks never see these on the throw path,
+      // but the in-place-update contract should not silently drop work).
+      lanes[0] = l0;
+      lanes[1] = l1;
+      lanes[2] = l2;
+      lanes[3] = l3;
+      throw;
+    }
+    lanes[0] = l0;
+    lanes[1] = l1;
+    lanes[2] = l2;
+    lanes[3] = l3;
+    for (; i < count; ++i) out[i] = rans_step(t, lanes[i % 4]);
+    return;
+  }
+  if (ways == 2) {
+    RansLane l0 = lanes[0], l1 = lanes[1];
+    std::size_t i = 0;
+    try {
+      for (; i + 2 <= count; i += 2) {
+        out[i + 0] = rans_step(t, l0);
+        out[i + 1] = rans_step(t, l1);
+      }
+    } catch (...) {
+      lanes[0] = l0;
+      lanes[1] = l1;
+      throw;
+    }
+    lanes[0] = l0;
+    lanes[1] = l1;
+    for (; i < count; ++i) out[i] = rans_step(t, lanes[i % 2]);
+    return;
+  }
+  rans_decode_scalar(t, lanes, ways, out, count);
+}
+
 static inline unsigned leading_zero_bytes(std::uint64_t x) {
   if (x == 0) return 8;
   return static_cast<unsigned>(std::countl_zero(x)) / 8;

@@ -16,6 +16,7 @@ const Kernels* neon_kernel_table() noexcept {
       &detail::unpack_wide,
       &detail::count_ones_wide,
       &detail::fpc_xor_lzc_scalar,
+      &detail::rans_decode_interleaved,
   };
   return &k;
 }

@@ -14,6 +14,7 @@ const Kernels* scalar_kernel_table() noexcept {
       &detail::unpack_scalar,
       &detail::count_ones_scalar,
       &detail::fpc_xor_lzc_scalar,
+      &detail::rans_decode_scalar,
   };
   return &k;
 }

@@ -149,6 +149,7 @@ const Kernels* sse42_kernel_table() noexcept {
       &detail::unpack_wide,
       &detail::count_ones_wide,
       &fpc_xor_lzc_sse42,
+      &detail::rans_decode_interleaved,
   };
   return &k;
 }

@@ -84,8 +84,12 @@ class NumarckCodec final : public Codec {
                              std::span<const double> previous,
                              std::span<const double> previous2,
                              std::size_t expected_points) const override {
-    const core::EncodedIteration enc =
-        core::EncodedIteration::deserialize(payload);
+    // The caller's expected size doubles as the deserializer's forged-count
+    // bound (0 = unknown, fall back to the built-in ceiling).
+    const core::EncodedIteration enc = core::EncodedIteration::deserialize(
+        payload, expected_points != 0
+                     ? expected_points
+                     : core::EncodedIteration::kDefaultMaxPointCount);
     if (expected_points != 0) {
       NUMARCK_EXPECT(enc.point_count == expected_points,
                      "numarck codec: payload point count mismatch");

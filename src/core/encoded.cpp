@@ -2,6 +2,7 @@
 
 #include "numarck/lossless/fpc.hpp"
 #include "numarck/lossless/huffman.hpp"
+#include "numarck/lossless/rans.hpp"
 #include "numarck/lossless/rle.hpp"
 #include "numarck/metrics/metrics.hpp"
 #include "numarck/util/bitpack.hpp"
@@ -13,10 +14,12 @@ namespace numarck::core {
 namespace {
 constexpr std::uint32_t kMagic = 0x4E4D4B31u;  // "NMK1"
 
-// Stream-coding flags stored in the record.
+// Stream-coding flags stored in the record. The index-stream coders are
+// mutually exclusive (docs/FORMAT.md §2 lists the full postpass-id table).
 constexpr std::uint8_t kFlagHuffmanIndices = 0x01;
 constexpr std::uint8_t kFlagRleBitmap = 0x02;
 constexpr std::uint8_t kFlagFpcExact = 0x04;
+constexpr std::uint8_t kFlagRansIndices = 0x08;
 }
 
 double EncodedIteration::paper_compression_ratio() const {
@@ -42,14 +45,33 @@ std::vector<std::uint8_t> EncodedIteration::serialize(
   // Apply each requested stream coder, but keep it only when it wins.
   std::uint8_t flags = 0;
   std::vector<std::uint8_t> idx_stream = indices;
-  if (postpass.huffman_indices && compressible_count() > 0) {
+  if ((postpass.huffman_indices || postpass.rans_indices) &&
+      compressible_count() > 0) {
     const auto symbols =
         util::unpack_indices(indices, index_bits, compressible_count());
-    auto coded = lossless::huffman_encode(
-        symbols, static_cast<std::uint32_t>(1) << index_bits);
-    if (coded.size() < idx_stream.size()) {
-      idx_stream = std::move(coded);
-      flags |= kFlagHuffmanIndices;
+    // With rANS enabled the flatness heuristic arbitrates (and may skip
+    // coding outright); Huffman-only keeps the original always-try
+    // behaviour so pre-rANS archives re-encode byte-identically.
+    const lossless::IndexCoder coder =
+        postpass.rans_indices
+            ? lossless::choose_index_coder(symbols, index_bits,
+                                           postpass.huffman_indices,
+                                           /*allow_rans=*/true)
+            : lossless::IndexCoder::kHuffman;
+    if (coder == lossless::IndexCoder::kHuffman) {
+      auto coded = lossless::huffman_encode(
+          symbols, static_cast<std::uint32_t>(1) << index_bits);
+      if (coded.size() < idx_stream.size()) {
+        idx_stream = std::move(coded);
+        flags |= kFlagHuffmanIndices;
+      }
+    } else if (coder == lossless::IndexCoder::kRans) {
+      auto coded = lossless::rans_encode(
+          symbols, static_cast<std::uint32_t>(1) << index_bits);
+      if (coded.size() < idx_stream.size()) {
+        idx_stream = std::move(coded);
+        flags |= kFlagRansIndices;
+      }
     }
   }
   std::vector<std::uint8_t> zeta_stream = zeta;
@@ -96,7 +118,7 @@ std::vector<std::uint8_t> EncodedIteration::serialize(
 }
 
 EncodedIteration EncodedIteration::deserialize(
-    std::span<const std::uint8_t> bytes) {
+    std::span<const std::uint8_t> bytes, std::size_t max_point_count) {
   util::ByteReader r(bytes);
   NUMARCK_EXPECT(r.get_u32() == kMagic, "EncodedIteration: bad magic");
   EncodedIteration e;
@@ -114,17 +136,24 @@ EncodedIteration EncodedIteration::deserialize(
                  "EncodedIteration: unknown predictor");
   const std::uint8_t flags = r.get_u8();
   NUMARCK_EXPECT((flags & ~(kFlagHuffmanIndices | kFlagRleBitmap |
-                            kFlagFpcExact)) == 0,
+                            kFlagFpcExact | kFlagRansIndices)) == 0,
                  "EncodedIteration: unknown stream flags");
+  NUMARCK_EXPECT((flags & (kFlagHuffmanIndices | kFlagRansIndices)) !=
+                     (kFlagHuffmanIndices | kFlagRansIndices),
+                 "EncodedIteration: conflicting index coders");
   e.error_bound = r.get_f64();
   e.point_count = r.get_varint();
-  // Any legitimate record stores at least one bit per point: a compressible
-  // point costs >= 1 bit in the index stream (Huffman's floor) and an exact
-  // point costs >= 4 bits in the FPC stream. A forged count beyond this
-  // bound must be rejected here, before it can size the bitmap/stream
-  // allocations below.
-  NUMARCK_EXPECT(e.point_count <= bytes.size() * 8,
-                 "EncodedIteration: point count exceeds record capacity");
+  NUMARCK_EXPECT(e.point_count <= max_point_count,
+                 "EncodedIteration: point count exceeds caller bound");
+  // With a raw ζ bitmap the record must physically hold one bit per point,
+  // so a forged count is rejected before it can size any allocation. Fully
+  // coded records (RLE ζ + 0-bit index frames) have no such floor — there
+  // max_point_count, the RLE run-sum validation and the index coders' own
+  // forged-count checks bound what the count can materialize.
+  if (!(flags & kFlagRleBitmap)) {
+    NUMARCK_EXPECT(e.point_count <= bytes.size() * 8,
+                   "EncodedIteration: point count exceeds record capacity");
+  }
   e.centers = r.get_vector<double>();
   NUMARCK_EXPECT(e.centers.size() < (std::size_t{1} << e.index_bits),
                  "EncodedIteration: center table exceeds index space");
@@ -144,8 +173,13 @@ EncodedIteration EncodedIteration::deserialize(
   }
   NUMARCK_EXPECT(e.exact_values.size() <= e.point_count,
                  "EncodedIteration: more exact values than points");
-  if (flags & kFlagHuffmanIndices) {
-    const auto symbols = lossless::huffman_decode(idx_stream);
+  if (flags & (kFlagHuffmanIndices | kFlagRansIndices)) {
+    // Both coders take the expected symbol count so a forged frame header
+    // is rejected before the symbol vector is allocated.
+    const auto symbols =
+        (flags & kFlagHuffmanIndices)
+            ? lossless::huffman_decode(idx_stream, e.compressible_count())
+            : lossless::rans_decode(idx_stream, e.compressible_count());
     NUMARCK_EXPECT(symbols.size() == e.compressible_count(),
                    "EncodedIteration: index count mismatch after decode");
     for (const std::uint32_t s : symbols) {

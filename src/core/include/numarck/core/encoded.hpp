@@ -78,7 +78,22 @@ class EncodedIteration {
   /// record, so any serialization deserializes with the plain overload).
   [[nodiscard]] std::vector<std::uint8_t> serialize(
       const Postpass& postpass = Postpass::none()) const;
-  static EncodedIteration deserialize(std::span<const std::uint8_t> bytes);
+
+  /// Ceiling on the point count deserialize accepts when the caller cannot
+  /// supply one. Fully coded records have no bits-per-point floor (a
+  /// constant field RLE+rANS-codes to a few dozen bytes at any length), so
+  /// a forged count cannot be cross-checked against the record size alone;
+  /// this bounds what such a forgery can make the decoder materialize.
+  static constexpr std::size_t kDefaultMaxPointCount = std::size_t{1} << 33;
+
+  /// Parses a record, validating every count and stream against the bytes
+  /// actually present before sizing any allocation from them. Callers that
+  /// know how many points a legitimate record holds (the codec layer knows
+  /// its snapshot length; fuzz harnesses pick a budget) should pass it as
+  /// `max_point_count`.
+  static EncodedIteration deserialize(
+      std::span<const std::uint8_t> bytes,
+      std::size_t max_point_count = kDefaultMaxPointCount);
 
   /// Number of compressible points (= indices stored in the index stream).
   [[nodiscard]] std::size_t compressible_count() const noexcept {

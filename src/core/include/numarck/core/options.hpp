@@ -54,13 +54,26 @@ const char* to_string(Predictor p) noexcept;
 /// (§III-B: "we can further use a lossless compression technique ... on our
 /// compressed data"). Each stream is only replaced when the coded form is
 /// smaller, so enabling a pass never loses.
+///
+/// Index-stream coding has two backends: canonical Huffman and interleaved
+/// rANS (lossless/rans.hpp). Enabling both is the *auto* policy — a
+/// histogram-flatness heuristic picks the coder per record (rANS for long
+/// skewed streams, Huffman for short ones, neither when the histogram is
+/// too flat to beat the packed B-bit form). Enabling exactly one restricts
+/// the choice to that backend. The chosen coder's id travels in the record
+/// flags, so any combination deserializes without knowing the policy.
 struct Postpass {
   bool huffman_indices = false;  ///< entropy-code the B-bit index stream
   bool rle_bitmap = false;       ///< run-length code the ζ bitmap
   bool fpc_exact = false;        ///< FPC the exact-value doubles
+  bool rans_indices = false;     ///< rANS-code the B-bit index stream
 
   static Postpass none() noexcept { return {}; }
-  static Postpass all() noexcept { return {true, true, true}; }
+  /// Every pass, with index coding in auto huffman-vs-rans mode.
+  static Postpass all() noexcept { return {true, true, true, true}; }
+  /// The pre-rANS coder set — exactly what all() meant when the v1 golden
+  /// containers were written, kept so their byte-identity stays testable.
+  static Postpass v1() noexcept { return {true, true, true, false}; }
 };
 
 struct Options {

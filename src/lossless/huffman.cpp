@@ -167,12 +167,17 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
   for (std::uint32_t s = 0; s < alphabet_size; ++s) {
     bits.put(lengths[s], 5);
   }
-  for (auto s : symbols) {
-    const unsigned l = lengths[s];
-    const std::uint32_t c = table.codes[s];
-    // MSB-first within the code so canonical decoding works bit by bit.
-    for (unsigned b = l; b-- > 0;) {
-      bits.put_bit((c >> b) & 1u);
+  // A lone used symbol is a run-length literal: the length table already
+  // names it, so the symbol section is empty (0 bits/point) instead of the
+  // 1 bit/point a real prefix code would burn.
+  if (table.sorted_symbols.size() > 1) {
+    for (auto s : symbols) {
+      const unsigned l = lengths[s];
+      const std::uint32_t c = table.codes[s];
+      // MSB-first within the code so canonical decoding works bit by bit.
+      for (unsigned b = l; b-- > 0;) {
+        bits.put_bit((c >> b) & 1u);
+      }
     }
   }
   const auto payload = bits.finish();
@@ -181,26 +186,37 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
   return out.take();
 }
 
-std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> stream) {
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> stream,
+                                          std::size_t max_count) {
   util::ByteReader in(stream);
   NUMARCK_EXPECT(in.get_u32() == kMagic, "huffman: bad magic");
   const std::uint32_t alphabet = static_cast<std::uint32_t>(in.get_varint());
   NUMARCK_EXPECT(alphabet >= 1 && alphabet <= (1u << 20),
                  "huffman: bad alphabet");
   const std::size_t count = in.get_varint();
+  NUMARCK_EXPECT(count <= max_count, "huffman: forged symbol count");
   const std::size_t payload_size = in.get_varint();
   NUMARCK_EXPECT(payload_size <= in.remaining(), "huffman: truncated payload");
-  // The payload carries 5 bits per alphabet entry followed by >= 1 bit per
-  // symbol; forged counts beyond that are rejected before any allocation.
+  // The payload always carries 5 bits per alphabet entry; forged tables are
+  // rejected before the length table is allocated.
   NUMARCK_EXPECT(std::uint64_t{alphabet} * 5 <= std::uint64_t{payload_size} * 8,
                  "huffman: truncated length table");
-  NUMARCK_EXPECT(count <= payload_size * 8,
-                 "huffman: count exceeds payload capacity");
   util::BitReader bits(stream.data() + in.position(), payload_size);
 
   std::vector<unsigned> lengths(alphabet);
   for (std::uint32_t s = 0; s < alphabet; ++s) lengths[s] = bits.get(5);
   const auto table = build_canonical(lengths);
+
+  // Single-symbol frame: `count` copies of the lone coded symbol, no code
+  // bits to read (streams from older encoders carried 1 bit per symbol
+  // here; those bits are simply ignored). This is the one frame without a
+  // >= 1 bit/symbol floor — `max_count` is all that bounds the output.
+  if (table.sorted_symbols.size() == 1) {
+    return std::vector<std::uint32_t>(count, table.sorted_symbols.front());
+  }
+  // Every real prefix code costs at least one payload bit per symbol.
+  NUMARCK_EXPECT(count <= payload_size * 8,
+                 "huffman: count exceeds payload capacity");
 
   std::vector<std::uint32_t> out;
   out.reserve(count);

@@ -12,6 +12,7 @@
 // codes mean the table needs only lengths, not the codes themselves.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -19,12 +20,21 @@
 namespace numarck::lossless {
 
 /// Encodes `symbols` (each < alphabet_size) into a self-describing stream.
-/// Handles the degenerate single-symbol and empty cases.
+/// Handles the degenerate single-symbol and empty cases; a histogram with
+/// exactly one used symbol is stored as a 0-bit run-length literal (the
+/// length table plus the count — no per-symbol bits at all).
 std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
                                          std::uint32_t alphabet_size);
 
-/// Exact inverse of huffman_encode. Throws on malformed input.
-std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> stream);
+/// Exact inverse of huffman_encode. Throws on malformed input. `max_count`
+/// caps the symbol count a forged header can claim before the output is
+/// allocated: the non-degenerate frame is self-limiting (>= 1 bit/symbol in
+/// the payload), but the 0-bit single-symbol frame has no such floor, so
+/// callers decoding untrusted bytes must pass how many symbols a legitimate
+/// stream can hold (the EncodedIteration deserializer passes its
+/// compressible-point count).
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> stream,
+                                          std::size_t max_count = SIZE_MAX);
 
 /// Shannon entropy (bits/symbol) of the symbol histogram — the lower bound
 /// huffman_encode approaches; exposed for the post-pass benchmarks.

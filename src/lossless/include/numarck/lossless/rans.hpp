@@ -1,0 +1,73 @@
+// Interleaved range-ANS entropy coding for the NUMARCK index stream.
+//
+// The cluster-index histogram is skewed by design — index 0 (the "unchanged"
+// code) covers most points and the learned bins have very uneven populations
+// (paper Fig. 3) — which is exactly where arithmetic-style coders beat
+// Huffman: a symbol with probability 0.95 costs 0.074 bits under rANS but a
+// full bit under any prefix code. This module implements a 2-/4-way
+// interleaved rANS coder (32-bit state, 16-bit renormalization) with an
+// order-0 frequency model quantized per record, in the tight
+// BitStreamWriter/Reader discipline the rest of the codec uses: every header
+// field is bounds-checked before it can size an allocation, and the decoder
+// state/cursor invariants are re-verified after the last symbol.
+//
+// Interleaving: lane k owns symbols k, k + ways, k + 2*ways, ... Each lane
+// is an independent rANS stream encoded in reverse so the decoder reads all
+// lanes forward, round-robin — the per-symbol dependency chain splits into
+// `ways` independent chains, which is what buys the multi-way decoder its
+// throughput (the hot loop lives in the numarck_arch kernel table as
+// `rans_decode`, so wider ISAs can specialize it).
+//
+// Format: docs/FORMAT.md §9.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace numarck::lossless {
+
+/// Interleave widths the format allows (FORMAT.md §9).
+inline constexpr unsigned kRansMaxWays = 4;
+
+/// Encodes `symbols` (each < alphabet_size) into a self-describing stream
+/// with `ways` interleaved lanes (1, 2 or 4). Handles the empty and
+/// single-symbol cases (a lone used symbol costs 0 bits per point).
+std::vector<std::uint8_t> rans_encode(std::span<const std::uint32_t> symbols,
+                                      std::uint32_t alphabet_size,
+                                      unsigned ways = 4);
+
+/// Exact inverse of rans_encode. Throws ContractViolation on malformed
+/// input. `max_count` caps the symbol count a forged header can claim
+/// before the output allocation is sized (callers know how many symbols a
+/// legitimate stream holds; the EncodedIteration deserializer passes its
+/// compressible-point count). Counts are additionally bounded by the
+/// per-symbol entropy floor of the stored frequency table whenever that
+/// floor is non-zero.
+std::vector<std::uint32_t> rans_decode(std::span<const std::uint8_t> stream,
+                                       std::size_t max_count);
+
+/// Which coder the adaptive postpass policy picked for an index stream.
+enum class IndexCoder : std::uint8_t {
+  kRaw = 0,      ///< keep the packed B-bit stream (flat histogram)
+  kHuffman = 1,  ///< canonical Huffman (small streams, lone-symbol frames)
+  kRans = 2,     ///< interleaved rANS (large skewed streams)
+};
+
+const char* to_string(IndexCoder c) noexcept;
+
+/// Histogram-flatness heuristic behind `Postpass` auto selection: estimates
+/// the entropy-coded size of `symbols` (alphabet 2^index_bits) and picks the
+/// coder expected to win, without running either encoder. kRaw when the
+/// histogram is too flat for any table-backed coder to beat B bits/point;
+/// kHuffman when the stream is too small to amortize the rANS frequency
+/// table (or collapses to a single symbol, where the Huffman frame is a
+/// 0-bit run-length literal); kRans otherwise. The caller still only
+/// replaces the raw stream when the coded form is strictly smaller, so a
+/// wrong guess costs throughput, never bytes.
+IndexCoder choose_index_coder(std::span<const std::uint32_t> symbols,
+                              unsigned index_bits, bool allow_huffman,
+                              bool allow_rans);
+
+}  // namespace numarck::lossless

@@ -34,22 +34,33 @@ std::vector<std::uint8_t> rle_encode_bits(std::span<const std::uint8_t> packed,
 
 std::vector<std::uint8_t> rle_decode_bits(std::span<const std::uint8_t> stream,
                                           std::size_t bit_count) {
+  // Validation pass first: every run is checked and the total must land on
+  // bit_count exactly before any output proportional to it is materialized.
+  // O(stream bytes), no allocation — the repository's deserializer
+  // discipline (a forged stream is rejected at varint cost, not at
+  // expansion cost).
+  util::ByteReader scan(stream);
+  NUMARCK_EXPECT(scan.get_u8() <= 1, "rle: bad initial bit value");
+  std::uint64_t total = 0;
+  while (total < bit_count) {
+    NUMARCK_EXPECT(!scan.at_end(), "rle: truncated run stream");
+    const std::uint64_t run = scan.get_varint();
+    NUMARCK_EXPECT(run > 0 && run <= bit_count - total,
+                   "rle: run overflows bit count");
+    total += run;
+  }
+  NUMARCK_EXPECT(scan.at_end(), "rle: trailing bytes after final run");
+
   util::ByteReader in(stream);
   util::BitWriter w;
-  const std::uint8_t first = in.get_u8();
-  NUMARCK_EXPECT(first <= 1, "rle: bad initial bit value");
-  bool current = first != 0;
+  bool current = in.get_u8() != 0;
   std::uint64_t produced = 0;
   while (produced < bit_count) {
-    NUMARCK_EXPECT(!in.at_end(), "rle: truncated run stream");
     const std::uint64_t run = in.get_varint();
-    NUMARCK_EXPECT(run > 0 && run <= bit_count - produced,
-                   "rle: run overflows bit count");
     for (std::uint64_t i = 0; i < run; ++i) w.put_bit(current);
     produced += run;
     current = !current;
   }
-  NUMARCK_EXPECT(in.at_end(), "rle: trailing bytes after final run");
   return w.finish();
 }
 

@@ -135,13 +135,14 @@ INSTANTIATE_TEST_SUITE_P(
 
 // -------------------------------------------------- serialization sweep --
 
-using SerCase = std::tuple<unsigned, bool, bool, bool>;  // B, huff, rle, fpc
+// B, huff, rle, fpc, rans
+using SerCase = std::tuple<unsigned, bool, bool, bool, bool>;
 
 class SerializationSweep : public ::testing::TestWithParam<SerCase> {};
 
 TEST_P(SerializationSweep, RoundTripAtEveryWidthAndPostpassCombo) {
-  const auto [bits, huff, rle, fpc] = GetParam();
-  numarck::util::Pcg32 rng(bits * 131 + huff * 7 + rle * 3 + fpc);
+  const auto [bits, huff, rle, fpc, rans] = GetParam();
+  numarck::util::Pcg32 rng(bits * 131 + huff * 7 + rle * 3 + fpc + rans * 17);
   std::vector<double> prev(3000), curr(3000);
   for (std::size_t j = 0; j < prev.size(); ++j) {
     prev[j] = (j % 61 == 0) ? 0.0 : rng.uniform(0.5, 4.0);
@@ -155,6 +156,7 @@ TEST_P(SerializationSweep, RoundTripAtEveryWidthAndPostpassCombo) {
   pp.huffman_indices = huff;
   pp.rle_bitmap = rle;
   pp.fpc_exact = fpc;
+  pp.rans_indices = rans;
   const auto back = nk::EncodedIteration::deserialize(enc.serialize(pp));
   EXPECT_EQ(back.indices, enc.indices);
   EXPECT_EQ(back.zeta, enc.zeta);
@@ -165,5 +167,5 @@ TEST_P(SerializationSweep, RoundTripAtEveryWidthAndPostpassCombo) {
 INSTANTIATE_TEST_SUITE_P(
     WidthsAndCoders, SerializationSweep,
     ::testing::Combine(::testing::Values(2u, 4u, 8u, 12u, 16u),
-                       ::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool(), ::testing::Bool(), ::testing::Bool(),
                        ::testing::Bool()));

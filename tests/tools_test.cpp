@@ -114,12 +114,61 @@ TEST(Tools, PostpassShrinksOutput) {
   job.input_path = input.str();
   job.points_per_iteration = 8192;
   job.output_path = with.str();
-  job.postpass = true;
+  job.postpass = nt::PostpassMode::kAuto;
   const auto a = nt::compress_file(job);
   job.output_path = without.str();
-  job.postpass = false;
+  job.postpass = nt::PostpassMode::kNone;
   const auto b = nt::compress_file(job);
   EXPECT_LT(a.output_bytes, b.output_bytes);
+}
+
+TEST(Tools, RansContainerRestoreRoundTrip) {
+  // A FLASH-like smooth series produces the skewed index histogram the
+  // adaptive policy routes to rANS. The container must carry the rANS
+  // frames end to end: compress -> inspect (postpass column says so) ->
+  // restore within the error bound.
+  TempPath input("rans"), ckpt("ransck"), output("ransout");
+  const std::size_t points = 16384, iterations = 4;
+  const auto raw = make_series(points, iterations);
+  write_raw(input.str(), raw);
+
+  nt::CompressJob job;
+  job.input_path = input.str();
+  job.output_path = ckpt.str();
+  job.points_per_iteration = points;
+  job.options.error_bound = 0.001;
+  job.postpass = nt::PostpassMode::kRans;
+  const auto report = nt::compress_file(job);
+  EXPECT_EQ(report.iterations, iterations);
+
+  std::ostringstream inspect;
+  nt::inspect_file(ckpt.str(), inspect);
+  EXPECT_NE(inspect.str().find("postpass"), std::string::npos);
+  EXPECT_NE(inspect.str().find("rans"), std::string::npos);
+
+  nt::RestoreJob rjob;
+  rjob.checkpoint_path = ckpt.str();
+  rjob.output_path = output.str();
+  rjob.iteration = iterations - 1;
+  EXPECT_EQ(nt::restore_file(rjob).points, points);
+  const auto restored = read_raw(output.str());
+  const std::vector<double> truth(raw.end() - points, raw.end());
+  EXPECT_LT(numarck::metrics::max_relative_error(truth, restored), 0.01);
+}
+
+TEST(Tools, ParsePostpassNames) {
+  EXPECT_EQ(nt::parse_postpass("none"), nt::PostpassMode::kNone);
+  EXPECT_EQ(nt::parse_postpass("huffman"), nt::PostpassMode::kHuffman);
+  EXPECT_EQ(nt::parse_postpass("rans"), nt::PostpassMode::kRans);
+  EXPECT_EQ(nt::parse_postpass("auto"), nt::PostpassMode::kAuto);
+  EXPECT_THROW(nt::parse_postpass("zstd"), numarck::ContractViolation);
+  // The modes map onto the documented coder sets.
+  EXPECT_FALSE(nt::to_postpass(nt::PostpassMode::kNone).rle_bitmap);
+  EXPECT_FALSE(nt::to_postpass(nt::PostpassMode::kHuffman).rans_indices);
+  EXPECT_FALSE(nt::to_postpass(nt::PostpassMode::kRans).huffman_indices);
+  EXPECT_TRUE(nt::to_postpass(nt::PostpassMode::kRans).rans_indices);
+  EXPECT_TRUE(nt::to_postpass(nt::PostpassMode::kAuto).huffman_indices);
+  EXPECT_TRUE(nt::to_postpass(nt::PostpassMode::kAuto).rans_indices);
 }
 
 TEST(Tools, MisalignedInputThrows) {

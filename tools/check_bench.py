@@ -12,7 +12,11 @@ With --baselines it additionally validates the cross-codec sweep in
 BENCH_baselines.json: every registered codec (numarck, fpc, isabela,
 bspline) must appear with both an encode and a decode row, every row must
 carry positive throughput, and every payload must actually be smaller than
-raw float64.
+raw float64. The file's lossless post-pass sweep is gated too: the
+none/huffman/rans modes must each carry encode and decode rows, the rANS
+frame must be strictly smaller than Huffman's on the skewed index
+workload, and the interleaved rANS index decode must beat the bit-serial
+Huffman loop by --min-rans-decode-speedup.
 
 With --simd it additionally validates the SIMD dispatch sweep in
 BENCH_simd.json: every kernel x strategy combination must appear once per
@@ -68,13 +72,23 @@ BASELINE_ROW_KEYS = [
     "ratio_pct",
 ]
 
+POSTPASS_MODES = ["none", "huffman", "rans"]
+
+POSTPASS_ROW_KEYS = [
+    "postpass",
+    "op",
+    "seconds",
+    "mpoints_per_s",
+    "bytes_per_point",
+]
+
 
 def fail(msg: str) -> None:
     print(f"check_bench: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
-def check_baselines(path: str) -> None:
+def check_baselines(path: str, min_rans_decode_speedup: float) -> None:
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     if doc.get("benchmark") != "baselines":
@@ -98,7 +112,41 @@ def check_baselines(path: str) -> None:
         for op in ("encode", "decode"):
             if not any(r["codec"] == codec and r["op"] == op for r in rows):
                 fail(f"baselines sweep is missing {codec}/{op}")
-    print(f"check_bench: OK: baselines sweep covers {BASELINE_CODECS}")
+
+    # Lossless post-pass sweep: every mode measured both ways, and the rANS
+    # coder must actually beat Huffman on the skewed workload the feature
+    # exists for — both in stored bytes and in decode throughput.
+    prows = doc.get("postpass_results", [])
+    if not prows:
+        fail("missing postpass_results sweep")
+    for i, row in enumerate(prows):
+        row_missing = [k for k in POSTPASS_ROW_KEYS if k not in row]
+        if row_missing:
+            fail(f"postpass_results[{i}] missing keys: {row_missing}")
+        if row["mpoints_per_s"] <= 0 or row["bytes_per_point"] <= 0:
+            fail(f"postpass_results[{i}] has a non-positive measurement")
+    for mode in POSTPASS_MODES:
+        for op in ("encode", "decode"):
+            if not any(r["postpass"] == mode and r["op"] == op for r in prows):
+                fail(f"postpass sweep is missing {mode}/{op}")
+    bytes_ratio = doc.get("rans_vs_huffman_bytes", 1.0)
+    if not 0 < bytes_ratio < 1.0:
+        fail(
+            f"rANS stores {bytes_ratio:.3f}x the Huffman bytes on the skewed "
+            "workload — the entropy coder has stopped winning"
+        )
+    dec_speedup = doc.get("rans_vs_huffman_decode_speedup", 0.0)
+    if dec_speedup < min_rans_decode_speedup:
+        fail(
+            f"rANS index decode is only {dec_speedup:.2f}x Huffman's "
+            f"(floor {min_rans_decode_speedup}x) — the interleaved decode "
+            "has regressed"
+        )
+    print(
+        f"check_bench: OK: baselines sweep covers {BASELINE_CODECS}; "
+        f"postpass rans = {bytes_ratio:.3f}x huffman bytes, "
+        f"{dec_speedup:.2f}x huffman decode"
+    )
 
 
 SIMD_ROW_KEYS = [
@@ -117,6 +165,7 @@ SIMD_KERNELS = [
     "count_ones",
     "decode_span",
     "fpc_xor_lzc",
+    "rans_decode",
 ]
 
 
@@ -171,10 +220,11 @@ def main() -> None:
     ap.add_argument("--simd", default=None,
                     help="also validate a BENCH_simd.json sweep")
     ap.add_argument("--min-kernel-speedup", type=float, default=2.0)
+    ap.add_argument("--min-rans-decode-speedup", type=float, default=1.5)
     args = ap.parse_args()
 
     if args.baselines:
-        check_baselines(args.baselines)
+        check_baselines(args.baselines, args.min_rans_decode_speedup)
     if args.simd:
         check_simd(args.simd, args.min_kernel_speedup)
 

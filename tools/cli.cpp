@@ -41,6 +41,25 @@ void write_doubles(const std::string& path, std::span<const double> values) {
   NUMARCK_EXPECT(out.good(), "write failed: " + path);
 }
 
+/// Post-pass label from a numarck delta payload's stream-flags byte at
+/// offset 7 (after the NMK1 magic and the index_bits/strategy/predictor
+/// bytes — FORMAT.md §2). "-" for fulls and non-numarck payloads.
+std::string postpass_label(const core::CompressedStep& step) {
+  if (step.is_full || step.payload.size() < 8) return "-";
+  const auto& p = step.payload;
+  const std::uint32_t magic = static_cast<std::uint32_t>(p[0]) |
+                              (static_cast<std::uint32_t>(p[1]) << 8) |
+                              (static_cast<std::uint32_t>(p[2]) << 16) |
+                              (static_cast<std::uint32_t>(p[3]) << 24);
+  if (magic != 0x4E4D4B31u) return "-";  // "NMK1"
+  const std::uint8_t flags = p[7];
+  std::string label =
+      (flags & 0x08) ? "rans" : ((flags & 0x01) ? "huffman" : "raw");
+  if (flags & 0x02) label += "+rle";
+  if (flags & 0x04) label += "+fpc";
+  return label;
+}
+
 }  // namespace
 
 core::Strategy parse_strategy(const std::string& name) {
@@ -70,6 +89,34 @@ std::uint8_t parse_codec(const std::string& name) {
   return c->id();
 }
 
+PostpassMode parse_postpass(const std::string& name) {
+  if (name == "none") return PostpassMode::kNone;
+  if (name == "huffman") return PostpassMode::kHuffman;
+  if (name == "rans") return PostpassMode::kRans;
+  if (name == "auto") return PostpassMode::kAuto;
+  NUMARCK_EXPECT(false,
+                 "unknown postpass (want none | huffman | rans | auto): " +
+                     name);
+  return PostpassMode::kAuto;
+}
+
+core::Postpass to_postpass(PostpassMode mode) {
+  switch (mode) {
+    case PostpassMode::kNone:
+      return core::Postpass::none();
+    case PostpassMode::kHuffman:
+      return core::Postpass::v1();
+    case PostpassMode::kRans: {
+      core::Postpass pp = core::Postpass::all();
+      pp.huffman_indices = false;  // rANS-or-raw, no Huffman fallback
+      return pp;
+    }
+    case PostpassMode::kAuto:
+      break;
+  }
+  return core::Postpass::all();
+}
+
 cluster::KMeansEngine parse_kmeans_engine(const std::string& name) {
   if (name == "histogram") return cluster::KMeansEngine::kHistogramLloyd;
   if (name == "exact") return cluster::KMeansEngine::kSortedBoundary;
@@ -85,7 +132,7 @@ CompressReport compress_file(const CompressJob& job) {
                  "--codec auto is only available through the adaptive "
                  "checkpointing API; pick a concrete codec");
   core::Options opts = job.options;
-  opts.postpass = job.postpass ? core::Postpass::all() : core::Postpass::none();
+  opts.postpass = to_postpass(job.postpass);
   opts.validate();
   const std::vector<double> raw = read_doubles(job.input_path);
   NUMARCK_EXPECT(!raw.empty(), "input file is empty: " + job.input_path);
@@ -130,7 +177,8 @@ void inspect_file(const std::string& checkpoint_path, std::ostream& out) {
     std::size_t raw_bytes = 0;
   };
   std::map<std::string, CodecTotals> per_codec;
-  out << "variable  iter  type   codec    sim-time      payload-bytes\n";
+  out << "variable  iter  type   codec    postpass    sim-time      "
+         "payload-bytes\n";
   for (const auto& v : reader.variables()) {
     for (std::size_t it = 0; it < reader.iteration_count(); ++it) {
       const auto info = reader.info(v, it);
@@ -142,8 +190,8 @@ void inspect_file(const std::string& checkpoint_path, std::ostream& out) {
       const char* codec_name = codec::require(info->codec_id).name();
       out << "  " << v << "  " << it << "    "
           << (info->type == io::RecordType::kFull ? "full " : "delta") << "  "
-          << codec_name << "  " << info->sim_time << "    "
-          << info->payload_size << "\n";
+          << codec_name << "  " << postpass_label(step) << "  "
+          << info->sim_time << "    " << info->payload_size << "\n";
       CodecTotals& t = per_codec[codec_name];
       ++t.records;
       // Exactly the on-disk payload size; raw is what the points would
@@ -171,7 +219,7 @@ CompactReport compact_file(const CompactJob& job) {
                  "--codec auto is only available through the adaptive "
                  "checkpointing API; pick a concrete codec");
   core::Options opts = job.options;
-  opts.postpass = job.postpass ? core::Postpass::all() : core::Postpass::none();
+  opts.postpass = to_postpass(job.postpass);
   opts.validate();
   io::CheckpointReader reader(job.input_path);
   CompactReport report;

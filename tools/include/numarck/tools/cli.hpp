@@ -17,13 +17,27 @@
 
 namespace numarck::tools {
 
+/// Lossless post-pass selection exposed as `--postpass` on the tools.
+///   none     store every stream raw (fastest encode/restore)
+///   huffman  the v1 coder set: Huffman indices + RLE ζ + FPC exact values
+///   rans     rANS-or-raw indices (no Huffman fallback) + RLE + FPC
+///   auto     full coder set; the histogram heuristic arbitrates per record
+enum class PostpassMode : std::uint8_t { kNone, kHuffman, kRans, kAuto };
+
+/// Parses "none" | "huffman" | "rans" | "auto"; throws on anything else.
+PostpassMode parse_postpass(const std::string& name);
+
+/// The coder set each mode enables (see core::Postpass).
+core::Postpass to_postpass(PostpassMode mode);
+
 struct CompressJob {
   std::string input_path;       ///< raw little-endian float64 stream
   std::string output_path;      ///< checkpoint container to write
   std::size_t points_per_iteration = 0;  ///< 0 = whole file is one iteration
   std::string variable = "data";
   core::Options options;
-  bool postpass = true;         ///< apply the lossless post-pass to deltas
+  /// Lossless post-pass applied to delta records.
+  PostpassMode postpass = PostpassMode::kAuto;
 };
 
 struct CompressReport {
@@ -98,7 +112,7 @@ struct CompactJob {
   /// Codec for the re-encoded delta chain; error bounds COMPOUND with the
   /// original file's bound (reconstruct -> re-encode), so pick accordingly.
   core::Options options;
-  bool postpass = true;
+  PostpassMode postpass = PostpassMode::kAuto;
 };
 
 struct CompactReport {

@@ -57,6 +57,29 @@ int *array_new_unguarded(numarck::util::ByteReader &r) {
   return new int[n]; // EXPECT: numarck-unchecked-deserialize
 }
 
+// rANS frequency-table reader shapes (RNS1 header parsing, FORMAT.md §9):
+// the alphabet/count varints size the frequency table and the slot array,
+// and sparse (delta-symbol, freq) pairs index into it.
+
+void rans_freq_table_unguarded(numarck::util::ByteReader &r) {
+  Vec<unsigned> freq;
+  const size_t alphabet = static_cast<size_t>(r.get_varint());
+  freq.resize(alphabet); // EXPECT: numarck-unchecked-deserialize
+  for (size_t s = 0; s < alphabet; ++s)
+    freq[s] = static_cast<unsigned>(r.get_varint());
+}
+
+void rans_slot_table_unguarded(numarck::util::ByteReader &r) {
+  Vec<unsigned short> slots;
+  slots.resize(size_t{1} << r.get_u32()); // EXPECT: numarck-unchecked-deserialize
+}
+
+void rans_sparse_symbol_unguarded(numarck::util::ByteReader &r,
+                                  Vec<unsigned> &freq) {
+  const size_t symbol = static_cast<size_t>(r.get_varint());
+  freq[symbol] = static_cast<unsigned>(r.get_varint()); // EXPECT: numarck-unchecked-deserialize
+}
+
 // --- clean patterns (must not be flagged) ----------------------------------
 
 void guarded_by_expect(numarck::util::ByteReader &r) {
@@ -74,3 +97,20 @@ void guarded_by_if(numarck::util::ByteReader &r, Vec<double> &table) {
 }
 
 void untainted_size(Vec<double> &v, size_t n) { v.resize(n); }
+
+void rans_freq_table_guarded(numarck::util::ByteReader &r) {
+  Vec<unsigned> freq;
+  const size_t alphabet = static_cast<size_t>(r.get_varint());
+  numarck_expect(alphabet >= 1 && alphabet <= (size_t{1} << 16),
+                 "rANS alphabet out of range");
+  numarck_expect(alphabet <= r.remaining(), "table exceeds payload");
+  freq.resize(alphabet);
+}
+
+void rans_sparse_symbol_guarded(numarck::util::ByteReader &r,
+                                Vec<unsigned> &freq) {
+  const size_t symbol = static_cast<size_t>(r.get_varint());
+  if (symbol >= freq.size())
+    return;
+  freq[symbol] = static_cast<unsigned>(r.get_varint());
+}

@@ -44,6 +44,8 @@
 #include "numarck/codec/codec.hpp"
 #include "numarck/core/codec.hpp"
 #include "numarck/lossless/fpc.hpp"
+#include "numarck/lossless/huffman.hpp"
+#include "numarck/lossless/rans.hpp"
 #include "numarck/util/bitpack.hpp"
 #include "numarck/util/rng.hpp"
 #include "numarck/util/thread_pool.hpp"
@@ -218,6 +220,93 @@ std::vector<BaselineRow> baselines_sweep(std::size_t n, std::size_t reps) {
   return rows;
 }
 
+struct PostpassRow {
+  std::string postpass;  ///< "none" | "huffman" | "rans"
+  std::string op;        ///< "encode" (serialize) | "decode" (deserialize)
+  double seconds;
+  double mpoints_per_s;
+  double bytes_per_point;
+};
+
+struct PostpassSweep {
+  std::vector<PostpassRow> rows;
+  /// Pure index-coder decode throughput on the same symbol stream —
+  /// huffman_decode vs rans_decode with none of the shared record overhead
+  /// (RLE, FPC, bit-packing) that the deserialize rows carry.
+  double huffman_index_decode_mpt = 0.0;
+  double rans_index_decode_mpt = 0.0;
+};
+
+/// Lossless post-pass sweep on a FLASH-like workload: a dominant
+/// "unchanged" bin plus a Gaussian spread over the learned bins — the
+/// uneven-histogram regime of the paper's Fig. 3. Encode times serialize()
+/// with each coder set; decode times deserialize(), which is where the
+/// bit-serial Huffman loop and the interleaved rANS lanes actually diverge.
+PostpassSweep postpass_sweep(std::size_t n, std::size_t reps) {
+  util::Pcg32 rng(11);
+  std::vector<double> prev(n), curr(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    prev[j] = rng.uniform(1.0, 3.0);
+    const bool outlier = rng.uniform() < 0.02;
+    const double ratio =
+        outlier ? rng.uniform(-5.0, 5.0) : rng.normal() * 8e-4;
+    curr[j] = prev[j] * (1.0 + ratio);
+  }
+  core::Options opts;
+  opts.error_bound = 0.001;
+  opts.index_bits = 8;
+  const core::EncodedIteration enc = core::encode_iteration(prev, curr, opts);
+  const double mp = static_cast<double>(n) / 1e6;
+
+  struct Mode {
+    const char* name;
+    core::Postpass pp;
+  };
+  core::Postpass rans_only = core::Postpass::all();
+  rans_only.huffman_indices = false;
+  const Mode modes[] = {{"none", core::Postpass::none()},
+                        {"huffman", core::Postpass::v1()},
+                        {"rans", rans_only}};
+  PostpassSweep sweep;
+  for (const Mode& m : modes) {
+    std::vector<std::uint8_t> bytes;
+    const double enc_s =
+        best_seconds(reps, [&] { bytes = enc.serialize(m.pp); });
+    const double dec_s = best_seconds(
+        reps, [&] { (void)core::EncodedIteration::deserialize(bytes); });
+    const double bpp =
+        static_cast<double>(bytes.size()) / static_cast<double>(n);
+    sweep.rows.push_back({m.name, "encode", enc_s, mp / enc_s, bpp});
+    sweep.rows.push_back({m.name, "decode", dec_s, mp / dec_s, bpp});
+    std::fprintf(stderr,
+                 "postpass %-8s enc %8.3f ms  dec %8.3f ms  %6.3f B/pt\n",
+                 m.name, enc_s * 1e3, dec_s * 1e3, bpp);
+  }
+
+  // Head-to-head index-coder decode on the record's own symbol stream.
+  const std::vector<std::uint32_t> symbols =
+      util::unpack_indices(enc.indices, enc.index_bits,
+                           enc.compressible_count());
+  const double smp = static_cast<double>(symbols.size()) / 1e6;
+  const auto huff_stream =
+      lossless::huffman_encode(symbols, 1u << enc.index_bits);
+  const auto rans_stream =
+      lossless::rans_encode(symbols, 1u << enc.index_bits, 4);
+  const double huff_s = best_seconds(reps, [&] {
+    (void)lossless::huffman_decode(huff_stream, symbols.size());
+  });
+  const double rans_s = best_seconds(reps, [&] {
+    (void)lossless::rans_decode(rans_stream, symbols.size());
+  });
+  sweep.huffman_index_decode_mpt = smp / huff_s;
+  sweep.rans_index_decode_mpt = smp / rans_s;
+  std::fprintf(stderr,
+               "postpass index-decode  huffman %7.1f Mpt/s  rans %7.1f "
+               "Mpt/s  (%.2fx)\n",
+               smp / huff_s, smp / rans_s, huff_s / rans_s);
+  return sweep;
+}
+
 struct SimdRow {
   std::string kernel;    ///< "encode"/"decode" or a dispatched kernel name
   std::string strategy;  ///< "-" for micro-kernel rows
@@ -266,6 +355,15 @@ std::vector<SimdRow> simd_sweep(std::span<const double> prev,
     fpc_pf[i] = fpc_v[i] ^ (rng.next() & 0xffffffu);
     fpc_pd[i] = (static_cast<std::uint64_t>(rng.next()) << 32) | rng.next();
   }
+  // Skewed index stream for the rans_decode row (the interleaved hot loop
+  // dispatches through the kernel table inside lossless::rans_decode).
+  std::vector<std::uint32_t> rans_syms(n);
+  for (auto& s : rans_syms) {
+    const std::uint32_t r = rng.next();
+    s = (r % 100 < 85) ? 0 : (r >> 8) % 256;
+  }
+  const std::vector<std::uint8_t> rans_stream =
+      lossless::rans_encode(rans_syms, 256, 4);
 
   std::vector<SimdRow> rows;
   for (const arch::Level level : arch::available_levels()) {
@@ -322,6 +420,9 @@ std::vector<SimdRow> simd_sweep(std::span<const double> prev,
     micro("fpc_xor_lzc", best_seconds(reps, [&] {
             k.fpc_xor_lzc(fpc_v.data(), fpc_pf.data(), fpc_pd.data(), n,
                           fpc_xr.data(), fpc_nib.data());
+          }));
+    micro("rans_decode", best_seconds(reps, [&] {
+            (void)lossless::rans_decode(rans_stream, n);
           }));
   }
   arch::force_level(saved);
@@ -544,6 +645,8 @@ int main(int argc, char** argv) {
 
   // ---- cross-codec baselines sweep -> BENCH_baselines.json ---------------
   const std::vector<BaselineRow> brows = baselines_sweep(n, reps);
+  const PostpassSweep psweep = postpass_sweep(n, reps);
+  const std::vector<PostpassRow>& prows = psweep.rows;
   std::ofstream bout(baselines_out_path);
   if (!bout) {
     std::cerr << "cannot open " << baselines_out_path << " for writing\n";
@@ -565,7 +668,48 @@ int main(int argc, char** argv) {
          << ", \"ratio_pct\": " << r.ratio_pct << "}"
          << (i + 1 < brows.size() ? "," : "") << "\n";
   }
-  bout << "  ]\n}\n";
+  bout << "  ],\n";
+  // Lossless post-pass sweep (FLASH-like skewed indices): serialize /
+  // deserialize throughput and on-disk size per coder set.
+  bout << "  \"postpass_results\": [\n";
+  for (std::size_t i = 0; i < prows.size(); ++i) {
+    const auto& r = prows[i];
+    bout << "    {\"postpass\": \"" << r.postpass << "\", \"op\": \"" << r.op
+         << "\", \"seconds\": " << r.seconds
+         << ", \"mpoints_per_s\": " << r.mpoints_per_s
+         << ", \"bytes_per_point\": " << r.bytes_per_point << "}"
+         << (i + 1 < prows.size() ? "," : "") << "\n";
+  }
+  bout << "  ],\n";
+  // Headline numbers the CI bench-smoke job gates on: the rANS frame must
+  // be smaller than Huffman's on this workload, and the interleaved decode
+  // must out-run the bit-serial Huffman loop on the bare index stream
+  // (the deserialize rows above carry shared RLE/FPC/bit-packing work that
+  // both coders pay identically).
+  {
+    auto pfind = [&](const char* pp, const char* op) -> const PostpassRow* {
+      for (const auto& r : prows) {
+        if (r.postpass == pp && r.op == op) return &r;
+      }
+      return nullptr;
+    };
+    const PostpassRow* hb = pfind("huffman", "encode");
+    const PostpassRow* rb = pfind("rans", "encode");
+    bout << "  \"rans_vs_huffman_bytes\": "
+         << (hb && rb ? rb->bytes_per_point / hb->bytes_per_point : 0.0)
+         << ",\n";
+    bout << "  \"huffman_index_decode_mpoints_per_s\": "
+         << psweep.huffman_index_decode_mpt << ",\n";
+    bout << "  \"rans_index_decode_mpoints_per_s\": "
+         << psweep.rans_index_decode_mpt << ",\n";
+    bout << "  \"rans_vs_huffman_decode_speedup\": "
+         << (psweep.huffman_index_decode_mpt > 0
+                 ? psweep.rans_index_decode_mpt /
+                       psweep.huffman_index_decode_mpt
+                 : 0.0)
+         << "\n";
+  }
+  bout << "}\n";
   std::cerr << "wrote " << baselines_out_path << "\n";
 
   // ---- SIMD dispatch sweep (kernel x ISA x strategy) -> BENCH_simd.json ---

@@ -3,7 +3,7 @@
 //
 //   numarck-compress --input run.f64 --output run.ckpt
 //       --points 32768 [--error-bound 0.001] [--bits 8]
-//       [--strategy clustering] [--var dens] [--no-postpass]
+//       [--strategy clustering] [--var dens] [--postpass auto]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +21,7 @@ const char* kUsage =
     "                        [--kmeans-engine histogram|exact|lloyd]\n"
     "                        [--sampling-ratio R]  # learn-set fraction (0,1]\n"
     "                        [--codec numarck|fpc|isabela|bspline]\n"
+    "                        [--postpass none|huffman|rans|auto]\n"
     "                        [--var NAME] [--no-postpass]\n";
 
 }  // namespace
@@ -64,8 +65,15 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--var") {
       job.variable = value();
-    } else if (a == "--no-postpass") {
-      job.postpass = false;
+    } else if (a == "--postpass") {
+      try {
+        job.postpass = numarck::tools::parse_postpass(value());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    } else if (a == "--no-postpass") {  // legacy alias for --postpass none
+      job.postpass = numarck::tools::PostpassMode::kNone;
     } else if (a == "--help" || a == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
