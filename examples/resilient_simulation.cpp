@@ -18,6 +18,7 @@
 
 #include "numarck/adaptive/checkpointer.hpp"
 #include "numarck/anomaly/detector.hpp"
+#include "numarck/io/byte_source.hpp"
 #include "numarck/io/checkpoint_file.hpp"
 #include "numarck/metrics/metrics.hpp"
 #include "numarck/sim/flash/simulator.hpp"
@@ -90,12 +91,9 @@ int main() {
 
   std::printf("\n--- phase 2: the node dies mid-write (torn tail) ---\n");
   {
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    const auto size = static_cast<std::size_t>(in.tellg());
-    std::vector<char> data(size - 150);  // last record ripped
-    in.seekg(0);
-    in.read(data.data(), static_cast<std::streamsize>(data.size()));
-    in.close();
+    io::FileSource in(path);
+    std::vector<char> data(static_cast<std::size_t>(in.size()) - 150);
+    in.read_at(0, data.data(), data.size());  // last record ripped
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(data.data(), static_cast<std::streamsize>(data.size()));
     std::printf("truncated %s by 150 bytes\n", path.c_str());

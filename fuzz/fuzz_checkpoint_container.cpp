@@ -8,6 +8,10 @@
 // codec ids and full records tagged with a temporal codec BEFORE sizing any
 // allocation from the record (seeds: unknown_codec_id, full_temporal_codec),
 // and v1 images (no codec byte) must keep parsing as implicit FPC/NUMARCK.
+//
+// The reader is backed by io::ContainerScanner over an io::MemorySource, so
+// this target covers the whole-buffer policy/load surface; fuzz_scanner
+// covers chunk-boundary invariance of the same scan.
 #include <cstdint>
 
 #include "numarck/io/checkpoint_file.hpp"

@@ -1,0 +1,145 @@
+// Differential fuzz harness for the incremental container scanner
+// (docs/FORMAT.md §10): the event sequence a ContainerScanner emits must be
+// IDENTICAL for every chunking of the same byte stream. Each input is
+// scanned three ways —
+//   1. whole-buffer, expected size armed (what CheckpointReader does for a
+//      memory image),
+//   2. chunked by a schedule derived from the input bytes themselves,
+//      expected size armed (a file streamed in blocks),
+//   3. chunked, size unknown (a live socket) —
+// and the harness aborts on any divergence in header, record, or damage
+// events (for the unsized scan, header-phase damage may legitimately differ
+// in offset: without a size bound the scan discovers a forged variable table
+// at end-of-stream instead of at the count). No input may make any of the
+// three throw or crash.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "numarck/io/container_scanner.hpp"
+
+namespace {
+
+namespace io = numarck::io;
+
+struct Recorder final : io::ScanEvents {
+  std::vector<std::string> events;
+  bool damaged = false;
+  bool header_damage = false;
+
+  void on_header(std::uint32_t version,
+                 const std::vector<std::string>& variables) override {
+    std::ostringstream os;
+    os << "H|" << version;
+    for (const auto& v : variables) os << "|" << v;
+    events.push_back(os.str());
+  }
+
+  void on_record(const io::RecordInfo& info) override {
+    std::uint64_t time_bits = 0;
+    std::memcpy(&time_bits, &info.sim_time, sizeof time_bits);
+    std::ostringstream os;
+    os << "R|" << info.variable << "|" << info.iteration << "|"
+       << static_cast<int>(info.type) << "|" << static_cast<int>(info.codec_id)
+       << "|" << time_bits << "|" << info.payload_offset << "|"
+       << info.payload_size;
+    events.push_back(os.str());
+  }
+
+  void on_damage(const io::ScanDamage& damage) override {
+    damaged = true;
+    header_damage = damage.phase == io::ScanDamage::Phase::kHeader;
+    std::ostringstream os;
+    os << "D|" << static_cast<int>(damage.phase) << "|" << damage.offset << "|"
+       << damage.detail;
+    events.push_back(os.str());
+  }
+};
+
+std::uint64_t splitmix(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Chunked scan with a schedule derived from the input itself, so the fuzzer
+/// mutates the chunk boundaries and the bytes together.
+void scan_chunked(std::span<const std::uint8_t> image,
+                  std::optional<std::uint64_t> expected, Recorder& out) {
+  io::ContainerScanner scanner(out, expected);
+  std::uint64_t seed = 0x100000001B3ull * (image.size() + 1);
+  for (std::size_t i = 0; i < image.size() && i < 8; ++i) {
+    seed = (seed ^ image[i]) * 0x100000001B3ull;
+  }
+  std::size_t off = 0;
+  while (off < image.size() && !scanner.done()) {
+    const std::uint64_t roll = splitmix(seed);
+    // Mostly tiny chunks (boundary coverage), occasionally large ones.
+    std::size_t n = (roll % 4 == 0) ? 1 + (roll >> 2) % 7
+                                    : 1 + (roll >> 2) % 1031;
+    n = std::min(n, image.size() - off);
+    scanner.feed(image.subspan(off, n));
+    off += n;
+  }
+  scanner.finish();
+}
+
+[[noreturn]] void report_divergence(const char* what, const Recorder& a,
+                                    const Recorder& b) {
+  std::fprintf(stderr, "scanner divergence: %s\n--- baseline ---\n", what);
+  for (const auto& e : a.events) std::fprintf(stderr, "%s\n", e.c_str());
+  std::fprintf(stderr, "--- divergent ---\n");
+  for (const auto& e : b.events) std::fprintf(stderr, "%s\n", e.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Above 1 MiB the unsized scan's absolute header caps (kMaxStreamVariables
+  // / kMaxStreamNameBytes) can bind before the sized scan's remaining-bytes
+  // bound does, so the two are only contractually identical below it.
+  if (size > (1u << 20)) return 0;
+  const std::span<const std::uint8_t> image(data, size);
+
+  Recorder whole;
+  {
+    io::ContainerScanner scanner(whole, size);
+    scanner.feed(image);
+    scanner.finish();
+  }
+
+  Recorder chunked;
+  scan_chunked(image, size, chunked);
+  if (whole.events != chunked.events) {
+    report_divergence("chunked (sized) scan", whole, chunked);
+  }
+
+  Recorder stream;
+  scan_chunked(image, std::nullopt, stream);
+  if (stream.damaged != whole.damaged) {
+    report_divergence("unsized scan damage flag", whole, stream);
+  }
+  if (whole.damaged && whole.header_damage) {
+    // Offsets/details of header damage legitimately differ without a size
+    // bound; the accepted prefix (everything before the damage event) must
+    // still match.
+    if (!stream.header_damage ||
+        std::vector<std::string>(whole.events.begin(), whole.events.end() - 1)
+            != std::vector<std::string>(stream.events.begin(),
+                                        stream.events.end() - 1)) {
+      report_divergence("unsized scan header prefix", whole, stream);
+    }
+  } else if (whole.events != stream.events) {
+    report_divergence("unsized scan", whole, stream);
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "numarck/io/buffer_pool.hpp"
+
+#include <utility>
+
+namespace numarck::io {
+
+std::vector<std::uint8_t> BufferPool::take() {
+  util::MutexLock lock(mu_);
+  if (free_.empty()) return {};
+  std::vector<std::uint8_t> buf = std::move(free_.back());
+  free_.pop_back();
+  return buf;
+}
+
+void BufferPool::give(std::vector<std::uint8_t> buf) {
+  buf.clear();  // contents die, capacity survives — that's the whole point
+  if (buf.capacity() > max_retained_bytes_) return;  // oversized: let it free
+  util::MutexLock lock(mu_);
+  if (free_.size() >= max_buffers_) return;
+  free_.push_back(std::move(buf));
+}
+
+std::size_t BufferPool::idle() const {
+  util::MutexLock lock(mu_);
+  return free_.size();
+}
+
+BufferPool& shared_buffer_pool() {
+  static BufferPool* pool = new BufferPool();  // intentionally leaked
+  return *pool;
+}
+
+}  // namespace numarck::io

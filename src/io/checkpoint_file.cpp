@@ -3,22 +3,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 
 #include "numarck/codec/codec.hpp"
-#include "numarck/util/byte_stream.hpp"
+#include "numarck/io/buffer_pool.hpp"
+#include "numarck/io/container_scanner.hpp"
+#include "numarck/io/framed_writer.hpp"
 #include "numarck/util/crc32.hpp"
 #include "numarck/util/expect.hpp"
 
 namespace numarck::io {
-
-namespace {
-
-constexpr std::uint64_t kFileMagic = 0x004E4D434B505431ull;  // "NMCKPT1\0"
-constexpr std::uint32_t kVersion = 2;  // v2 added the per-record codec id
-constexpr std::uint32_t kRecordMarker = 0x52454331u;  // "REC1"
-
-}  // namespace
 
 // ---------------------------------------------------------------- Writer --
 
@@ -26,15 +19,10 @@ class CheckpointWriter::Impl {
  public:
   Impl(std::unique_ptr<ByteSink> sink,
        const std::vector<std::string>& variables, Durability durability)
-      : vars_(variables), sink_(std::move(sink)), durability_(durability) {
-    NUMARCK_EXPECT(sink_ != nullptr, "checkpoint writer needs a sink");
+      : vars_(variables), sink_(std::move(sink)), durability_(durability),
+        framed_(require_sink(sink_), shared_buffer_pool()) {
     NUMARCK_EXPECT(!variables.empty(), "checkpoint needs at least one variable");
-    util::ByteWriter hdr;
-    hdr.put_u64(kFileMagic);
-    hdr.put_u32(kVersion);
-    hdr.put_varint(variables.size());
-    for (const auto& v : variables) hdr.put_string(v);
-    write_raw(hdr.bytes().data(), hdr.size());
+    framed_.write_header(vars_);
   }
 
   void append(const std::string& variable, std::size_t iteration,
@@ -45,21 +33,9 @@ class CheckpointWriter::Impl {
     const std::size_t var_id = static_cast<std::size_t>(it - vars_.begin());
     NUMARCK_EXPECT(codec::find(step.codec_id) != nullptr,
                    "append: step carries an unregistered codec id");
-
-    util::ByteWriter rec;
-    rec.put_u32(kRecordMarker);
-    rec.put_varint(var_id);
-    rec.put_varint(iteration);
-    rec.put_u8(static_cast<std::uint8_t>(step.is_full ? RecordType::kFull
-                                                      : RecordType::kDelta));
-    rec.put_u8(step.codec_id);
-    rec.put_f64(sim_time);
-    rec.put_varint(step.payload.size());
-    write_raw(rec.bytes().data(), rec.size());
-    write_raw(step.payload.data(), step.payload.size());
-    const std::uint32_t crc =
-        util::crc32(step.payload.data(), step.payload.size());
-    write_raw(&crc, sizeof crc);
+    framed_.write_record(var_id, iteration,
+                         step.is_full ? RecordType::kFull : RecordType::kDelta,
+                         step.codec_id, sim_time, step.payload);
     if (durability_ == Durability::kFsyncPerIteration) sink_->sync();
   }
 
@@ -70,19 +46,21 @@ class CheckpointWriter::Impl {
     sink_->close();
   }
 
-  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return framed_.bytes_written();
+  }
 
  private:
-  void write_raw(const void* data, std::size_t size) {
-    sink_->write(data, size);
-    bytes_ += size;
+  static ByteSink& require_sink(const std::unique_ptr<ByteSink>& sink) {
+    NUMARCK_EXPECT(sink != nullptr, "checkpoint writer needs a sink");
+    return *sink;
   }
 
   std::vector<std::string> vars_;
   std::unique_ptr<ByteSink> sink_;
   Durability durability_;
+  FramedWriter framed_;
   bool closed_ = false;
-  std::uint64_t bytes_ = 0;
 };
 
 CheckpointWriter::CheckpointWriter(const std::string& path,
@@ -128,24 +106,20 @@ void CheckpointWriter::close() {
 
 // ---------------------------------------------------------------- Reader --
 
-class CheckpointReader::Impl {
- public:
-  Impl(const std::string& path, TailPolicy policy) {
-    std::ifstream in(path, std::ios::binary);
-    NUMARCK_EXPECT(in.good(), "cannot open checkpoint file: " + path);
-    in.seekg(0, std::ios::end);
-    const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
-    in.seekg(0);
-    buf_.resize(file_size);
-    in.read(reinterpret_cast<char*>(buf_.data()),
-            static_cast<std::streamsize>(file_size));
-    NUMARCK_EXPECT(in.gcount() == static_cast<std::streamsize>(file_size),
-                   "checkpoint read failed");
-    scan(policy);
-  }
+namespace {
 
-  Impl(std::span<const std::uint8_t> data, TailPolicy policy)
-      : buf_(data.begin(), data.end()) {
+/// Chunk size the reader pulls from a non-contiguous source while scanning.
+/// Large enough that the scan is bandwidth-bound, small enough that reader
+/// memory stays bounded regardless of container size.
+constexpr std::size_t kScanChunkBytes = 256u << 10;
+
+}  // namespace
+
+class CheckpointReader::Impl final : private ScanEvents {
+ public:
+  Impl(std::shared_ptr<ByteSource> source, TailPolicy policy)
+      : src_(std::move(source)) {
+    NUMARCK_EXPECT(src_ != nullptr, "checkpoint reader needs a source");
     scan(policy);
   }
 
@@ -170,6 +144,10 @@ class CheckpointReader::Impl {
   }
   [[nodiscard]] std::size_t iterations() const noexcept { return iterations_; }
 
+  [[nodiscard]] std::uint64_t container_bytes() const noexcept {
+    return src_->size();
+  }
+
   [[nodiscard]] std::optional<RecordInfo> info(const std::string& variable,
                                                std::size_t iteration) const {
     const auto it = index_.find(key(variable, iteration));
@@ -182,12 +160,14 @@ class CheckpointReader::Impl {
     const auto inf = info(variable, iteration);
     NUMARCK_EXPECT(inf.has_value(), "checkpoint record not found: " + variable);
     // The scan validated payload_offset/payload_size + 4 trailing CRC bytes
-    // against buf_, so these slices are in range by construction.
-    util::ByteReader r(std::span<const std::uint8_t>(buf_).subspan(
-        inf->payload_offset, inf->payload_size + 4));
+    // against the source size, so these reads are in range by construction.
     std::vector<std::uint8_t> payload(inf->payload_size);
-    r.get_bytes(payload.data(), payload.size());
-    const std::uint32_t crc_stored = r.get_u32();
+    if (!payload.empty()) {
+      src_->read_at(inf->payload_offset, payload.data(), payload.size());
+    }
+    std::uint32_t crc_stored = 0;
+    src_->read_at(inf->payload_offset + inf->payload_size, &crc_stored,
+                  sizeof crc_stored);
     NUMARCK_EXPECT(util::crc32(payload.data(), payload.size()) == crc_stored,
                    "checkpoint payload CRC mismatch (torn write?)");
     core::CompressedStep step;
@@ -208,96 +188,81 @@ class CheckpointReader::Impl {
   }
 
  private:
-  // Parses the header + record stream of buf_ and builds the
-  // (variable, iteration) -> offset index. Under kSalvage, structural damage
-  // ends the scan instead of throwing: the records before the damage stay
-  // readable (the torn-write recovery path).
+  // Drives the ContainerScanner over the source and builds the
+  // (variable, iteration) -> offset index. A contiguous source (memory
+  // image) is fed in one zero-copy chunk; anything else streams through a
+  // bounded scratch block. Under kSalvage, record-phase damage ends the scan
+  // instead of throwing: the records before it stay readable (the torn-write
+  // recovery path). Header-phase damage always throws — with no variable
+  // table there is nothing to salvage.
   void scan(TailPolicy policy) {
-    util::ByteReader r(buf_);
-    NUMARCK_EXPECT(r.get_u64() == kFileMagic, "not a NUMARCK checkpoint file");
-    const std::uint32_t version = r.get_u32();
-    NUMARCK_EXPECT(version == 1 || version == kVersion,
-                   "unsupported checkpoint version");
-    const std::size_t nvars = r.get_varint();
-    NUMARCK_EXPECT(nvars >= 1 && nvars <= r.remaining(),
-                   "corrupt checkpoint variable table");
-    vars_.reserve(nvars);
-    for (std::size_t v = 0; v < nvars; ++v) vars_.push_back(r.get_string());
-
-    while (!r.at_end()) {
-      try {
-        NUMARCK_EXPECT(r.get_u32() == kRecordMarker, "corrupt record marker");
-        RecordInfo info;
-        const std::size_t var_id = r.get_varint();
-        NUMARCK_EXPECT(var_id < vars_.size(),
-                       "record references unknown variable");
-        info.variable = vars_[var_id];
-        info.iteration = r.get_varint();
-        // Writers emit iterations sequentially, so an honest iteration
-        // number never exceeds the records already scanned (plus slack for
-        // streams that start above zero). This keeps iteration_count() —
-        // and every `for it < iteration_count()` loop downstream — bounded
-        // by the file size instead of by a forged 2^60 varint.
-        NUMARCK_EXPECT(info.iteration <= index_.size() + 1024,
-                       "checkpoint iteration number out of range");
-        const std::uint8_t type = r.get_u8();
-        NUMARCK_EXPECT(type == static_cast<std::uint8_t>(RecordType::kFull) ||
-                           type == static_cast<std::uint8_t>(RecordType::kDelta),
-                       "unknown checkpoint record type");
-        info.type = static_cast<RecordType>(type);
-        if (version >= 2) {
-          // Rejected here, before the payload is indexed (and long before
-          // anything is allocated from it): a forged codec id must not
-          // survive the scan.
-          info.codec_id = r.get_u8();
-          const codec::Codec* c = codec::find(info.codec_id);
-          NUMARCK_EXPECT(c != nullptr, "unknown checkpoint codec id");
-          NUMARCK_EXPECT(info.type != RecordType::kFull || !c->caps().temporal,
-                         "full record with a temporal codec");
-        } else {
-          // v1 records predate the codec byte: full records were always FPC
-          // streams, deltas always NUMARCK.
-          info.codec_id = info.type == RecordType::kFull ? codec::kFpcId
-                                                         : codec::kNumarckId;
-        }
-        info.sim_time = r.get_f64();
-        info.payload_size = r.get_varint();
-        info.payload_offset = r.position();
-        // Checked as two comparisons: payload_size + 4 could wrap.
-        NUMARCK_EXPECT(r.remaining() >= 4 &&
-                           info.payload_size <= r.remaining() - 4,
-                       "truncated checkpoint record");
-        // Skip payload + crc; verification happens on load().
-        r.skip(info.payload_size + 4);
-        iterations_ = std::max(iterations_, info.iteration + 1);
-        times_[info.iteration] = info.sim_time;
-        index_[key(info.variable, info.iteration)] = info;
-      } catch (const numarck::ContractViolation&) {
-        if (policy == TailPolicy::kStrict) throw;
-        tail_damaged_ = true;
-        break;
+    const std::uint64_t total = src_->size();
+    ContainerScanner scanner(*this, total);
+    const std::span<const std::uint8_t> image = src_->contiguous();
+    if (!image.empty()) {
+      scanner.feed(image);
+    } else {
+      std::vector<std::uint8_t> block(
+          static_cast<std::size_t>(std::min<std::uint64_t>(total,
+                                                           kScanChunkBytes)));
+      std::uint64_t off = 0;
+      while (off < total && !scanner.done()) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(block.size(), total - off));
+        src_->read_at(off, block.data(), n);
+        scanner.feed(std::span<const std::uint8_t>(block.data(), n));
+        off += n;
       }
     }
+    if (!scanner.done()) scanner.finish();
+    if (!damage_) return;
+    if (policy == TailPolicy::kStrict ||
+        damage_->phase == ScanDamage::Phase::kHeader) {
+      throw ContractViolation(damage_->detail + " (offset " +
+                              std::to_string(damage_->offset) + " in " +
+                              src_->name() + ")");
+    }
+    tail_damaged_ = true;
   }
+
+  void on_header(std::uint32_t /*version*/,
+                 const std::vector<std::string>& variables) override {
+    vars_ = variables;
+  }
+
+  void on_record(const RecordInfo& info) override {
+    iterations_ = std::max(iterations_, info.iteration + 1);
+    times_[info.iteration] = info.sim_time;
+    index_[key(info.variable, info.iteration)] = info;
+  }
+
+  void on_damage(const ScanDamage& damage) override { damage_ = damage; }
 
   static std::string key(const std::string& variable, std::size_t iteration) {
     return variable + "#" + std::to_string(iteration);
   }
 
-  std::vector<std::uint8_t> buf_;
+  std::shared_ptr<ByteSource> src_;
   std::vector<std::string> vars_;
   std::map<std::string, RecordInfo> index_;
   std::map<std::size_t, double> times_;
   std::size_t iterations_ = 0;
+  std::optional<ScanDamage> damage_;
   bool tail_damaged_ = false;
 };
 
 CheckpointReader::CheckpointReader(const std::string& path, TailPolicy policy)
-    : impl_(std::make_unique<Impl>(path, policy)) {}
+    : impl_(std::make_unique<Impl>(std::make_shared<FileSource>(path),
+                                   policy)) {}
 
 CheckpointReader::CheckpointReader(std::span<const std::uint8_t> data,
                                    TailPolicy policy)
-    : impl_(std::make_unique<Impl>(data, policy)) {}
+    : impl_(std::make_unique<Impl>(std::make_shared<MemorySource>(data),
+                                   policy)) {}
+
+CheckpointReader::CheckpointReader(std::shared_ptr<ByteSource> source,
+                                   TailPolicy policy)
+    : impl_(std::make_unique<Impl>(std::move(source), policy)) {}
 
 bool CheckpointReader::tail_was_damaged() const noexcept {
   return impl_->tail_damaged();
@@ -329,6 +294,10 @@ core::CompressedStep CheckpointReader::load(const std::string& variable,
 
 double CheckpointReader::sim_time(std::size_t iteration) const {
   return impl_->sim_time(iteration);
+}
+
+std::uint64_t CheckpointReader::container_bytes() const noexcept {
+  return impl_->container_bytes();
 }
 
 // ---------------------------------------------------------------- Restart --

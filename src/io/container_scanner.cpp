@@ -1,0 +1,364 @@
+#include "numarck/io/container_scanner.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "numarck/codec/codec.hpp"
+#include "numarck/util/expect.hpp"
+
+namespace numarck::io {
+
+namespace {
+
+// Stream mode (no expected_size) cannot bound a declared count against the
+// bytes that remain, so forged headers are cut off by absolute caps instead.
+// Generous against every honest writer (the paper's workloads carry a
+// handful of variables with short names) yet small enough that a forged
+// count can neither OOM the variable table nor stall a server on one name.
+constexpr std::uint64_t kMaxStreamVariables = 1u << 20;
+constexpr std::uint64_t kMaxStreamNameBytes = 1u << 20;
+
+enum class Pk : std::uint8_t { kOk = 0, kNeedMore = 1, kBad = 2 };
+
+/// Bounded little-endian peek reader: every getter reports "not enough bytes
+/// yet" instead of throwing, which is what lets a frame straddle any chunk
+/// boundary. Mirrors util::ByteReader's decoding exactly (LEB128 limits
+/// included) so a whole-buffer scan and a chunked scan reject the same bytes.
+class Peek {
+ public:
+  explicit Peek(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  Pk get(T& out) {
+    if (data_.size() - pos_ < sizeof(T)) return Pk::kNeedMore;
+    std::memcpy(&out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Pk::kOk;
+  }
+
+  Pk varint(std::uint64_t& out) {
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    std::size_t p = pos_;
+    for (;;) {
+      if (p >= data_.size()) return Pk::kNeedMore;
+      if (shift >= 64) return Pk::kBad;
+      const std::uint8_t b = data_[p++];
+      // At shift 63 only one payload bit is left; anything larger would be
+      // silently dropped by the shift (same rule as ByteReader).
+      if (shift >= 63 && (b & 0x7fu) > 1u) return Pk::kBad;
+      v |= static_cast<std::uint64_t>(b & 0x7fu) << shift;
+      if (!(b & 0x80u)) {
+        pos_ = p;
+        out = v;
+        return Pk::kOk;
+      }
+      shift += 7;
+    }
+  }
+
+  [[nodiscard]] std::size_t used() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ContainerScanner::ContainerScanner(ScanEvents& events,
+                                   std::optional<std::uint64_t> expected_size)
+    : events_(events), expected_size_(expected_size) {}
+
+void ContainerScanner::damage(ScanDamage::Phase phase, std::uint64_t offset,
+                              std::string detail) {
+  state_ = State::kDamaged;
+  ScanDamage d;
+  d.phase = phase;
+  d.offset = offset;
+  d.detail = std::move(detail);
+  events_.on_damage(d);
+}
+
+std::uint64_t ContainerScanner::remaining_after(std::uint64_t at) const {
+  return at <= *expected_size_ ? *expected_size_ - at : 0;
+}
+
+void ContainerScanner::feed(std::span<const std::uint8_t> chunk) {
+  NUMARCK_EXPECT(!finished_, "ContainerScanner: feed after finish");
+  if (state_ == State::kDamaged) return;  // terminal: tail bytes are unscanned
+  if (expected_size_) {
+    NUMARCK_EXPECT(
+        pos_ + stash_.size() + chunk.size() <= *expected_size_,
+        "ContainerScanner: fed more bytes than the expected stream size");
+  }
+  if (chunk.empty()) return;
+  if (stash_.empty()) {
+    const std::size_t used = process(chunk);
+    if (state_ == State::kDamaged) return;
+    if (used < chunk.size()) {
+      stash_.assign(chunk.begin() + static_cast<std::ptrdiff_t>(used),
+                    chunk.end());
+    }
+  } else {
+    stash_.insert(stash_.end(), chunk.begin(), chunk.end());
+    const std::size_t used = process(stash_);
+    if (state_ == State::kDamaged) {
+      stash_.clear();
+      return;
+    }
+    stash_.erase(stash_.begin(),
+                 stash_.begin() + static_cast<std::ptrdiff_t>(used));
+  }
+}
+
+void ContainerScanner::finish() {
+  if (finished_) return;
+  finished_ = true;
+  const bool mid_frame = !stash_.empty();
+  switch (state_) {
+    case State::kDamaged:
+      break;
+    case State::kMagic:
+    case State::kVarCount:
+    case State::kVarName:
+      // Covers the empty stream too: a container without a complete header
+      // holds nothing salvageable.
+      damage(ScanDamage::Phase::kHeader, frame_start_,
+             "truncated checkpoint header");
+      break;
+    case State::kRecordHeader:
+      if (mid_frame) {
+        damage(ScanDamage::Phase::kRecord, frame_start_,
+               "truncated checkpoint record");
+      }
+      break;
+    case State::kPayloadSkip:
+      damage(ScanDamage::Phase::kRecord, frame_start_,
+             "truncated checkpoint record");
+      break;
+  }
+  stash_.clear();
+}
+
+bool ContainerScanner::done() const noexcept {
+  return finished_ || state_ == State::kDamaged;
+}
+
+std::uint64_t ContainerScanner::bytes_consumed() const noexcept {
+  return pos_;
+}
+
+std::size_t ContainerScanner::process(std::span<const std::uint8_t> data) {
+  std::size_t i = 0;
+  while (i < data.size() && state_ != State::kDamaged) {
+    if (state_ == State::kPayloadSkip) {
+      // Payload and CRC bytes are counted, never buffered: this is the line
+      // that keeps scanner memory independent of record size.
+      while ((payload_left_ > 0 || crc_left_ > 0) && i < data.size()) {
+        std::uint64_t& left = payload_left_ > 0 ? payload_left_ : crc_left_;
+        const std::uint64_t take =
+            std::min<std::uint64_t>(left, data.size() - i);
+        left -= take;
+        i += static_cast<std::size_t>(take);
+        pos_ += take;
+      }
+      if (payload_left_ == 0 && crc_left_ == 0) {
+        ++accepted_;
+        events_.on_record(pending_);
+        state_ = State::kRecordHeader;
+      }
+      continue;
+    }
+    frame_start_ = pos_;
+    const std::span<const std::uint8_t> rest = data.subspan(i);
+    std::size_t used = 0;
+    switch (state_) {
+      case State::kMagic:
+        used = parse_magic(rest);
+        break;
+      case State::kVarCount:
+        used = parse_var_count(rest);
+        break;
+      case State::kVarName:
+        used = parse_var_name(rest);
+        break;
+      case State::kRecordHeader:
+        used = parse_record_header(rest);
+        break;
+      case State::kPayloadSkip:
+      case State::kDamaged:
+        break;
+    }
+    if (state_ == State::kDamaged) break;
+    if (used == 0) break;  // incomplete frame: stash the tail, wait for more
+    i += used;
+    pos_ += used;
+  }
+  return i;
+}
+
+std::size_t ContainerScanner::parse_magic(std::span<const std::uint8_t> data) {
+  // The magic is checked as soon as its 8 bytes are present — a stream that
+  // is not a container at all is rejected without waiting for the version.
+  if (data.size() < sizeof(std::uint64_t)) return 0;
+  std::uint64_t magic = 0;
+  std::memcpy(&magic, data.data(), sizeof magic);
+  if (magic != kContainerMagic) {
+    damage(ScanDamage::Phase::kHeader, frame_start_,
+           "not a NUMARCK checkpoint file");
+    return 0;
+  }
+  if (data.size() < sizeof(std::uint64_t) + sizeof(std::uint32_t)) return 0;
+  std::memcpy(&version_, data.data() + sizeof magic, sizeof version_);
+  if (version_ != 1 && version_ != kContainerVersion) {
+    damage(ScanDamage::Phase::kHeader, frame_start_,
+           "unsupported checkpoint version");
+    return 0;
+  }
+  state_ = State::kVarCount;
+  return sizeof(std::uint64_t) + sizeof(std::uint32_t);
+}
+
+std::size_t ContainerScanner::parse_var_count(
+    std::span<const std::uint8_t> data) {
+  Peek p(data);
+  std::uint64_t nvars = 0;
+  const Pk r = p.varint(nvars);
+  if (r == Pk::kNeedMore) return 0;
+  const std::uint64_t cap = expected_size_
+                                ? remaining_after(pos_ + p.used())
+                                : kMaxStreamVariables;
+  if (r == Pk::kBad || nvars < 1 || nvars > cap) {
+    damage(ScanDamage::Phase::kHeader, frame_start_,
+           "corrupt checkpoint variable table");
+    return 0;
+  }
+  names_left_ = nvars;
+  vars_.clear();
+  vars_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(nvars, 4096)));
+  state_ = State::kVarName;
+  return p.used();
+}
+
+std::size_t ContainerScanner::parse_var_name(
+    std::span<const std::uint8_t> data) {
+  Peek p(data);
+  std::uint64_t len = 0;
+  const Pk r = p.varint(len);
+  if (r == Pk::kNeedMore) return 0;
+  const std::uint64_t cap = expected_size_ ? remaining_after(pos_ + p.used())
+                                           : kMaxStreamNameBytes;
+  if (r == Pk::kBad || len > cap) {
+    damage(ScanDamage::Phase::kHeader, frame_start_,
+           "corrupt checkpoint variable table");
+    return 0;
+  }
+  if (data.size() - p.used() < len) return 0;  // name bytes still in flight
+  vars_.emplace_back(reinterpret_cast<const char*>(data.data() + p.used()),
+                     static_cast<std::size_t>(len));
+  --names_left_;
+  if (names_left_ == 0) {
+    events_.on_header(version_, vars_);
+    state_ = State::kRecordHeader;
+  }
+  return p.used() + static_cast<std::size_t>(len);
+}
+
+std::size_t ContainerScanner::parse_record_header(
+    std::span<const std::uint8_t> data) {
+  Peek p(data);
+  std::uint32_t marker = 0;
+  if (p.get(marker) == Pk::kNeedMore) return 0;
+  if (marker != kRecordMarker) {
+    damage(ScanDamage::Phase::kRecord, frame_start_, "corrupt record marker");
+    return 0;
+  }
+  std::uint64_t var_id = 0;
+  Pk r = p.varint(var_id);
+  if (r == Pk::kNeedMore) return 0;
+  if (r == Pk::kBad) {
+    damage(ScanDamage::Phase::kRecord, frame_start_,
+           "corrupt checkpoint record header");
+    return 0;
+  }
+  if (var_id >= vars_.size()) {
+    damage(ScanDamage::Phase::kRecord, frame_start_,
+           "record references unknown variable");
+    return 0;
+  }
+  std::uint64_t iteration = 0;
+  r = p.varint(iteration);
+  if (r == Pk::kNeedMore) return 0;
+  if (r == Pk::kBad || iteration > accepted_ + kIterationSlack) {
+    damage(ScanDamage::Phase::kRecord, frame_start_,
+           "checkpoint iteration number out of range");
+    return 0;
+  }
+  std::uint8_t type = 0;
+  if (p.get(type) == Pk::kNeedMore) return 0;
+  if (type != static_cast<std::uint8_t>(RecordType::kFull) &&
+      type != static_cast<std::uint8_t>(RecordType::kDelta)) {
+    damage(ScanDamage::Phase::kRecord, frame_start_,
+           "unknown checkpoint record type");
+    return 0;
+  }
+  std::uint8_t codec_id = 0;
+  if (version_ >= 2) {
+    // Rejected here, before the record is indexed (and long before anything
+    // is allocated from its payload): a forged codec id must not survive.
+    if (p.get(codec_id) == Pk::kNeedMore) return 0;
+    const codec::Codec* c = codec::find(codec_id);
+    if (c == nullptr) {
+      damage(ScanDamage::Phase::kRecord, frame_start_,
+             "unknown checkpoint codec id");
+      return 0;
+    }
+    if (type == static_cast<std::uint8_t>(RecordType::kFull) &&
+        c->caps().temporal) {
+      damage(ScanDamage::Phase::kRecord, frame_start_,
+             "full record with a temporal codec");
+      return 0;
+    }
+  } else {
+    // v1 records predate the codec byte: full records were always FPC
+    // streams, deltas always NUMARCK.
+    codec_id = type == static_cast<std::uint8_t>(RecordType::kFull)
+                   ? codec::kFpcId
+                   : codec::kNumarckId;
+  }
+  double sim_time = 0.0;
+  if (p.get(sim_time) == Pk::kNeedMore) return 0;
+  std::uint64_t payload_size = 0;
+  r = p.varint(payload_size);
+  if (r == Pk::kNeedMore) return 0;
+  if (r == Pk::kBad) {
+    damage(ScanDamage::Phase::kRecord, frame_start_,
+           "corrupt checkpoint record header");
+    return 0;
+  }
+  if (expected_size_) {
+    // Eager truncation check — the reason a whole-file scan reports a torn
+    // tail at the record header instead of at end of input. Checked as two
+    // comparisons: payload_size + 4 could wrap.
+    const std::uint64_t rem = remaining_after(pos_ + p.used());
+    if (rem < 4 || payload_size > rem - 4) {
+      damage(ScanDamage::Phase::kRecord, frame_start_,
+             "truncated checkpoint record");
+      return 0;
+    }
+  }
+  pending_.variable = vars_[static_cast<std::size_t>(var_id)];
+  pending_.iteration = static_cast<std::size_t>(iteration);
+  pending_.type = static_cast<RecordType>(type);
+  pending_.codec_id = codec_id;
+  pending_.sim_time = sim_time;
+  pending_.payload_offset = pos_ + p.used();
+  pending_.payload_size = payload_size;
+  payload_left_ = payload_size;
+  crc_left_ = 4;
+  state_ = State::kPayloadSkip;
+  return p.used();
+}
+
+}  // namespace numarck::io

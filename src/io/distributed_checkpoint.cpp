@@ -1,8 +1,8 @@
 #include "numarck/io/distributed_checkpoint.hpp"
 
 #include <algorithm>
-#include <fstream>
 
+#include "numarck/io/byte_source.hpp"
 #include "numarck/io/durable_file.hpp"
 #include "numarck/util/byte_stream.hpp"
 #include "numarck/util/crc32.hpp"
@@ -90,14 +90,8 @@ Manifest Manifest::parse(std::span<const std::uint8_t> data) {
 }
 
 Manifest Manifest::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  NUMARCK_EXPECT(in.good(), "cannot open manifest: " + path);
-  std::vector<std::uint8_t> buf(static_cast<std::size_t>(in.tellg()));
-  in.seekg(0);
-  in.read(reinterpret_cast<char*>(buf.data()),
-          static_cast<std::streamsize>(buf.size()));
-  NUMARCK_EXPECT(in.gcount() == static_cast<std::streamsize>(buf.size()),
-                 "manifest read failed: " + path);
+  FileSource source(path);
+  const std::vector<std::uint8_t> buf = read_all(source);
   return parse(buf);
 }
 
@@ -131,16 +125,27 @@ DistributedRestartEngine::DistributedRestartEngine(const std::string& base,
   for (std::size_t k = 0; k < manifest_.ranks; ++k) {
     const std::string path = Manifest::rank_path(base, k);
     RankDamage& dmg = damage_[k];
-    std::unique_ptr<CheckpointReader> reader;
+    // One open per rank file: the FileSource's open failure already
+    // distinguishes "no file" from "file whose header is garbage" (which
+    // only the scan below can prove), so no second probe open is needed.
+    // Both are unrecoverable for this rank, but operators triage them
+    // differently.
+    std::shared_ptr<FileSource> source;
     try {
-      reader = std::make_unique<CheckpointReader>(path, policy);
+      source = std::make_shared<FileSource>(path);
     } catch (const numarck::ContractViolation& e) {
       if (policy == TailPolicy::kStrict) throw;
-      // Distinguish "no file" from "file whose header is garbage": both are
-      // unrecoverable for this rank, but operators triage them differently.
-      std::ifstream probe(path, std::ios::binary);
-      dmg.state =
-          probe.good() ? RankFileState::kUnreadable : RankFileState::kMissing;
+      dmg.state = RankFileState::kMissing;
+      dmg.detail = e.what();
+      readers_.push_back(nullptr);
+      continue;
+    }
+    std::unique_ptr<CheckpointReader> reader;
+    try {
+      reader = std::make_unique<CheckpointReader>(std::move(source), policy);
+    } catch (const numarck::ContractViolation& e) {
+      if (policy == TailPolicy::kStrict) throw;
+      dmg.state = RankFileState::kUnreadable;
       dmg.detail = e.what();
       readers_.push_back(nullptr);
       continue;

@@ -1,0 +1,74 @@
+// A small thread-safe pool of reusable byte buffers for the framed write
+// path. Every checkpoint append used to build its record header in a fresh
+// heap vector; under the store's background compactor plus concurrent shard
+// writers that is one allocate/free pair per record across several threads.
+// The pool caps that churn: buffers are borrowed RAII-style, cleared (but
+// not shrunk) on return, and at most `max_buffers` of at most
+// `max_retained_bytes` each are retained.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "numarck/util/thread_annotations.hpp"
+
+namespace numarck::io {
+
+class BufferPool {
+ public:
+  /// RAII lease on one pooled buffer. The buffer arrives empty (capacity
+  /// retained from its previous use) and returns to the pool on destruction.
+  /// Leases may migrate across threads; the pool itself is the shared state.
+  class Lease {
+   public:
+    explicit Lease(BufferPool& pool) : pool_(&pool), buf_(pool.take()) {}
+    ~Lease() {
+      if (pool_ != nullptr) pool_->give(std::move(buf_));
+    }
+
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), buf_(std::move(other.buf_)) {
+      other.pool_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    [[nodiscard]] std::vector<std::uint8_t>& buffer() noexcept { return buf_; }
+
+   private:
+    BufferPool* pool_;
+    std::vector<std::uint8_t> buf_;
+  };
+
+  explicit BufferPool(std::size_t max_buffers = 8,
+                      std::size_t max_retained_bytes = 4u << 20)
+      : max_buffers_(max_buffers), max_retained_bytes_(max_retained_bytes) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  [[nodiscard]] Lease acquire() { return Lease(*this); }
+
+  /// Buffers currently parked in the pool (observability / tests).
+  [[nodiscard]] std::size_t idle() const;
+
+ private:
+  friend class Lease;
+
+  [[nodiscard]] std::vector<std::uint8_t> take();
+  void give(std::vector<std::uint8_t> buf);
+
+  std::size_t max_buffers_;
+  std::size_t max_retained_bytes_;
+  mutable util::Mutex mu_;
+  std::vector<std::vector<std::uint8_t>> free_ GUARDED_BY(mu_);
+};
+
+/// The process-wide pool shared by CheckpointWriter, the store's put/compact
+/// paths, and the distributed shard writers. Construct-on-first-use, never
+/// destroyed: writer destructors may run during static teardown.
+BufferPool& shared_buffer_pool();
+
+}  // namespace numarck::io

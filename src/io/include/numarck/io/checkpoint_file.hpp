@@ -24,30 +24,18 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "numarck/core/compressor.hpp"
+#include "numarck/io/byte_source.hpp"
+#include "numarck/io/container_format.hpp"
 #include "numarck/io/durable_file.hpp"
 
 namespace numarck::io {
-
-enum class RecordType : std::uint8_t {
-  kFull = 0,   ///< FPC-compressed lossless snapshot
-  kDelta = 1,  ///< NUMARCK-encoded change-ratio record
-};
-
-struct RecordInfo {
-  std::string variable;
-  std::size_t iteration = 0;
-  RecordType type = RecordType::kFull;
-  std::uint8_t codec_id = 0;  ///< registered codec of the payload
-  double sim_time = 0.0;
-  std::uint64_t payload_offset = 0;
-  std::uint64_t payload_size = 0;
-};
 
 class CheckpointWriter {
  public:
@@ -100,12 +88,24 @@ enum class TailPolicy : std::uint8_t {
 
 class CheckpointReader {
  public:
+  /// Opens `path` through a FileSource: the scan streams the container in
+  /// bounded chunks through the ContainerScanner (no whole-file slurp) and
+  /// payloads are pread on demand.
   explicit CheckpointReader(const std::string& path,
                             TailPolicy policy = TailPolicy::kStrict);
 
   /// Parses an in-memory container image (the bytes a checkpoint file would
-  /// hold). Used by tooling and the fuzz harnesses; the data is copied.
+  /// hold) through a MemorySource. ZERO-COPY: the caller's bytes are not
+  /// duplicated and must stay alive and unmodified for the reader's whole
+  /// lifetime — a payload load reads them again and CRC-rejects any
+  /// mutation. Used by tooling and the fuzz harnesses.
   explicit CheckpointReader(std::span<const std::uint8_t> data,
+                            TailPolicy policy = TailPolicy::kStrict);
+
+  /// Transport-agnostic entry: reads any ByteSource. Shared ownership lets
+  /// one opened source back several scans (the store probes a container
+  /// strict-then-salvage over a single open descriptor).
+  explicit CheckpointReader(std::shared_ptr<ByteSource> source,
                             TailPolicy policy = TailPolicy::kStrict);
   ~CheckpointReader();
 
@@ -138,6 +138,10 @@ class CheckpointReader {
 
   /// Simulation time stamped on the given iteration's records.
   [[nodiscard]] double sim_time(std::size_t iteration) const;
+
+  /// Size in bytes of the underlying container stream (file size for path
+  /// readers) — what the scan consumed plus any unscanned damaged tail.
+  [[nodiscard]] std::uint64_t container_bytes() const noexcept;
 
  private:
   class Impl;

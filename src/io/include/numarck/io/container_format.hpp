@@ -1,0 +1,44 @@
+// On-disk framing constants of the NUMARCK checkpoint container, shared by
+// every component that produces or consumes the byte stream: FramedWriter
+// (serialization), ContainerScanner (incremental parsing), and the fixture
+// generators in the tests. docs/FORMAT.md §1 is the normative layout; these
+// constants are that section's single in-tree definition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace numarck::io {
+
+/// File header magic, "NMCKPT1\0" read as a little-endian u64.
+inline constexpr std::uint64_t kContainerMagic = 0x004E4D434B505431ull;
+
+/// Current container version. v2 added the per-record codec-id byte; v1
+/// files stay readable (full records imply fpc, deltas imply numarck).
+inline constexpr std::uint32_t kContainerVersion = 2;
+
+/// Per-record marker, "REC1" read as a little-endian u32.
+inline constexpr std::uint32_t kRecordMarker = 0x52454331u;
+
+/// Honest writers emit iterations sequentially, so a record's iteration
+/// number can never exceed the records already scanned by more than this
+/// slack (streams that start above zero). Keeps iteration_count() bounded by
+/// the container size instead of by a forged 2^60 varint.
+inline constexpr std::uint64_t kIterationSlack = 1024;
+
+enum class RecordType : std::uint8_t {
+  kFull = 0,   ///< FPC-compressed lossless snapshot
+  kDelta = 1,  ///< NUMARCK-encoded change-ratio record
+};
+
+struct RecordInfo {
+  std::string variable;
+  std::size_t iteration = 0;
+  RecordType type = RecordType::kFull;
+  std::uint8_t codec_id = 0;  ///< registered codec of the payload
+  double sim_time = 0.0;
+  std::uint64_t payload_offset = 0;
+  std::uint64_t payload_size = 0;
+};
+
+}  // namespace numarck::io

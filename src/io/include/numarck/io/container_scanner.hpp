@@ -1,0 +1,146 @@
+// Incremental push-parser over the NUMARCK container framing (docs/FORMAT.md
+// §10, "Streaming scan contract"). The scanner accepts the container byte
+// stream in ARBITRARY chunks — whole-file, 256 KiB blocks, or one byte at a
+// time — and emits exactly the same event sequence for every chunking of the
+// same stream: one on_header, then one on_record per intact record in file
+// order, then at most one terminal on_damage. That chunk-independence is
+// what lets the identical code path parse a file today and a TCP stream in
+// the planned numarck-served daemon.
+//
+// Memory is bounded by the longest frame HEADER (record headers are ≤ 44
+// bytes; the file header is bounded by the longest variable name): payload
+// bytes are counted and skipped, never buffered. CheckpointReader drives the
+// scanner over a ByteSource and resolves payloads later via read_at.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "numarck/io/container_format.hpp"
+
+namespace numarck::io {
+
+/// A structural defect in the stream. Terminal: the scanner stops at the
+/// first damage (the salvage stop rule — bytes after a torn or corrupt frame
+/// have no trustworthy framing and are never scanned).
+struct ScanDamage {
+  /// Where in the grammar the damage sits. Header damage means the container
+  /// itself is unusable (no variable table -> nothing is salvageable);
+  /// record damage leaves every earlier record readable.
+  enum class Phase : std::uint8_t { kHeader = 0, kRecord = 1 };
+
+  Phase phase = Phase::kRecord;
+  /// Absolute stream offset of the first byte of the damaged frame — for
+  /// record damage, where the record's marker was expected.
+  std::uint64_t offset = 0;
+  std::string detail;
+};
+
+/// Scan event consumer. Callbacks fire while feed()/finish() is on the
+/// stack; implementations must not re-enter the scanner.
+class ScanEvents {
+ public:
+  virtual ~ScanEvents() = default;
+
+  /// The file header parsed: container version (1 or 2) and the variable
+  /// table. Fires exactly once, before any record event.
+  virtual void on_header(std::uint32_t version,
+                         const std::vector<std::string>& variables) = 0;
+
+  /// One intact record: header validated, payload + CRC bytes fully
+  /// consumed. `info.payload_offset/payload_size` locate the payload for a
+  /// later random-access load; the payload itself is NOT retained.
+  virtual void on_record(const RecordInfo& info) = 0;
+
+  /// Terminal structural damage; no further events will fire.
+  virtual void on_damage(const ScanDamage& damage) = 0;
+};
+
+class ContainerScanner {
+ public:
+  /// `expected_size`, when known (file and memory images), arms the eager
+  /// truncation check: a record whose declared payload cannot fit in the
+  /// bytes that remain is reported damaged at its header, without waiting
+  /// for the stream to end. Without it (a live socket), the same record is
+  /// reported damaged — with the same offset and detail — at finish().
+  explicit ContainerScanner(ScanEvents& events,
+                            std::optional<std::uint64_t> expected_size =
+                                std::nullopt);
+
+  ContainerScanner(const ContainerScanner&) = delete;
+  ContainerScanner& operator=(const ContainerScanner&) = delete;
+
+  /// Consumes the next chunk. Bytes arriving after terminal damage are
+  /// ignored (a salvage consumer stops trusting the framing). Feeding more
+  /// than `expected_size` bytes total is a caller bug and throws.
+  void feed(std::span<const std::uint8_t> chunk);
+
+  /// Signals end of stream. Emits the terminal damage event if the stream
+  /// ended mid-frame; a stream ending exactly on a record boundary is clean.
+  /// Idempotent; feed() after finish() throws.
+  void finish();
+
+  /// True once no further input can change the event sequence (terminal
+  /// damage seen, or finish() called). Callers may stop feeding early.
+  [[nodiscard]] bool done() const noexcept;
+
+  /// Absolute offset of the next unparsed byte (= bytes fully consumed).
+  [[nodiscard]] std::uint64_t bytes_consumed() const noexcept;
+
+  /// Records accepted so far.
+  [[nodiscard]] std::uint64_t records() const noexcept { return accepted_; }
+
+ private:
+  enum class State : std::uint8_t {
+    kMagic = 0,      // file magic + version (12 bytes)
+    kVarCount = 1,   // variable-count varint
+    kVarName = 2,    // one variable name frame at a time
+    kRecordHeader = 3,
+    kPayloadSkip = 4,  // counting down payload + CRC bytes
+    kDamaged = 5,      // terminal
+  };
+
+  /// Parses as much of `data` as possible; returns bytes consumed. Stops on
+  /// an incomplete frame (caller stashes the tail) or terminal damage.
+  std::size_t process(std::span<const std::uint8_t> data);
+
+  /// Incremental frame parsers over `data`: return bytes consumed on
+  /// success, 0 when more input is needed (callers may not pass a frame an
+  /// empty prefix could complete), and flip the state to kDamaged on
+  /// structural damage.
+  std::size_t parse_magic(std::span<const std::uint8_t> data);
+  std::size_t parse_var_count(std::span<const std::uint8_t> data);
+  std::size_t parse_var_name(std::span<const std::uint8_t> data);
+  std::size_t parse_record_header(std::span<const std::uint8_t> data);
+
+  void damage(ScanDamage::Phase phase, std::uint64_t offset,
+              std::string detail);
+
+  /// Bytes the stream may still deliver after absolute offset `at`
+  /// (expected_size mode only).
+  [[nodiscard]] std::uint64_t remaining_after(std::uint64_t at) const;
+
+  ScanEvents& events_;
+  std::optional<std::uint64_t> expected_size_;
+  State state_ = State::kMagic;
+  bool finished_ = false;
+
+  std::vector<std::uint8_t> stash_;  // unparsed tail of a straddling frame
+  std::uint64_t pos_ = 0;            // absolute offset of next unparsed byte
+  std::uint64_t frame_start_ = 0;    // absolute offset of the current frame
+
+  std::uint32_t version_ = 0;
+  std::vector<std::string> vars_;
+  std::uint64_t names_left_ = 0;
+
+  RecordInfo pending_;           // record whose payload is being skipped
+  std::uint64_t payload_left_ = 0;
+  std::uint64_t crc_left_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace numarck::io

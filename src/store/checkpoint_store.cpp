@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <utility>
 
 #include "numarck/codec/codec.hpp"
+#include "numarck/io/byte_source.hpp"
 #include "numarck/io/checkpoint_file.hpp"
 #include "numarck/util/byte_stream.hpp"
 #include "numarck/util/crc32.hpp"
@@ -112,15 +112,8 @@ ParsedManifest parse_store_manifest(std::span<const std::uint8_t> data) {
 }
 
 std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  NUMARCK_EXPECT(in.good(), "cannot open store manifest: " + path);
-  std::vector<std::uint8_t> buf(static_cast<std::size_t>(in.tellg()));
-  in.seekg(0);
-  in.read(reinterpret_cast<char*>(buf.data()),
-          static_cast<std::streamsize>(buf.size()));
-  NUMARCK_EXPECT(in.gcount() == static_cast<std::streamsize>(buf.size()),
-                 "store manifest read failed: " + path);
-  return buf;
+  io::FileSource source(path);
+  return io::read_all(source);
 }
 
 std::vector<std::uint8_t> serialize_store_manifest(
@@ -518,8 +511,18 @@ FileHealth probe_container(const std::string& path,
     *detail = "container file is missing";
     return FileHealth::kMissing;
   }
+  // One descriptor per probe: the strict scan and (on failure) the salvage
+  // re-scan below share a single opened FileSource instead of re-opening
+  // and re-reading the container per attempt.
+  std::shared_ptr<io::FileSource> source;
   try {
-    const io::CheckpointReader reader(path, io::TailPolicy::kStrict);
+    source = std::make_shared<io::FileSource>(path);
+  } catch (const numarck::ContractViolation& e) {
+    *detail = e.what();
+    return FileHealth::kMissing;
+  }
+  try {
+    const io::CheckpointReader reader(source, io::TailPolicy::kStrict);
     if (reader.variables() != variables) {
       *detail = "variable table disagrees with the store manifest";
       return FileHealth::kUnreadable;
@@ -546,7 +549,7 @@ FileHealth probe_container(const std::string& path,
     // damage; operators triage the two differently.
     try {
       [[maybe_unused]] const io::CheckpointReader salvage(
-          path, io::TailPolicy::kSalvage);
+          source, io::TailPolicy::kSalvage);
       *detail = e.what();
       return FileHealth::kTorn;
     } catch (const numarck::ContractViolation&) {

@@ -1,9 +1,11 @@
-// Durability error paths: injected ENOSPC/EIO on append, fsync, and close
-// must surface as exceptions — a failed write can never masquerade as an
-// acknowledged checkpoint — and must leave the container / store directory
-// reopenable afterwards. ErringFile (io/durable_file.hpp) models the disk
-// that lives on but errors, complementing the FaultyFile process-death model
-// the crashtest campaigns use.
+// Durability error paths: injected ENOSPC/EIO on append, fsync, close and
+// payload reads must surface as exceptions — a failed write can never
+// masquerade as an acknowledged checkpoint, a failed read never as restored
+// state — and must leave the container / store directory reopenable
+// afterwards. ErringFile (io/durable_file.hpp) and its read-side dual
+// ErringSource (io/byte_source.hpp) model the disk that lives on but
+// errors, complementing the FaultyFile process-death model the crashtest
+// campaigns use.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "numarck/core/compressor.hpp"
+#include "numarck/io/byte_source.hpp"
 #include "numarck/io/checkpoint_file.hpp"
 #include "numarck/io/durable_file.hpp"
 #include "numarck/store/checkpoint_store.hpp"
@@ -202,4 +205,39 @@ TEST(DurabilityErrors, ManifestPublishFailureRollsBackTheAck) {
   steps.emplace(kVar, full_step(7.0));
   reopened.put(7, 7.0, steps);
   EXPECT_EQ(reopened.get_variable(kVar, 7), snap(48, 7.0));
+}
+
+// ------------------------------------------------------------- read paths --
+
+// The read-side dual: a disk that goes bad *after* a checkpoint was written
+// and scanned. Payload loads must surface the EIO — a restart path can never
+// fabricate state from a failed read (DESIGN.md §7).
+TEST(DurabilityErrors, ReadFailureAfterScanSurfacesOnLoad) {
+  TempPath t("readeio");
+  {
+    nio::CheckpointWriter writer(t.path, {kVar});
+    writer.append(kVar, 0, 0.0, full_step(0.0));
+    writer.append(kVar, 1, 1.0, full_step(1.0));
+    writer.close();
+  }
+
+  // The scan is one bulk read; let it pass, then fail every later read.
+  nio::CheckpointReader reader(std::make_unique<nio::ErringSource>(
+      std::make_unique<nio::FileSource>(t.path), /*after_reads=*/1, EIO));
+  ASSERT_EQ(reader.iteration_count(), 2u);
+  try {
+    (void)reader.load(kVar, 0);
+    FAIL() << "EIO on payload read did not surface";
+  } catch (const numarck::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("Input/output error"),
+              std::string::npos)
+        << e.what();
+  }
+  // Persistent, like a real sick disk: the next load fails too.
+  EXPECT_THROW((void)reader.load(kVar, 1), numarck::ContractViolation);
+
+  // The same container on a healthy disk still restores everything.
+  nio::CheckpointReader healthy(t.path);
+  nio::RestartEngine engine(healthy);
+  EXPECT_EQ(engine.reconstruct(1).at(kVar), snap(48, 1.0));
 }

@@ -25,12 +25,21 @@ an AVX2-or-wider table — at least one vectorized kernel must beat the
 scalar reference by --min-kernel-speedup (the dispatcher exists to buy
 exactly that).
 
+With --io it additionally validates the streaming container I/O sweep in
+BENCH_io.json: the append/scan/scan_ifstream/load ops must all be
+measured with positive throughput on a non-empty container, and the
+streamed FileSource scan must not fall below --min-scan-speedup of the
+whole-file ifstream-slurp baseline it replaced (the bounded-memory scan
+must not cost meaningful wall time).
+
 Usage:
   check_bench.py BENCH_kmeans.json [--min-vs-equal-width 0.25]
                                    [--max-ratio-delta-pct 2.0]
                                    [--baselines BENCH_baselines.json]
                                    [--simd BENCH_simd.json]
                                    [--min-kernel-speedup 2.0]
+                                   [--io BENCH_io.json]
+                                   [--min-scan-speedup 0.5]
 """
 
 import argparse
@@ -210,6 +219,47 @@ def check_simd(path: str, min_kernel_speedup: float) -> None:
     )
 
 
+IO_OPS = ["append", "scan", "scan_ifstream", "load"]
+
+IO_ROW_KEYS = ["op", "seconds", "mb_per_s"]
+
+
+def check_io(path: str, min_scan_speedup: float) -> None:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("benchmark") != "io":
+        fail(f"unexpected io benchmark id {doc.get('benchmark')!r}")
+    if doc.get("container_bytes", 0) <= 0:
+        fail("io sweep ran on an empty container")
+    if doc.get("records", 0) <= 0:
+        fail("io sweep ran on a container with no records")
+    rows = doc.get("results", [])
+    if not rows:
+        fail("empty io results array")
+    for i, row in enumerate(rows):
+        row_missing = [k for k in IO_ROW_KEYS if k not in row]
+        if row_missing:
+            fail(f"io results[{i}] missing keys: {row_missing}")
+        if row["seconds"] <= 0 or row["mb_per_s"] <= 0:
+            fail(f"io results[{i}] ({row.get('op')}) has a non-positive "
+                 "measurement")
+    for op in IO_OPS:
+        if not any(r["op"] == op for r in rows):
+            fail(f"io sweep is missing the {op} op")
+    speedup = doc.get("scan_vs_ifstream_speedup", 0.0)
+    if speedup < min_scan_speedup:
+        fail(
+            f"streamed scan is only {speedup:.2f}x the ifstream-slurp "
+            f"baseline (floor {min_scan_speedup}x) — the bounded-memory "
+            "scan has regressed"
+        )
+    print(
+        f"check_bench: OK: io sweep covers {IO_OPS} over "
+        f"{doc['container_bytes']} container bytes, streamed scan "
+        f"{speedup:.2f}x the ifstream slurp"
+    )
+
+
 def main() -> None:
     ap = argparse.ArgumentParser()
     ap.add_argument("path")
@@ -221,12 +271,17 @@ def main() -> None:
                     help="also validate a BENCH_simd.json sweep")
     ap.add_argument("--min-kernel-speedup", type=float, default=2.0)
     ap.add_argument("--min-rans-decode-speedup", type=float, default=1.5)
+    ap.add_argument("--io", default=None,
+                    help="also validate a BENCH_io.json sweep")
+    ap.add_argument("--min-scan-speedup", type=float, default=0.5)
     args = ap.parse_args()
 
     if args.baselines:
         check_baselines(args.baselines, args.min_rans_decode_speedup)
     if args.simd:
         check_simd(args.simd, args.min_kernel_speedup)
+    if args.io:
+        check_io(args.io, args.min_scan_speedup)
 
     with open(args.path, encoding="utf-8") as f:
         doc = json.load(f)

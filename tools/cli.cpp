@@ -8,6 +8,7 @@
 
 #include "numarck/codec/codec.hpp"
 #include "numarck/core/compressor.hpp"
+#include "numarck/io/byte_source.hpp"
 #include "numarck/io/checkpoint_file.hpp"
 #include "numarck/io/distributed_checkpoint.hpp"
 #include "numarck/store/checkpoint_store.hpp"
@@ -19,17 +20,12 @@ namespace numarck::tools {
 namespace {
 
 std::vector<double> read_doubles(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  NUMARCK_EXPECT(in.good(), "cannot open input file: " + path);
-  const auto size = static_cast<std::size_t>(in.tellg());
+  io::FileSource in(path);
+  const auto size = static_cast<std::size_t>(in.size());
   NUMARCK_EXPECT(size % sizeof(double) == 0,
                  "input size is not a multiple of 8 bytes: " + path);
-  in.seekg(0);
   std::vector<double> values(size / sizeof(double));
-  in.read(reinterpret_cast<char*>(values.data()),
-          static_cast<std::streamsize>(size));
-  NUMARCK_EXPECT(in.gcount() == static_cast<std::streamsize>(size),
-                 "short read on input file: " + path);
+  if (size != 0) in.read_at(0, values.data(), size);
   return values;
 }
 
@@ -224,10 +220,7 @@ CompactReport compact_file(const CompactJob& job) {
   io::CheckpointReader reader(job.input_path);
   CompactReport report;
   report.input_iterations = reader.iteration_count();
-  {
-    std::ifstream in(job.input_path, std::ios::binary | std::ios::ate);
-    report.input_bytes = static_cast<std::size_t>(in.tellg());
-  }
+  report.input_bytes = static_cast<std::size_t>(reader.container_bytes());
   NUMARCK_EXPECT(report.input_iterations >= 1, "input container is empty");
 
   io::RestartEngine engine(reader);

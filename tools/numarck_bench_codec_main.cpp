@@ -16,6 +16,12 @@
 // every NUMARCK_ARCH level the host supports and lands in BENCH_simd.json
 // (override with --simd-out) — the record of what the SIMD dispatcher buys.
 //
+// A fifth sweep times the streaming container I/O layer on a real on-disk
+// checkpoint: pooled framed appends, the FileSource + ContainerScanner scan,
+// an ifstream whole-file-slurp scan (the bench-only pre-refactor baseline),
+// and CRC-verified payload loads. It lands in BENCH_io.json (override with
+// --io-out) and is gated by tools/check_bench.py --io.
+//
 // The thread sweep covers {1, 2, 4, 8} clipped to the real
 // hardware_concurrency; on a single-core host only the 1-thread rows are
 // measured and the JSONs carry "thread_sweep_skipped": true so downstream
@@ -25,6 +31,7 @@
 //                       [--kmeans-out kmeans.json]
 //                       [--baselines-out baselines.json]
 //                       [--simd-out simd.json]
+//                       [--io-out io.json]
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -38,11 +45,15 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "numarck/arch/arch.hpp"
 #include "numarck/codec/codec.hpp"
 #include "numarck/core/codec.hpp"
+#include "numarck/core/compressor.hpp"
+#include "numarck/io/byte_source.hpp"
+#include "numarck/io/checkpoint_file.hpp"
 #include "numarck/lossless/fpc.hpp"
 #include "numarck/lossless/huffman.hpp"
 #include "numarck/lossless/rans.hpp"
@@ -443,6 +454,108 @@ std::vector<SimdRow> simd_sweep(std::span<const double> prev,
   return rows;
 }
 
+struct IoRow {
+  std::string op;   ///< "append" | "scan" | "scan_ifstream" | "load"
+  double seconds;
+  double mb_per_s;  ///< container (scan/append) or payload (load) MB/s
+};
+
+struct IoSweep {
+  std::vector<IoRow> rows;
+  std::uint64_t container_bytes = 0;
+  std::uint64_t record_count = 0;
+  /// ifstream-slurp scan seconds / streamed FileSource scan seconds — what
+  /// the bounded-memory scan costs (or buys) against the whole-file slurp it
+  /// replaced.
+  double scan_vs_ifstream_speedup = 0.0;
+};
+
+/// Streaming container I/O sweep on a real on-disk checkpoint: 2 variables x
+/// 8 iterations of an evolving field, compressed once up front so the timed
+/// sections measure only the I/O layer. "scan_ifstream" reproduces the
+/// pre-streaming reader byte-for-byte — slurp the whole file, then parse the
+/// resident image — purely as a baseline; production code no longer has that
+/// path.
+IoSweep io_sweep(std::size_t n, std::size_t reps) {
+  const std::string path =
+      "/tmp/numarck_bench_io_" + std::to_string(::getpid()) + ".ckpt";
+  const std::vector<std::string> vars = {"rho", "pres"};
+  constexpr std::size_t kIters = 8;
+
+  // Pre-compress every step (full + deltas per variable).
+  std::vector<std::vector<core::CompressedStep>> steps(vars.size());
+  std::uint64_t payload_bytes = 0;
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    core::Options opts;
+    core::VariableCompressor comp(opts);
+    for (std::size_t it = 0; it < kIters; ++it) {
+      std::vector<double> snap(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double x = static_cast<double>(j) / static_cast<double>(n);
+        snap[j] = 2.0 + static_cast<double>(v) +
+                  std::sin(6.28 * x + 0.05 * static_cast<double>(it)) +
+                  0.2 * std::sin(31.4 * x - 0.3 * static_cast<double>(it));
+      }
+      steps[v].push_back(comp.push(snap));
+      payload_bytes += steps[v].back().stored_bytes();
+    }
+  }
+
+  IoSweep sweep;
+  sweep.record_count = vars.size() * kIters;
+  const auto append_once = [&] {
+    io::CheckpointWriter w(path, vars);
+    for (std::size_t it = 0; it < kIters; ++it) {
+      for (std::size_t v = 0; v < vars.size(); ++v) {
+        w.append(vars[v], it, static_cast<double>(it), steps[v][it]);
+      }
+    }
+    w.close();
+  };
+  const double append_s = best_seconds(reps, append_once);
+  append_once();  // deterministic final image for the read-side timings
+  sweep.container_bytes = io::FileSource(path).size();
+  const double cmb = static_cast<double>(sweep.container_bytes) / 1e6;
+  const double pmb = static_cast<double>(payload_bytes) / 1e6;
+
+  const double scan_s = best_seconds(reps, [&] {
+    const io::CheckpointReader reader(path);
+    (void)reader.iteration_count();
+  });
+  const double slurp_s = best_seconds(reps, [&] {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    std::vector<std::uint8_t> image(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+    const std::span<const std::uint8_t> view(image);
+    const io::CheckpointReader reader(view);
+    (void)reader.iteration_count();
+  });
+  const io::CheckpointReader reader(path);
+  const double load_s = best_seconds(reps, [&] {
+    for (const auto& v : reader.variables()) {
+      for (std::size_t it = 0; it < reader.iteration_count(); ++it) {
+        (void)reader.load(v, it);
+      }
+    }
+  });
+  std::remove(path.c_str());
+
+  sweep.rows.push_back({"append", append_s, cmb / append_s});
+  sweep.rows.push_back({"scan", scan_s, cmb / scan_s});
+  sweep.rows.push_back({"scan_ifstream", slurp_s, cmb / slurp_s});
+  sweep.rows.push_back({"load", load_s, pmb / load_s});
+  sweep.scan_vs_ifstream_speedup = slurp_s / scan_s;
+  for (const auto& r : sweep.rows) {
+    std::fprintf(stderr, "io      %-13s %8.3f ms  %8.1f MB/s\n", r.op.c_str(),
+                 r.seconds * 1e3, r.mb_per_s);
+  }
+  std::fprintf(stderr, "io      scan vs ifstream-slurp: %.2fx\n",
+               sweep.scan_vs_ifstream_speedup);
+  return sweep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -450,6 +563,7 @@ int main(int argc, char** argv) {
   std::string kmeans_out_path = "BENCH_kmeans.json";
   std::string baselines_out_path = "BENCH_baselines.json";
   std::string simd_out_path = "BENCH_simd.json";
+  std::string io_out_path = "BENCH_io.json";
   std::size_t n = std::size_t{1} << 17;
   std::size_t reps = 5;
   const auto count_arg = [&](const char* flag, int& i) -> std::size_t {
@@ -489,6 +603,12 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       simd_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--io-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--io-out requires a value\n");
+        std::exit(2);
+      }
+      io_out_path = argv[++i];
     } else {
       out_path = argv[i];
     }
@@ -758,5 +878,32 @@ int main(int argc, char** argv) {
   sout << "  \"best_encode_speedup_vs_scalar\": " << best_encode << "\n";
   sout << "}\n";
   std::cerr << "wrote " << simd_out_path << "\n";
+
+  // ---- streaming container I/O sweep -> BENCH_io.json --------------------
+  const IoSweep iosweep = io_sweep(std::size_t{1} << 15, reps);
+  std::ofstream iout(io_out_path);
+  if (!iout) {
+    std::cerr << "cannot open " << io_out_path << " for writing\n";
+    return 1;
+  }
+  iout << "{\n";
+  iout << "  \"benchmark\": \"io\",\n";
+  iout << "  \"reps\": " << reps << ",\n";
+  iout << "  \"container_bytes\": " << iosweep.container_bytes << ",\n";
+  iout << "  \"records\": " << iosweep.record_count << ",\n";
+  iout << "  \"results\": [\n";
+  for (std::size_t i = 0; i < iosweep.rows.size(); ++i) {
+    const auto& r = iosweep.rows[i];
+    iout << "    {\"op\": \"" << r.op << "\", \"seconds\": " << r.seconds
+         << ", \"mb_per_s\": " << r.mb_per_s << "}"
+         << (i + 1 < iosweep.rows.size() ? "," : "") << "\n";
+  }
+  iout << "  ],\n";
+  // Headline the CI bench-smoke job gates on: the bounded-memory streamed
+  // scan relative to the whole-file ifstream slurp it replaced.
+  iout << "  \"scan_vs_ifstream_speedup\": " << iosweep.scan_vs_ifstream_speedup
+       << "\n";
+  iout << "}\n";
+  std::cerr << "wrote " << io_out_path << "\n";
   return 0;
 }
